@@ -1,0 +1,200 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation section (the same rows/series the paper reports), then — with
+   [--micro] — runs bechamel microbenchmarks of the simulator kernels.
+
+     dune exec bench/main.exe                 # all experiments, full scale
+     dune exec bench/main.exe -- --quick      # test-scale smoke
+     dune exec bench/main.exe -- --only fig7,tab4
+     dune exec bench/main.exe -- --micro      # kernel microbenchmarks only
+     dune exec bench/main.exe -- --csv        # machine-readable output *)
+
+let parse_args () =
+  let quick = ref false and micro = ref false and csv = ref false in
+  let only = ref None in
+  let rec go = function
+    | [] -> ()
+    | "--quick" :: rest -> quick := true; go rest
+    | "--micro" :: rest -> micro := true; go rest
+    | "--csv" :: rest -> csv := true; go rest
+    | "--only" :: ids :: rest ->
+      only := Some (String.split_on_char ',' ids);
+      go rest
+    | arg :: _ ->
+      Printf.eprintf "unknown argument %s\n" arg;
+      exit 2
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  (!quick, !micro, !csv, !only)
+
+(* ------------------------------------------------------------------ *)
+(* Experiment regeneration                                             *)
+(* ------------------------------------------------------------------ *)
+
+let run_experiments ~quick ~csv ~only =
+  let selected =
+    match only with
+    | None -> Scd_experiments.Registry.all
+    | Some ids ->
+      List.filter_map
+        (fun id ->
+          match Scd_experiments.Registry.find id with
+          | Some e -> Some e
+          | None ->
+            Printf.eprintf "unknown experiment %S (have: %s)\n" id
+              (String.concat ", " Scd_experiments.Registry.ids);
+            exit 2)
+        ids
+  in
+  List.iter
+    (fun (e : Scd_experiments.Experiment.t) ->
+      Printf.printf "### %s — %s (%s)\n\n" e.paper e.title e.id;
+      let t0 = Unix.gettimeofday () in
+      let tables = e.run ~quick in
+      List.iter
+        (fun t ->
+          if csv then print_string (Scd_util.Table.to_csv t)
+          else print_string (Scd_util.Table.render t);
+          print_newline ())
+        tables;
+      Printf.printf "(regenerated in %.1fs)\n\n%!" (Unix.gettimeofday () -. t0))
+    selected
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks of the simulator kernels                   *)
+(* ------------------------------------------------------------------ *)
+
+let micro_tests () =
+  let open Bechamel in
+  (* pipeline throughput on a plain instruction stream *)
+  let pipeline_consume =
+    Test.make ~name:"pipeline-consume-1k"
+      (Staged.stage (fun () ->
+           let p = Scd_uarch.Pipeline.create Scd_uarch.Config.simulator in
+           for i = 0 to 999 do
+             Scd_uarch.Pipeline.consume p (Scd_isa.Event.plain (0x1000 + (4 * (i land 255))))
+           done))
+  in
+  let btb_ops =
+    Test.make ~name:"btb-lookup-insert-1k"
+      (Staged.stage (fun () ->
+           let b =
+             Scd_uarch.Btb.create ~entries:256 ~ways:2
+               ~replacement:Scd_uarch.Btb.Round_robin ()
+           in
+           for i = 0 to 999 do
+             let key = (i land 63) lsl 2 in
+             (match Scd_uarch.Btb.lookup b ~jte:true ~key with
+              | Some _ -> ()
+              | None -> Scd_uarch.Btb.insert b ~jte:true ~key ~target:i)
+           done))
+  in
+  let engine_bop =
+    Test.make ~name:"engine-bop-1k"
+      (Staged.stage (fun () ->
+           let btb =
+             Scd_uarch.Btb.create ~entries:256 ~ways:2
+               ~replacement:Scd_uarch.Btb.Lru ()
+           in
+           let e = Scd_core.Engine.create btb in
+           for i = 0 to 999 do
+             let opcode = i land 31 in
+             match Scd_core.Engine.bop e ~opcode with
+             | Scd_core.Engine.Hit _ -> ()
+             | Scd_core.Engine.Miss ->
+               Scd_core.Engine.jru e ~opcode:(Some opcode) ~target:(0x1000 + opcode)
+           done))
+  in
+  let fib_program = Scd_rvm.Compiler.compile_string
+      "function fib(n) if n < 2 then return n end return fib(n-1) + fib(n-2) end print(fib(12))"
+  in
+  let rvm_interp =
+    Test.make ~name:"rvm-fib12"
+      (Staged.stage (fun () ->
+           let vm = Scd_rvm.Vm.create fib_program in
+           Scd_rvm.Vm.run vm))
+  in
+  let svm_program = Scd_svm.Compiler.compile_string
+      "function fib(n) if n < 2 then return n end return fib(n-1) + fib(n-2) end print(fib(12))"
+  in
+  let svm_interp =
+    Test.make ~name:"svm-fib12"
+      (Staged.stage (fun () ->
+           let vm = Scd_svm.Vm.create svm_program in
+           Scd_svm.Vm.run vm))
+  in
+  let direction =
+    Test.make ~name:"tournament-predict-update-1k"
+      (Staged.stage (fun () ->
+           let p =
+             Scd_uarch.Direction.create
+               (Scd_uarch.Direction.Tournament
+                  { global_entries = 512; local_history_entries = 128;
+                    local_pattern_entries = 512; chooser_entries = 512 })
+           in
+           for i = 0 to 999 do
+             let pc = 0x4000 + ((i land 15) * 4) in
+             ignore (Scd_uarch.Direction.predict p ~pc);
+             Scd_uarch.Direction.update p ~pc ~taken:(i land 3 <> 0)
+           done))
+  in
+  let asm_exec =
+    let program =
+      Scd_isa.Asm.assemble_exn
+        {|
+          addi r1, r0, 200
+          addi r2, r0, 0
+        loop:
+          add  r2, r2, r1
+          addi r1, r1, -1
+          bne  r1, r0, loop
+          halt
+        |}
+    in
+    Test.make ~name:"erv32-exec-200-iter"
+      (Staged.stage (fun () ->
+           let m = Scd_isa.Exec.create program in
+           ignore (Scd_isa.Exec.run m)))
+  in
+  let cosim_small =
+    Test.make ~name:"cosim-fib10-scd"
+      (Staged.stage (fun () ->
+           ignore
+             (Scd_cosim.Driver.run
+                { Scd_cosim.Driver.default_config with scheme = Scd_core.Scheme.Scd }
+                ~source:
+                  "function fib(n) if n < 2 then return n end return fib(n-1) + fib(n-2) end print(fib(10))")))
+  in
+  [ pipeline_consume; btb_ops; engine_bop; rvm_interp; svm_interp; direction;
+    asm_exec; cosim_small ]
+
+let run_micro () =
+  let open Bechamel in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 1.0) ~kde:(Some 500) () in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  print_endline "== Microbenchmarks (bechamel, monotonic clock) ==";
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let results = Analyze.all ols Toolkit.Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ time_ns ] ->
+            Printf.printf "%-32s %12.1f ns/run\n" name time_ns
+          | _ -> Printf.printf "%-32s (no estimate)\n" name)
+        results)
+    (micro_tests ());
+  print_newline ()
+
+let () =
+  let quick, micro, csv, only = parse_args () in
+  if micro then run_micro ()
+  else begin
+    Printf.printf
+      "Short-Circuit Dispatch (ISCA 2016) — evaluation regeneration harness\n";
+    Printf.printf "scale: %s\n\n%!" (if quick then "quick (test inputs)" else "full");
+    run_experiments ~quick ~csv ~only
+  end

@@ -1,0 +1,384 @@
+(* scdsim: command-line front end for the Short-Circuit Dispatch
+   reproduction. Subcommands:
+
+     scdsim run --workload fibo --vm lua --scheme scd   co-simulate a script
+     scdsim run --file prog.mina --scheme baseline
+     scdsim exp fig7 [--quick] [--csv]                  regenerate a figure
+     scdsim list                                        inventory
+     scdsim assemble prog.erv -o prog.hex               build a binary image
+     scdsim exec prog.erv|prog.hex                      run ERV32 code *)
+
+open Cmdliner
+
+let scheme_conv =
+  let parse s =
+    match Scd_core.Scheme.of_string s with
+    | Some v -> Ok v
+    | None -> Error (`Msg (Printf.sprintf "unknown scheme %S" s))
+  in
+  Arg.conv (parse, fun fmt s -> Format.pp_print_string fmt (Scd_core.Scheme.name s))
+
+let vm_conv =
+  let parse = function
+    | "lua" | "rvm" -> Ok Scd_cosim.Driver.Lua
+    | "js" | "svm" -> Ok Scd_cosim.Driver.Js
+    | s -> Error (`Msg (Printf.sprintf "unknown vm %S (lua|js)" s))
+  in
+  Arg.conv (parse, fun fmt v -> Format.pp_print_string fmt (Scd_cosim.Driver.vm_name v))
+
+let machine_conv =
+  let parse = function
+    | "simulator" | "sim" -> Ok Scd_uarch.Config.simulator
+    | "fpga" | "rocket" -> Ok Scd_uarch.Config.fpga
+    | "high-end" | "highend" -> Ok Scd_uarch.Config.high_end
+    | s -> Error (`Msg (Printf.sprintf "unknown machine %S (sim|fpga|high-end)" s))
+  in
+  Arg.conv (parse, fun fmt (m : Scd_uarch.Config.t) -> Format.pp_print_string fmt m.name)
+
+let scale_conv =
+  let parse = function
+    | "test" -> Ok Scd_workloads.Workload.Test
+    | "small" -> Ok Scd_workloads.Workload.Small
+    | "sim" -> Ok Scd_workloads.Workload.Sim
+    | "fpga" -> Ok Scd_workloads.Workload.Fpga
+    | s -> Error (`Msg (Printf.sprintf "unknown scale %S" s))
+  in
+  Arg.conv (parse, fun fmt s ->
+      Format.pp_print_string fmt (Scd_workloads.Workload.scale_name s))
+
+(* ------------------------------------------------------------------ *)
+(* run                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let print_result scheme (r : Scd_cosim.Driver.result) ~show_output =
+  let s = r.stats in
+  let open Scd_uarch.Stats in
+  Printf.printf "scheme            %s\n" (Scd_core.Scheme.name scheme);
+  Printf.printf "bytecodes         %d\n" r.bytecodes;
+  Printf.printf "instructions      %d\n" s.instructions;
+  Printf.printf "cycles            %d\n" s.cycles;
+  Printf.printf "CPI               %.3f\n" (cpi s);
+  Printf.printf "dispatch fraction %.1f%%\n" (100.0 *. dispatch_fraction s);
+  Printf.printf "branch MPKI       %.2f (dispatch %.2f)\n" (branch_mpki s)
+    (dispatch_mpki s);
+  Printf.printf "I-cache MPKI      %.2f\n" (icache_mpki s);
+  Printf.printf "D-cache MPKI      %.2f\n" (dcache_mpki s);
+  Printf.printf "bop hit rate      %.3f (%d stall cycles)\n" (bop_hit_rate s)
+    s.bop_stall_cycles;
+  Printf.printf "code footprint    %d bytes\n" r.code_bytes;
+  if show_output then (
+    print_endline "--- script output ---";
+    print_string r.output)
+
+let run_cmd =
+  let workload =
+    Arg.(value & opt (some string) None
+         & info [ "w"; "workload" ] ~docv:"NAME" ~doc:"Named benchmark workload.")
+  in
+  let file =
+    Arg.(value & opt (some non_dir_file) None
+         & info [ "f"; "file" ] ~docv:"FILE" ~doc:"Mina script file.")
+  in
+  let vm =
+    Arg.(value & opt vm_conv Scd_cosim.Driver.Lua
+         & info [ "vm" ] ~docv:"VM" ~doc:"Interpreter: lua (register) or js (stack).")
+  in
+  let scheme =
+    Arg.(value & opt scheme_conv Scd_core.Scheme.Scd
+         & info [ "s"; "scheme" ] ~docv:"SCHEME"
+             ~doc:"Dispatch scheme: baseline, jump-threading, vbbi, scd.")
+  in
+  let machine =
+    Arg.(value & opt machine_conv Scd_uarch.Config.simulator
+         & info [ "m"; "machine" ] ~docv:"MACHINE" ~doc:"sim, fpga or high-end.")
+  in
+  let scale =
+    Arg.(value & opt scale_conv Scd_workloads.Workload.Sim
+         & info [ "scale" ] ~docv:"SCALE" ~doc:"test, small, sim or fpga inputs.")
+  in
+  let show_output =
+    Arg.(value & flag & info [ "output" ] ~doc:"Print the script's output.")
+  in
+  let btb_entries =
+    Arg.(value & opt (some int) None
+         & info [ "btb" ] ~docv:"N" ~doc:"Override the BTB entry count.")
+  in
+  let jte_cap =
+    Arg.(value & opt (some int) None
+         & info [ "jte-cap" ] ~docv:"N" ~doc:"Cap the number of resident JTEs.")
+  in
+  let multi_table =
+    Arg.(value & flag
+         & info [ "multi-table" ]
+             ~doc:"Give each dispatch site its own jump table (Section IV).")
+  in
+  let superinstructions =
+    Arg.(value & flag
+         & info [ "super" ]
+             ~doc:"Fuse compare+branch bytecode pairs (register VM only).")
+  in
+  let action workload file vm scheme machine scale show_output btb_entries
+      jte_cap multi_table superinstructions =
+    let source =
+      match (workload, file) with
+      | Some name, None -> (
+        match Scd_workloads.Registry.find name with
+        | Some w -> Ok (Scd_workloads.Workload.source w scale)
+        | None ->
+          Error
+            (Printf.sprintf "unknown workload %S; try: %s" name
+               (String.concat ", " Scd_workloads.Registry.names)))
+      | None, Some path ->
+        let ic = open_in_bin path in
+        let n = in_channel_length ic in
+        let s = really_input_string ic n in
+        close_in ic;
+        Ok s
+      | _ -> Error "pass exactly one of --workload or --file"
+    in
+    match source with
+    | Error m -> `Error (false, m)
+    | Ok source ->
+      let machine =
+        match btb_entries with
+        | Some n -> Scd_uarch.Config.with_btb_entries machine n
+        | None -> machine
+      in
+      let machine =
+        match jte_cap with
+        | Some c -> Scd_uarch.Config.with_jte_cap machine (Some c)
+        | None -> machine
+      in
+      let config =
+        { Scd_cosim.Driver.default_config with
+          vm; scheme; machine; multi_table; superinstructions }
+      in
+      (try
+         let r = Scd_cosim.Driver.run config ~source in
+         print_result scheme r ~show_output;
+         `Ok ()
+       with
+       | Scd_runtime.Value.Runtime_error m -> `Error (false, "runtime error: " ^ m)
+       | Scd_rvm.Compiler.Error m | Scd_svm.Compiler.Error m ->
+         `Error (false, "compile error: " ^ m))
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Co-simulate a script on the modelled embedded core")
+    Term.(ret (const action $ workload $ file $ vm $ scheme $ machine $ scale
+               $ show_output $ btb_entries $ jte_cap $ multi_table
+               $ superinstructions))
+
+(* ------------------------------------------------------------------ *)
+(* exp                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let exp_cmd =
+  let id =
+    Arg.(value & pos 0 string "all"
+         & info [] ~docv:"ID"
+             ~doc:"Experiment id (fig2..fig11d, tab4, tab5, highend, abl-*) or 'all'.")
+  in
+  let quick =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Use test-scale inputs (fast smoke).")
+  in
+  let csv = Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of tables.") in
+  let action id quick csv =
+    let render (e : Scd_experiments.Experiment.t) =
+      let tables = e.run ~quick in
+      List.iter
+        (fun t ->
+          if csv then print_string (Scd_util.Table.to_csv t)
+          else print_string (Scd_util.Table.render t);
+          print_newline ())
+        tables
+    in
+    if id = "all" then begin
+      List.iter render Scd_experiments.Registry.all;
+      `Ok ()
+    end
+    else
+      match Scd_experiments.Registry.find id with
+      | Some e -> render e; `Ok ()
+      | None ->
+        `Error
+          (false,
+           Printf.sprintf "unknown experiment %S; try: %s" id
+             (String.concat ", " Scd_experiments.Registry.ids))
+  in
+  Cmd.v
+    (Cmd.info "exp" ~doc:"Regenerate a paper figure or table")
+    Term.(ret (const action $ id $ quick $ csv))
+
+(* ------------------------------------------------------------------ *)
+(* list                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let list_cmd =
+  let action () =
+    print_endline "workloads:";
+    List.iter
+      (fun (w : Scd_workloads.Workload.t) ->
+        Printf.printf "  %-16s %s\n" w.name w.description)
+      Scd_workloads.Registry.all;
+    print_endline "experiments:";
+    List.iter
+      (fun (e : Scd_experiments.Experiment.t) ->
+        Printf.printf "  %-8s %-14s %s\n" e.id e.paper e.title)
+      Scd_experiments.Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List workloads and experiments")
+    Term.(const action $ const ())
+
+(* ------------------------------------------------------------------ *)
+(* dispatch: the paper's Figure 1(b) vs Figure 4 as ERV32 listings     *)
+(* ------------------------------------------------------------------ *)
+
+let baseline_loop =
+  {|# Canonical dispatch loop (paper Figure 1(b), Alpha -> ERV32).
+  li    r3, 0x4000        # VM pc
+  li    r4, 63            # opcode mask
+main_loop:
+  ldw   r9, 0(r3)         # fetch bytecode
+  addi  r3, r3, 4         # bump virtual PC
+  and   r2, r9, r4        # decode
+  li    r1, 3
+  bgeu  r2, r1, default   # bound check
+  li    r7, 0x5000        # jump table base
+  slli  r5, r2, 2
+  add   r7, r7, r5        # target address calculation
+  ldw   r6, 0(r7)         # jump table load
+  jalr  r0, 0(r6)         # hard-to-predict indirect dispatch
+handlers:
+  halt
+default:
+  halt
+|}
+
+let scd_loop =
+  {|# SCD dispatch loop (paper Figure 4): modified lines marked [SCD].
+  li    r3, 0x4000
+  li    r4, 63
+  setmask r4              # [SCD] Rmask <- 63, once at startup
+  jte.flush               # [SCD] start with no jump-table entries
+main_loop:
+  ldw.op r9, 0(r3)        # [SCD] fetch; Rop <- value & Rmask
+  addi  r3, r3, 4
+  bop                     # [SCD] fast path: JTE hit jumps to the handler
+  and   r2, r9, r4        # slow path only: decode
+  li    r1, 3
+  bgeu  r2, r1, default   # slow path only: bound check
+  li    r7, 0x5000
+  slli  r5, r2, 2
+  add   r7, r7, r5        # slow path only: target calculation
+  ldw   r6, 0(r7)
+  jru   r0, 0(r6)         # [SCD] dispatch + install the missing JTE
+handlers:
+  halt
+default:
+  halt
+|}
+
+let dispatch_cmd =
+  let action () =
+    List.iter
+      (fun (title, source) ->
+        print_endline title;
+        print_string (Scd_isa.Disasm.dump_program (Scd_isa.Asm.assemble_exn source));
+        print_newline ())
+      [ ("=== baseline dispatch (Figure 1(b)) ===", baseline_loop);
+        ("=== short-circuit dispatch (Figure 4) ===", scd_loop) ]
+  in
+  Cmd.v
+    (Cmd.info "dispatch"
+       ~doc:"Show the baseline and SCD dispatch loops as ERV32 listings")
+    Term.(const action $ const ())
+
+(* ------------------------------------------------------------------ *)
+(* assemble: source -> binary hex image                                *)
+(* ------------------------------------------------------------------ *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let assemble_cmd =
+  let file =
+    Arg.(required & pos 0 (some non_dir_file) None
+         & info [] ~docv:"FILE" ~doc:"ERV32 assembly source.")
+  in
+  let output =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"OUT" ~doc:"Hex image file (default stdout).")
+  in
+  let action path output =
+    match Scd_isa.Asm.assemble (read_file path) with
+    | Error { line; message } ->
+      `Error (false, Printf.sprintf "line %d: %s" line message)
+    | Ok program ->
+      let hex = Scd_isa.Image.to_hex (Scd_isa.Image.of_program program) in
+      (match output with
+       | None -> print_string hex
+       | Some out ->
+         let oc = open_out out in
+         output_string oc hex;
+         close_out oc;
+         Printf.printf "wrote %d words to %s\n" (Array.length program.instrs) out);
+      `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "assemble" ~doc:"Assemble ERV32 source into a binary hex image")
+    Term.(ret (const action $ file $ output))
+
+(* ------------------------------------------------------------------ *)
+(* exec: ERV32 assembly on the functional executor                     *)
+(* ------------------------------------------------------------------ *)
+
+let exec_cmd =
+  let file =
+    Arg.(required & pos 0 (some non_dir_file) None
+         & info [] ~docv:"FILE" ~doc:"ERV32 assembly file.")
+  in
+  let disassemble =
+    Arg.(value & flag & info [ "disasm" ] ~doc:"Print the assembled program.")
+  in
+  let action path disassemble =
+    let source = read_file path in
+    let assembled =
+      if Filename.check_suffix path ".hex" then
+        match Scd_isa.Image.of_hex source with
+        | Error m -> Error m
+        | Ok image -> Scd_isa.Image.to_program image
+      else
+        match Scd_isa.Asm.assemble source with
+        | Error { line; message } ->
+          Error (Printf.sprintf "line %d: %s" line message)
+        | Ok p -> Ok p
+    in
+    match assembled with
+    | Error m -> `Error (false, m)
+    | Ok program ->
+      if disassemble then print_string (Scd_isa.Disasm.dump_program program);
+      let machine = Scd_isa.Exec.create program in
+      (match Scd_isa.Exec.run machine with
+       | Halted ->
+         Printf.printf "halted after %d instructions\n"
+           (Scd_isa.Exec.instructions_retired machine);
+         Printf.printf "r1=%d r2=%d r10=%d\n" (Scd_isa.Exec.reg machine 1)
+           (Scd_isa.Exec.reg machine 2) (Scd_isa.Exec.reg machine 10);
+         `Ok ()
+       | Step_limit -> `Error (false, "step limit exceeded")
+       | Decode_fault { pc } -> `Error (false, Printf.sprintf "fetch fault at 0x%x" pc))
+  in
+  Cmd.v
+    (Cmd.info "exec" ~doc:"Assemble and run an ERV32 program (functional model)")
+    Term.(ret (const action $ file $ disassemble))
+
+let () =
+  let doc = "Short-Circuit Dispatch (ISCA 2016) reproduction toolkit" in
+  let info = Cmd.info "scdsim" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ run_cmd; exp_cmd; list_cmd; dispatch_cmd; assemble_cmd; exec_cmd ]))

@@ -1,0 +1,1 @@
+examples/bare_metal.ml: List Printf Scd_core Scd_isa Scd_uarch

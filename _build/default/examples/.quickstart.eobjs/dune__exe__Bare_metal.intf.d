@@ -1,0 +1,1 @@
+examples/bare_metal.mli:

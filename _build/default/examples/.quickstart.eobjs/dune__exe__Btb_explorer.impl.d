@@ -1,0 +1,1 @@
+examples/btb_explorer.ml: List Printf Scd_core Scd_cosim Scd_uarch Scd_util Scd_workloads Summary Sys Table

@@ -1,0 +1,1 @@
+examples/btb_explorer.mli:

@@ -1,0 +1,1 @@
+examples/dispatch_comparison.ml: List Printf Scd_core Scd_cosim Scd_uarch Scd_util Scd_workloads String Summary Sys Table

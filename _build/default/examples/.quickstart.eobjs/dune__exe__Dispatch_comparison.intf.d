@@ -1,0 +1,1 @@
+examples/dispatch_comparison.mli:

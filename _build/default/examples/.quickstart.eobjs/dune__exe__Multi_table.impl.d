@@ -1,0 +1,1 @@
+examples/multi_table.ml: Fun List Printf Scd_core Scd_uarch

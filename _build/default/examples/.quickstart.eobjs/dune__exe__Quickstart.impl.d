@@ -1,0 +1,1 @@
+examples/quickstart.ml: Printf Scd_core Scd_cosim Scd_rvm Scd_util

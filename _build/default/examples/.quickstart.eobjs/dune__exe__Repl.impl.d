@@ -1,0 +1,1 @@
+examples/repl.ml: Buffer Printf Scd_lang Scd_runtime Scd_rvm String

@@ -1,0 +1,75 @@
+(* Explore how SCD's benefit depends on BTB capacity and on capping the
+   number of resident jump-table entries — an interactive slice of the
+   paper's Figure 11 sensitivity study.
+
+     dune exec examples/btb_explorer.exe [--workload NAME] *)
+
+open Scd_util
+
+let () =
+  let workload_name =
+    match Sys.argv with
+    | [| _; "--workload"; name |] -> name
+    | _ -> "n-sieve"
+  in
+  let w =
+    match Scd_workloads.Registry.find workload_name with
+    | Some w -> w
+    | None ->
+      Printf.eprintf "unknown workload %s\n" workload_name;
+      exit 1
+  in
+  let source = Scd_workloads.Workload.source w Small in
+  let run machine scheme =
+    Scd_cosim.Driver.run
+      { Scd_cosim.Driver.default_config with scheme; machine }
+      ~source
+  in
+
+  let size_table =
+    Table.make
+      ~title:(Printf.sprintf "%s: SCD vs BTB size (Lua VM)" w.name)
+      ~headers:
+        [ "btb entries"; "baseline cycles"; "scd cycles"; "speedup";
+          "jte population"; "branch inserts blocked" ]
+  in
+  List.iter
+    (fun entries ->
+      let machine = Scd_uarch.Config.with_btb_entries Scd_uarch.Config.simulator entries in
+      let baseline = run machine Scd_core.Scheme.Baseline in
+      let scd = run machine Scd_core.Scheme.Scd in
+      Table.add_row size_table
+        [ string_of_int entries;
+          string_of_int baseline.stats.cycles;
+          string_of_int scd.stats.cycles;
+          Table.cell_percent
+            (Summary.speedup_percent
+               ~baseline:(float_of_int baseline.stats.cycles)
+               ~cycles:(float_of_int scd.stats.cycles));
+          string_of_int scd.btb.jte_inserts;
+          string_of_int scd.btb.branch_insert_blocked_by_jte ])
+    [ 32; 64; 128; 256; 512 ];
+  print_string (Table.render size_table);
+  print_newline ();
+
+  let cap_table =
+    Table.make
+      ~title:(Printf.sprintf "%s: JTE cap at a 64-entry BTB (Lua VM)" w.name)
+      ~headers:[ "jte cap"; "scd cycles"; "speedup vs uncapped"; "cap replacements" ]
+  in
+  let small = Scd_uarch.Config.with_btb_entries Scd_uarch.Config.simulator 64 in
+  let uncapped = run small Scd_core.Scheme.Scd in
+  List.iter
+    (fun cap ->
+      let machine = Scd_uarch.Config.with_jte_cap small cap in
+      let r = run machine Scd_core.Scheme.Scd in
+      Table.add_row cap_table
+        [ (match cap with None -> "inf" | Some c -> string_of_int c);
+          string_of_int r.stats.cycles;
+          Table.cell_percent
+            (Summary.speedup_percent
+               ~baseline:(float_of_int uncapped.stats.cycles)
+               ~cycles:(float_of_int r.stats.cycles));
+          string_of_int r.btb.jte_cap_replacements ])
+    [ Some 4; Some 8; Some 16; Some 32; None ];
+  print_string (Table.render cap_table)

@@ -1,0 +1,59 @@
+(* Compare all four dispatch schemes (baseline switch, jump threading, VBBI,
+   SCD) on one benchmark workload, on both interpreters — a one-workload
+   slice of the paper's Figure 7/8/9/10.
+
+     dune exec examples/dispatch_comparison.exe [--workload NAME] *)
+
+open Scd_util
+
+let () =
+  let workload_name =
+    match Sys.argv with
+    | [| _; "--workload"; name |] -> name
+    | _ -> "n-body"
+  in
+  let w =
+    match Scd_workloads.Registry.find workload_name with
+    | Some w -> w
+    | None ->
+      Printf.eprintf "unknown workload %s; available: %s\n" workload_name
+        (String.concat ", " Scd_workloads.Registry.names);
+      exit 1
+  in
+  let source = Scd_workloads.Workload.source w Small in
+  List.iter
+    (fun vm ->
+      let table =
+        Table.make
+          ~title:
+            (Printf.sprintf "%s on the %s interpreter (small inputs)" w.name
+               (Scd_cosim.Driver.vm_name vm))
+          ~headers:
+            [ "scheme"; "instructions"; "cycles"; "CPI"; "branch MPKI";
+              "icache MPKI"; "speedup" ]
+      in
+      let baseline_cycles = ref 0 in
+      List.iter
+        (fun scheme ->
+          let r =
+            Scd_cosim.Driver.run
+              { Scd_cosim.Driver.default_config with vm; scheme }
+              ~source
+          in
+          if scheme = Scd_core.Scheme.Baseline then
+            baseline_cycles := Scd_cosim.Driver.cycles r;
+          Table.add_row table
+            [ Scd_core.Scheme.name scheme;
+              string_of_int r.stats.instructions;
+              string_of_int r.stats.cycles;
+              Printf.sprintf "%.3f" (Scd_uarch.Stats.cpi r.stats);
+              Table.cell_float (Scd_uarch.Stats.branch_mpki r.stats);
+              Table.cell_float (Scd_uarch.Stats.icache_mpki r.stats);
+              Table.cell_percent
+                (Summary.speedup_percent
+                   ~baseline:(float_of_int !baseline_cycles)
+                   ~cycles:(float_of_int r.stats.cycles)) ])
+        Scd_core.Scheme.all;
+      print_string (Table.render table);
+      print_newline ())
+    [ Scd_cosim.Driver.Lua; Scd_cosim.Driver.Js ]

@@ -1,0 +1,43 @@
+(* Quickstart: compile a Mina script, run it on the register VM, then
+   co-simulate it on the modelled embedded core with and without
+   Short-Circuit Dispatch.
+
+     dune exec examples/quickstart.exe *)
+
+let script =
+  {|
+function fib(n)
+  if n < 2 then return n end
+  return fib(n - 1) + fib(n - 2)
+end
+print("fib(15) = " .. fib(15))
+|}
+
+let () =
+  (* 1. Plain execution: the VM is a complete interpreter on its own. *)
+  print_endline "script output:";
+  print_string (Scd_rvm.Vm.run_string script);
+
+  (* 2. Co-simulation: the same script driving the cycle-level model. *)
+  let run scheme =
+    Scd_cosim.Driver.run
+      { Scd_cosim.Driver.default_config with scheme }
+      ~source:script
+  in
+  let baseline = run Scd_core.Scheme.Baseline in
+  let scd = run Scd_core.Scheme.Scd in
+  let cycles r = Scd_cosim.Driver.cycles r in
+  Printf.printf "\nbaseline : %8d instructions, %8d cycles\n"
+    (Scd_cosim.Driver.instructions baseline) (cycles baseline);
+  Printf.printf "SCD      : %8d instructions, %8d cycles\n"
+    (Scd_cosim.Driver.instructions scd) (cycles scd);
+  Printf.printf "SCD speedup: %.1f%%\n"
+    (Scd_util.Summary.speedup_percent
+       ~baseline:(float_of_int (cycles baseline))
+       ~cycles:(float_of_int (cycles scd)));
+  match scd.engine with
+  | Some e ->
+    Printf.printf "bop: %d lookups, %d hits (%.1f%% fast-path dispatches)\n"
+      e.bop_lookups e.bop_hits
+      (100.0 *. float_of_int e.bop_hits /. float_of_int (max 1 e.bop_lookups))
+  | None -> ()

@@ -1,0 +1,67 @@
+(* A tiny Mina REPL on the register VM — the "quick prototyping" use the
+   paper's introduction motivates for scripting languages on embedded
+   boards. Each line is compiled and executed in a persistent global
+   environment; expressions are wrapped in print(...) automatically.
+
+     dune exec examples/repl.exe
+     > x = 6 * 7
+     > x + 1
+     43
+     > function square(n) return n * n end
+     > square(12)
+     144
+     > :quit *)
+
+let is_expression source =
+  (* heuristic: a line that parses as an expression gets its value printed,
+     except direct print/write calls, which already produce output *)
+  match Scd_lang.Parser.parse_expr source with
+  | Scd_lang.Ast.Call (Scd_lang.Ast.Var ("print" | "write"), _) -> false
+  | _ -> true
+  | exception _ -> false
+
+let () =
+  print_endline "Mina REPL (register VM). :quit to exit.";
+  (* one persistent context: globals survive across lines because each
+     snippet re-binds through the global table of a shared VM *)
+  let ctx = Scd_runtime.Builtins.create_ctx () in
+  let accumulated = Buffer.create 256 in
+  (* output produced by replaying the accumulated prefix, to suppress *)
+  let prefix_output_len = ref 0 in
+  let rec loop () =
+    print_string "> ";
+    match read_line () with
+    | exception End_of_file -> ()
+    | ":quit" | ":q" -> ()
+    | line when String.trim line = "" -> loop ()
+    | line ->
+      let snippet =
+        if is_expression line then Printf.sprintf "print(%s)" line else line
+      in
+      (* Mina has no incremental compilation: replay the accumulated
+         program plus the new line, but only show fresh output. *)
+      let program = Buffer.contents accumulated ^ "\n" ^ snippet in
+      (match Scd_rvm.Compiler.compile_string program with
+       | exception Scd_rvm.Compiler.Error m -> Printf.printf "compile error: %s\n" m
+       | exception Scd_lang.Parser.Error { line; message } ->
+         Printf.printf "parse error (line %d): %s\n" line message
+       | exception Scd_lang.Lexer.Error { line; message } ->
+         Printf.printf "lex error (line %d): %s\n" line message
+       | compiled ->
+         Scd_runtime.Builtins.reset_output ctx;
+         (match Scd_rvm.Vm.run (Scd_rvm.Vm.create ~ctx compiled) with
+          | exception Scd_runtime.Value.Runtime_error m ->
+            Printf.printf "runtime error: %s\n" m
+          | () ->
+            let out = Scd_runtime.Builtins.output ctx in
+            let fresh_from = min !prefix_output_len (String.length out) in
+            print_string (String.sub out fresh_from (String.length out - fresh_from));
+            (* statements (not expressions) become part of the program *)
+            if not (is_expression line) then begin
+              Buffer.add_char accumulated '\n';
+              Buffer.add_string accumulated line;
+              prefix_output_len := String.length out
+            end));
+      loop ()
+  in
+  loop ()

@@ -1,0 +1,1 @@
+lib/codegen/layout.ml: Array Builtins Hashtbl List Printf Scd_core Scd_runtime Spec Trace

@@ -1,0 +1,1 @@
+lib/codegen/layout.mli: Scd_core Scd_runtime Spec

@@ -1,0 +1,1 @@
+lib/codegen/spec.ml: Array Scd_rvm Scd_svm

@@ -1,0 +1,73 @@
+(** Memory layout of the simulated interpreter process.
+
+    One [t] is built per (VM profile, dispatch scheme, compiled program). It
+    fixes native-code addresses for the dispatcher site blocks, every
+    bytecode handler, runtime helper blobs and builtin library routines, and
+    data addresses for the jump table, VM state, value stack, bytecode and
+    constant areas, globals, heap and string space. The co-simulator reads
+    all program counters and data addresses from here, so I-cache pressure
+    (including jump-threading code bloat) follows directly from the layout.
+
+    Dispatch sites: the register VM has one (the common dispatcher); the
+    stack VM has three, mirroring SpiderMonkey's replicated fetch sites
+    (common, call-tail, branch-tail). Under jump threading every handler
+    tail carries its own dispatcher replica instead. *)
+
+type site = Common_site | Call_site | Branch_site
+
+type t
+
+val build :
+  spec:Spec.t ->
+  scheme:Scd_core.Scheme.t ->
+  fn_code_sizes:int array ->
+  (* bytecode bytes per function *)
+  fn_const_counts:int array ->
+  t
+
+val spec : t -> Spec.t
+val scheme : t -> Scd_core.Scheme.t
+
+(* --- native code addresses --- *)
+
+val site_base : t -> site -> int
+(** Base PC of a dispatch-site block (valid sites only; the register VM has
+    just [Common_site]). *)
+
+val site_of_opcode : t -> int -> site
+(** Which site dispatches *after* this opcode's handler (non-jump-threaded
+    schemes). *)
+
+val hot_stride : int
+(** Byte distance between consecutive *executed* instructions inside handler
+    and helper bodies: compiled handlers interleave hot code with cold
+    error/slow paths, so their I-cache footprint per executed instruction
+    exceeds 4 bytes. Dispatcher code is compact (4-byte stride). *)
+
+val handler_entry : t -> int -> int
+(** Native entry PC of an opcode's handler — the jump-table/JTE target. *)
+
+val handler_call_site : t -> int -> int
+(** PC of the handler's helper-call instruction (after the strided body). *)
+
+val handler_tail : t -> int -> int
+(** PC of the first tail instruction (back-jump or dispatcher replica). *)
+
+val default_handler : t -> int
+(** Target of the bound-check branch (the [error()] arm). *)
+
+val blob_entry : t -> int -> int
+(** Entry PC of a VM helper blob by blob id (builtin blobs use id
+    [1000 + builtin]). *)
+
+val code_bytes : t -> int
+(** Total interpreter code footprint, for the bloat comparison. *)
+
+(* --- data addresses --- *)
+
+val jump_table_entry : t -> int -> int
+val vm_state_addr : t -> int
+val stack_slot_addr : t -> int -> int
+val bytecode_addr : t -> fn:int -> pc:int -> int
+val access_addr : t -> Scd_runtime.Trace.access -> int * bool
+(** Simulated address and write flag for a trace access. *)

@@ -1,0 +1,1 @@
+lib/core/engine.ml: Printf Scd_isa Scd_uarch

@@ -1,0 +1,1 @@
+lib/core/engine.mli: Scd_isa Scd_uarch

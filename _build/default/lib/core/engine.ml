@@ -1,0 +1,102 @@
+type stats = {
+  mutable bop_lookups : int;
+  mutable bop_hits : int;
+  mutable jru_inserts : int;
+  mutable flushes : int;
+  mutable context_switch_flushes : int;
+}
+
+type t = {
+  btb : Scd_uarch.Btb.t;
+  tables : int;
+  context_switch_interval : int option;
+  mutable retired_since_switch : int;
+  stats : stats;
+}
+
+(* Opcode keys are mapped into the BTB's word-aligned key domain, with the
+   branch ID (jump-table index) in the bits above the opcode. Interpreter
+   opcode spaces are at most a few hundred entries (Lua 47, SpiderMonkey
+   229), so 10 bits of opcode is ample. *)
+let opcode_bits = 10
+
+let key ~table ~opcode = ((table lsl opcode_bits) lor opcode) lsl 2
+
+let create ?(tables = 1) ?context_switch_interval btb =
+  if tables < 1 || tables > 16 then
+    invalid_arg "Engine.create: tables must be in [1, 16]";
+  (match context_switch_interval with
+   | Some n when n <= 0 ->
+     invalid_arg "Engine.create: context_switch_interval must be positive"
+   | _ -> ());
+  {
+    btb;
+    tables;
+    context_switch_interval;
+    retired_since_switch = 0;
+    stats =
+      {
+        bop_lookups = 0;
+        bop_hits = 0;
+        jru_inserts = 0;
+        flushes = 0;
+        context_switch_flushes = 0;
+      };
+  }
+
+let check_table t table =
+  if table < 0 || table >= t.tables then
+    invalid_arg (Printf.sprintf "Engine: branch ID %d out of range" table)
+
+let check_opcode opcode =
+  if opcode < 0 || opcode >= 1 lsl opcode_bits then
+    invalid_arg (Printf.sprintf "Engine: opcode %d out of range" opcode)
+
+type outcome = Hit of int | Miss
+
+let bop ?(table = 0) t ~opcode =
+  check_table t table;
+  check_opcode opcode;
+  t.stats.bop_lookups <- t.stats.bop_lookups + 1;
+  match Scd_uarch.Btb.lookup t.btb ~jte:true ~key:(key ~table ~opcode) with
+  | Some target ->
+    t.stats.bop_hits <- t.stats.bop_hits + 1;
+    Hit target
+  | None -> Miss
+
+let jru ?(table = 0) t ~opcode ~target =
+  check_table t table;
+  match opcode with
+  | None -> () (* Rop invalid: jru behaves as a plain indirect jump *)
+  | Some opcode ->
+    check_opcode opcode;
+    t.stats.jru_inserts <- t.stats.jru_inserts + 1;
+    Scd_uarch.Btb.insert t.btb ~jte:true ~key:(key ~table ~opcode) ~target
+
+let jte_flush t =
+  t.stats.flushes <- t.stats.flushes + 1;
+  Scd_uarch.Btb.flush_jtes t.btb
+
+let retire t n =
+  match t.context_switch_interval with
+  | None -> ()
+  | Some interval ->
+    t.retired_since_switch <- t.retired_since_switch + n;
+    if t.retired_since_switch >= interval then begin
+      t.retired_since_switch <- t.retired_since_switch mod interval;
+      t.stats.context_switch_flushes <- t.stats.context_switch_flushes + 1;
+      jte_flush t
+    end
+
+let jte_population t = Scd_uarch.Btb.jte_population t.btb
+let stats t = t.stats
+let btb t = t.btb
+
+let exec_backend ?(table = 0) t : Scd_isa.Exec.scd_backend =
+  {
+    bop_lookup =
+      (fun ~opcode ->
+        match bop ~table t ~opcode with Hit target -> Some target | Miss -> None);
+    jru_insert = (fun ~opcode ~target -> jru ~table t ~opcode:(Some opcode) ~target);
+    jte_flush = (fun () -> jte_flush t);
+  }

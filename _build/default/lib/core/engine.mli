@@ -1,0 +1,61 @@
+(** The Short-Circuit Dispatch engine — the paper's primary contribution.
+
+    The engine owns the architecturally-visible jump-table view of a shared
+    {!Scd_uarch.Btb}: [bop] looks up a jump-table entry (JTE) keyed by an
+    opcode, [jru] inserts one, [jte_flush] invalidates them all. Because the
+    BTB is shared with the {!Scd_uarch.Pipeline} timing model, JTEs and
+    ordinary branch-target entries contend for the same physical ways, with
+    JTE replacement priority — the contention the paper analyses in
+    Sections IV and VI-C.
+
+    Unlike a predictor, JTE contents are architecturally visible: a [bop]
+    hit *redirects execution*. Trace generators must therefore consult
+    {!bop} while producing the instruction stream (fast path on a hit, slow
+    path on a miss) — the outcome cannot be bolted on afterwards.
+
+    Multiple jump tables (Section IV) are supported through branch IDs: each
+    table's opcodes live in a disjoint key range, mirroring the paper's
+    replicated (Rop, Rmask, Rbop-pc) register sets.
+
+    An optional context-switch model flushes all JTEs every [n] retired
+    instructions, emulating the paper's preferred OS policy of executing
+    [jte_flush] on every context switch. *)
+
+type t
+
+type stats = {
+  mutable bop_lookups : int;
+  mutable bop_hits : int;
+  mutable jru_inserts : int;
+  mutable flushes : int;
+  mutable context_switch_flushes : int;
+}
+
+val create :
+  ?tables:int -> ?context_switch_interval:int -> Scd_uarch.Btb.t -> t
+(** [tables] is the number of simultaneously-tracked jump tables (default 1,
+    max 16). [context_switch_interval], when given, flushes JTEs every that
+    many retired instructions (see {!retire}). *)
+
+type outcome = Hit of int | Miss
+
+val bop : ?table:int -> t -> opcode:int -> outcome
+(** Architectural [bop] lookup for [opcode] in [table] (default 0). *)
+
+val jru : ?table:int -> t -> opcode:int option -> target:int -> unit
+(** Architectural [jru]: insert a JTE when [opcode] is [Some] (i.e. Rop was
+    valid), honouring JTE priority and the BTB's JTE cap. *)
+
+val jte_flush : t -> unit
+
+val retire : t -> int -> unit
+(** Advance the retired-instruction counter by [n]; triggers context-switch
+    flushes when an interval was configured. *)
+
+val jte_population : t -> int
+val stats : t -> stats
+val btb : t -> Scd_uarch.Btb.t
+
+val exec_backend : ?table:int -> t -> Scd_isa.Exec.scd_backend
+(** Adapt the engine as the SCD backend of the ERV32 functional executor, so
+    that execution-driven runs share the same finite BTB overlay. *)

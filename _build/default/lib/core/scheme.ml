@@ -1,0 +1,32 @@
+(** Dispatch schemes compared throughout the paper's evaluation. *)
+
+type t =
+  | Baseline  (** Canonical switch dispatch (Figure 1(a)/(b)). *)
+  | Jump_threading
+      (** Software technique: the dispatcher is replicated at the tail of
+          every handler so each replica's indirect jump trains its own BTB
+          entry (Figure 1(c)). *)
+  | Vbbi
+      (** Hardware comparison point: baseline code with the Value-Based BTB
+          Indexing indirect predictor. *)
+  | Scd  (** The paper's contribution (Figure 4). *)
+
+let all = [ Baseline; Jump_threading; Vbbi; Scd ]
+
+let name = function
+  | Baseline -> "baseline"
+  | Jump_threading -> "jump-threading"
+  | Vbbi -> "vbbi"
+  | Scd -> "scd"
+
+let of_string = function
+  | "baseline" -> Some Baseline
+  | "jump-threading" | "jt" -> Some Jump_threading
+  | "vbbi" -> Some Vbbi
+  | "scd" -> Some Scd
+  | _ -> None
+
+(** The indirect predictor each scheme uses. *)
+let indirect_scheme = function
+  | Vbbi -> Scd_uarch.Indirect.Vbbi
+  | Baseline | Jump_threading | Scd -> Scd_uarch.Indirect.Pc_btb

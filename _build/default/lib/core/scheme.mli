@@ -1,0 +1,23 @@
+(** Dispatch schemes compared throughout the paper's evaluation:
+
+    - [Baseline]: the canonical switch dispatch of Figure 1(a)/(b);
+    - [Jump_threading]: the software technique of Figure 1(c) — the
+      dispatcher replicated at every handler tail so each replica's indirect
+      jump trains its own BTB entry, at the price of code bloat;
+    - [Vbbi]: baseline code under the Value-Based BTB Indexing predictor
+      (Farooq et al., HPCA 2010), the hardware state of the art the paper
+      compares against;
+    - [Scd]: Short-Circuit Dispatch, the paper's contribution (Figure 4). *)
+
+type t = Baseline | Jump_threading | Vbbi | Scd
+
+val all : t list
+(** In the paper's presentation order. *)
+
+val name : t -> string
+val of_string : string -> t option
+(** Accepts the canonical names plus the [jt] shorthand. *)
+
+val indirect_scheme : t -> Scd_uarch.Indirect.scheme
+(** The indirect predictor each scheme pairs with (VBBI's hash-indexed BTB;
+    the plain PC-indexed BTB otherwise). *)

@@ -1,0 +1,1 @@
+lib/cosim/driver.ml: Array Btb Builtins Config Event Indirect Layout List Pipeline Scd_codegen Scd_core Scd_isa Scd_runtime Scd_rvm Scd_svm Scd_uarch Spec Stats Trace

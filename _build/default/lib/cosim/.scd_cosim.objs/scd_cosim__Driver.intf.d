@@ -1,0 +1,1 @@
+lib/cosim/driver.mli: Scd_core Scd_uarch

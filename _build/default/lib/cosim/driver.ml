@@ -1,0 +1,414 @@
+open Scd_isa
+open Scd_uarch
+open Scd_codegen
+open Scd_runtime
+
+type vm_choice = Lua | Js
+
+let vm_name = function Lua -> "lua" | Js -> "js"
+
+type run_config = {
+  vm : vm_choice;
+  scheme : Scd_core.Scheme.t;
+  machine : Config.t;
+  context_switch_interval : int option;
+  multi_table : bool;
+  indirect_override : Indirect.scheme option;
+  superinstructions : bool;
+  bytecode_replication : bool;
+  seed : int64;
+}
+
+let default_config =
+  {
+    vm = Lua;
+    scheme = Scd_core.Scheme.Baseline;
+    machine = Config.simulator;
+    context_switch_interval = None;
+    multi_table = false;
+    indirect_override = None;
+    superinstructions = false;
+    bytecode_replication = false;
+    seed = 0x5EED_2016L;
+  }
+
+type result = {
+  stats : Stats.t;
+  btb : Btb.stats;
+  engine : Scd_core.Engine.stats option;
+  bytecodes : int;
+  output : string;
+  code_bytes : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Event expansion                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type expander = {
+  layout : Layout.t;
+  spec : Spec.t;
+  scheme : Scd_core.Scheme.t;
+  pipeline : Pipeline.t;
+  engine : Scd_core.Engine.t;
+  stride : int;  (* bytes per bytecode pc unit: 4 for the register VM, 1 for the stack VM *)
+  cs_interval : int option;
+  multi_table : bool;
+      (* Section IV: one (Rop, Rmask, Rbop-pc) set per dispatch site, each
+         with its own branch-ID-tagged jump table. *)
+  mutable prev_opcode : int;  (* -1 before the first dispatch *)
+  last_bop_pcs : int array;  (* Rbop-pc, per branch ID *)
+  mutable bytecodes : int;
+  mutable retired_since_cs : int;
+}
+
+let table_of_site = function
+  | Layout.Common_site -> 0
+  | Layout.Call_site -> 1
+  | Layout.Branch_site -> 2
+
+(* Instructions separating the .op producer from bop in the emitted
+   dispatcher; decides Rop readiness for the fall-through policy. *)
+let rop_distance (spec : Spec.t) =
+  spec.dispatch.fetch_instrs - 1 + spec.dispatch.operand_decode_instrs
+
+let consume exp ev =
+  Pipeline.consume exp.pipeline ev;
+  match exp.cs_interval with
+  | None -> ()
+  | Some interval ->
+    exp.retired_since_cs <- exp.retired_since_cs + 1;
+    if exp.retired_since_cs >= interval then begin
+      exp.retired_since_cs <- 0;
+      Scd_core.Engine.retire exp.engine interval
+    end
+
+(* Emit [n] dispatcher instructions starting at [!pc], the first being a
+   VM-state load and the last (optionally) a VM-state store. *)
+let emit_vm_bookkeeping exp pc ~step n ~store_last =
+  let vm_state = Layout.vm_state_addr exp.layout in
+  for k = 0 to n - 1 do
+    let kind =
+      if k = 0 then Event.Mem_read { addr = vm_state }
+      else if store_last && k = n - 1 then Event.Mem_write { addr = vm_state }
+      else Event.Plain
+    in
+    consume exp (Event.make ~dispatch:true (!pc) kind);
+    pc := !pc + step
+  done
+
+let emit_plain_dispatch exp pc ~step n =
+  for _ = 1 to n do
+    consume exp (Event.plain ~dispatch:true !pc);
+    pc := !pc + step
+  done
+
+(* The tail of the slow/baseline dispatcher: opcode decode, bound check,
+   jump-table target computation. Returns with [pc] at the jump slot. *)
+let emit_decode_to_target exp pc ~step ~opcode =
+  let d = exp.spec.dispatch in
+  emit_plain_dispatch exp pc ~step d.decode_instrs;
+  (* bound check: compare + never-taken branch to the error arm *)
+  emit_plain_dispatch exp pc ~step (max 0 (d.bound_check_instrs - 1));
+  consume exp
+    (Event.make ~dispatch:true !pc
+       (Cond_branch { taken = false; target = Layout.default_handler exp.layout }));
+  pc := !pc + step;
+  (* target calculation, ending with the jump-table load *)
+  emit_plain_dispatch exp pc ~step (max 0 (d.target_calc_instrs - 1));
+  consume exp
+    (Event.make ~dispatch:true !pc
+       (Mem_read { addr = Layout.jump_table_entry exp.layout opcode }));
+  pc := !pc + step
+
+(* Dispatch reaching the handler of [opcode] for the bytecode at
+   [fetch_addr]. [base] is where this dispatcher's code lives; [overhead]
+   states whether the loop book-keeping prefix is present (common site
+   only). *)
+let emit_dispatch exp ~base ~step ~overhead ~site ~opcode ~fetch_addr =
+  let d = exp.spec.dispatch in
+  let pc = ref base in
+  if overhead then
+    emit_vm_bookkeeping exp pc ~step d.loop_overhead_instrs ~store_last:false;
+  (* fetch: load vm.pc, load the bytecode, bump, store vm.pc *)
+  let vm_state = Layout.vm_state_addr exp.layout in
+  consume exp (Event.make ~dispatch:true !pc (Mem_read { addr = vm_state }));
+  pc := !pc + 4;
+  let scd = exp.scheme = Scd_core.Scheme.Scd in
+  consume exp
+    (Event.make ~dispatch:true ~sets_rop:scd !pc (Mem_read { addr = fetch_addr }));
+  pc := !pc + step;
+  emit_plain_dispatch exp pc ~step (max 0 (d.fetch_instrs - 3));
+  consume exp (Event.make ~dispatch:true !pc (Mem_write { addr = vm_state }));
+  pc := !pc + step;
+  emit_plain_dispatch exp pc ~step d.operand_decode_instrs;
+  let handler = Layout.handler_entry exp.layout opcode in
+  match exp.scheme with
+  | Scd ->
+    let bop_pc = !pc in
+    (* Section IV: with multiple tables each dispatch site has its own
+       Rbop-pc register; with one table the sites share it and thrash. *)
+    let table = if exp.multi_table then table_of_site site else 0 in
+    let same_site = exp.last_bop_pcs.(table) = bop_pc in
+    exp.last_bop_pcs.(table) <- bop_pc;
+    let rop_ready =
+      match (Pipeline.config exp.pipeline).bop_policy with
+      | `Stall -> true (* the pipeline charges bubbles instead *)
+      | `Fall_through -> rop_distance exp.spec >= (Pipeline.config exp.pipeline).rop_gap
+    in
+    let outcome =
+      (* Table I: a hit needs Rbop-pc == PC as well as a valid JTE. *)
+      if same_site && rop_ready then Scd_core.Engine.bop ~table exp.engine ~opcode
+      else Scd_core.Engine.Miss
+    in
+    (match outcome with
+     | Scd_core.Engine.Hit target ->
+       consume exp
+         (Event.make ~dispatch:true bop_pc (Bop { opcode; hit = true; target }))
+     | Scd_core.Engine.Miss ->
+       consume exp
+         (Event.make ~dispatch:true bop_pc
+            (Bop { opcode; hit = false; target = bop_pc + 4 }));
+       pc := bop_pc + step;
+       emit_decode_to_target exp pc ~step ~opcode;
+       (* jru: indirect jump + JTE insertion *)
+       Scd_core.Engine.jru ~table exp.engine ~opcode:(Some opcode) ~target:handler;
+       consume exp
+         (Event.make ~dispatch:true !pc (Jru { opcode = Some opcode; target = handler })))
+  | Baseline | Jump_threading | Vbbi ->
+    emit_decode_to_target exp pc ~step ~opcode;
+    let hint =
+      match exp.scheme with Vbbi -> Some opcode | _ -> None
+    in
+    consume exp
+      (Event.make ~dispatch:true !pc (Ind_jump { target = handler; hint }))
+
+(* Handler body for one bytecode event. *)
+let emit_handler exp (tr : Trace.t) =
+  let opcode = tr.opcode in
+  let spec_handler = exp.spec.handler opcode in
+  let entry = Layout.handler_entry exp.layout opcode in
+  let pc = ref entry in
+  let accesses = tr.accesses in
+  let body = spec_handler.body_instrs in
+  (* Data accesses occupy the first slots; a control-dependent branch, if
+     any, sits at the end of the body. *)
+  let n_acc = List.length accesses in
+  let acc = ref accesses in
+  let branch_pos = if spec_handler.ctrl_branch then body - 1 else -1 in
+  for k = 0 to body - 1 do
+    (if k = branch_pos then begin
+       let taken =
+         match tr.ctrl with
+         | Trace.Branch { taken; _ } -> taken
+         | _ -> false
+       in
+       consume exp
+         (Event.make !pc
+            (Cond_branch { taken; target = !pc + (2 * Layout.hot_stride) }))
+     end
+     else if k < n_acc then begin
+       match !acc with
+       | a :: rest ->
+         acc := rest;
+         let addr, write = Layout.access_addr exp.layout a in
+         consume exp
+           (Event.make !pc
+              (if write then Mem_write { addr } else Mem_read { addr }))
+       | [] -> consume exp (Event.plain !pc)
+     end
+     else consume exp (Event.plain !pc));
+    pc := !pc + Layout.hot_stride
+  done;
+  (* Runtime helper / builtin library call. *)
+  let blob =
+    match tr.ctrl with
+    | Trace.Call { callee } when callee < 0 -> Some (exp.spec.builtin_blob (-1 - callee))
+    | _ -> (
+      match spec_handler.rt_call with
+      | Some id -> Some exp.spec.blobs.(id)
+      | None -> None)
+  in
+  (match blob with
+   | None -> ()
+   | Some b ->
+     let target = Layout.blob_entry exp.layout b.blob_id in
+     consume exp (Event.make !pc (Call { target; indirect = false }));
+     let return_to = !pc + 4 in
+     pc := !pc + 4;
+     let bpc = ref target in
+     for k = 0 to b.body_instrs - 1 do
+       let kind =
+         if k mod b.load_every = b.load_every - 1 then
+           (* helper-internal data traffic lands near the VM stack top *)
+           Event.Mem_read { addr = Layout.stack_slot_addr exp.layout (k land 31) }
+         else Event.Plain
+       in
+       consume exp (Event.make !bpc kind);
+       bpc := !bpc + Layout.hot_stride
+     done;
+     consume exp (Event.make !bpc (Return { target = return_to })))
+
+let emit_tail exp opcode =
+  match exp.scheme with
+  | Scd_core.Scheme.Jump_threading -> () (* the replica is this handler's own dispatcher *)
+  | _ ->
+    let site = Layout.site_of_opcode exp.layout opcode in
+    let target = Layout.site_base exp.layout site in
+    consume exp (Event.make (Layout.handler_tail exp.layout opcode) (Jump { target }))
+
+let on_bytecode exp (tr : Trace.t) =
+  exp.bytecodes <- exp.bytecodes + 1;
+  let fetch_addr =
+    Layout.bytecode_addr exp.layout ~fn:tr.fn ~pc:(tr.pc * exp.stride)
+  in
+  (* 1. the dispatcher that fetched this bytecode *)
+  (match exp.scheme with
+   | Scd_core.Scheme.Jump_threading ->
+     if exp.prev_opcode < 0 then
+       emit_dispatch exp
+         ~base:(Layout.site_base exp.layout Layout.Common_site)
+         ~step:4 ~overhead:true ~site:Layout.Common_site ~opcode:tr.opcode
+         ~fetch_addr
+     else
+       (* a replica is inlined C inside the handler: handler stride *)
+       emit_dispatch exp
+         ~base:(Layout.handler_tail exp.layout exp.prev_opcode)
+         ~step:Layout.hot_stride ~overhead:false ~site:Layout.Common_site
+         ~opcode:tr.opcode ~fetch_addr
+   | _ ->
+     let site =
+       if exp.prev_opcode < 0 then Layout.Common_site
+       else Layout.site_of_opcode exp.layout exp.prev_opcode
+     in
+     emit_dispatch exp
+       ~base:(Layout.site_base exp.layout site)
+       ~step:4 ~overhead:(site = Layout.Common_site) ~site ~opcode:tr.opcode
+       ~fetch_addr);
+  (* 2. the handler itself *)
+  emit_handler exp tr;
+  (* 3. the tail jump back to a dispatch site (replicas handled in step 1) *)
+  emit_tail exp tr.opcode;
+  exp.prev_opcode <- tr.opcode
+
+(* ------------------------------------------------------------------ *)
+
+let run config ~source =
+  (* simulated heap addresses derive from table ids: restart the counter so
+     results do not depend on earlier runs in this process *)
+  Scd_runtime.Value.reset_table_ids ();
+  let machine = config.machine in
+  let btb =
+    Btb.create ~entries:machine.btb_entries ~ways:machine.btb_ways
+      ~replacement:machine.btb_replacement ?jte_cap:machine.jte_cap ()
+  in
+  let engine =
+    Scd_core.Engine.create
+      ~tables:(if config.multi_table then 3 else 1)
+      ?context_switch_interval:config.context_switch_interval btb
+  in
+  let indirect =
+    match config.indirect_override with
+    | Some scheme -> scheme
+    | None -> Scd_core.Scheme.indirect_scheme config.scheme
+  in
+  let pipeline = Pipeline.create ~btb ~indirect machine in
+  let spec =
+    match config.vm with
+    | Lua ->
+      if config.bytecode_replication then Spec.rvm_replicated
+      else if config.superinstructions then Spec.rvm_fused
+      else Spec.rvm
+    | Js -> Spec.svm
+  in
+  let finish layout ~bytecodes ~output =
+    {
+      stats = Pipeline.stats pipeline;
+      btb = Btb.stats btb;
+      engine =
+        (match config.scheme with
+         | Scd -> Some (Scd_core.Engine.stats engine)
+         | _ -> None);
+      bytecodes;
+      output;
+      code_bytes = Layout.code_bytes layout;
+    }
+  in
+  match config.vm with
+  | Lua ->
+    let program = Scd_rvm.Compiler.compile_string source in
+    let program =
+      if config.superinstructions then Scd_rvm.Peephole.optimize program
+      else program
+    in
+    let program =
+      if config.bytecode_replication then Scd_rvm.Replicate.optimize program
+      else program
+    in
+    let layout =
+      Layout.build ~spec ~scheme:config.scheme
+        ~fn_code_sizes:
+          (Array.map
+             (fun (p : Scd_rvm.Bytecode.proto) -> 4 * Array.length p.code)
+             program.protos)
+        ~fn_const_counts:
+          (Array.map
+             (fun (p : Scd_rvm.Bytecode.proto) -> Array.length p.consts)
+             program.protos)
+    in
+    let exp =
+      {
+        layout;
+        spec;
+        scheme = config.scheme;
+        pipeline;
+        engine;
+        stride = 4;
+        cs_interval = config.context_switch_interval;
+        multi_table = config.multi_table;
+        prev_opcode = -1;
+        last_bop_pcs = Array.make 3 (-1);
+        bytecodes = 0;
+        retired_since_cs = 0;
+      }
+    in
+    let ctx = Builtins.create_ctx ~seed:config.seed () in
+    let vm = Scd_rvm.Vm.create ~ctx ~trace:(on_bytecode exp) program in
+    Scd_rvm.Vm.run vm;
+    finish layout ~bytecodes:exp.bytecodes ~output:(Builtins.output ctx)
+  | Js ->
+    let program = Scd_svm.Compiler.compile_string source in
+    let layout =
+      Layout.build ~spec ~scheme:config.scheme
+        ~fn_code_sizes:
+          (Array.map
+             (fun (p : Scd_svm.Bytecode.proto) -> Array.length p.code)
+             program.protos)
+        ~fn_const_counts:
+          (Array.map
+             (fun (p : Scd_svm.Bytecode.proto) -> Array.length p.consts)
+             program.protos)
+    in
+    let exp =
+      {
+        layout;
+        spec;
+        scheme = config.scheme;
+        pipeline;
+        engine;
+        stride = 1;
+        cs_interval = config.context_switch_interval;
+        multi_table = config.multi_table;
+        prev_opcode = -1;
+        last_bop_pcs = Array.make 3 (-1);
+        bytecodes = 0;
+        retired_since_cs = 0;
+      }
+    in
+    let ctx = Builtins.create_ctx ~seed:config.seed () in
+    let vm = Scd_svm.Vm.create ~ctx ~trace:(on_bytecode exp) program in
+    Scd_svm.Vm.run vm;
+    finish layout ~bytecodes:exp.bytecodes ~output:(Builtins.output ctx)
+
+let cycles r = r.stats.Stats.cycles
+let instructions r = r.stats.Stats.instructions

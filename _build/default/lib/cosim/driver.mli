@@ -1,0 +1,68 @@
+(** Trace-driven co-simulation of a script interpreter on the modelled
+    embedded core.
+
+    The chosen VM executes the script for real (its semantics run in OCaml);
+    every executed bytecode is expanded — through the dispatch scheme's code
+    layout — into the native-instruction event stream the interpreter binary
+    would retire, and that stream drives the {!Scd_uarch.Pipeline} timing
+    model. The SCD scheme consults the {!Scd_core.Engine} *while generating
+    the stream*, because a [bop] hit architecturally skips the slow-path
+    instructions.
+
+    Fidelity notes:
+    - the [bop] hit condition includes the paper's [Rbop-pc == PC] check, so
+      the stack VM's three replicated dispatch sites thrash each other
+      exactly as Table I implies — one reason the paper's JavaScript
+      speedups trail Lua's;
+    - jump threading replicates the dispatcher at every handler tail, so its
+      I-cache footprint grows (Figure 10's effect);
+    - VBBI is baseline code with hint-hashed BTB indexing. *)
+
+type vm_choice = Lua | Js
+
+val vm_name : vm_choice -> string
+
+type run_config = {
+  vm : vm_choice;
+  scheme : Scd_core.Scheme.t;
+  machine : Scd_uarch.Config.t;
+  context_switch_interval : int option;
+      (** Flush JTEs every n retired native instructions (OS model). *)
+  multi_table : bool;
+      (** Section IV extension: give each dispatch site its own branch ID —
+          a private (Rop, Rmask, Rbop-pc) set and branch-ID-tagged JTEs.
+          Eliminates the Rbop-pc thrash between the stack VM's replicated
+          fetch sites; a no-op for the single-site register VM. *)
+  indirect_override : Scd_uarch.Indirect.scheme option;
+      (** Replace the scheme's default indirect predictor (e.g. run baseline
+          code under TTC or ITTAGE for the related-work ablation). *)
+  superinstructions : bool;
+      (** Run the register VM's {!Scd_rvm.Peephole} superinstruction pass
+          (Ertl & Gregg), fusing compare+branch bytecode pairs — the other
+          software dispatch-reduction technique of the paper's Section VII.
+          Ignored for the stack VM. *)
+  bytecode_replication : bool;
+      (** Run the register VM's {!Scd_rvm.Replicate} pass (Ertl & Gregg):
+          hot opcodes dispatch through alternating replica jump-table slots,
+          splitting predictor contexts at the cost of handler clones (more
+          I-cache) and extra JTEs under SCD. Ignored for the stack VM. *)
+  seed : int64;
+}
+
+val default_config : run_config
+(** Lua VM, baseline scheme, the paper's simulator machine. *)
+
+type result = {
+  stats : Scd_uarch.Stats.t;
+  btb : Scd_uarch.Btb.stats;
+  engine : Scd_core.Engine.stats option;  (** Present for the SCD scheme. *)
+  bytecodes : int;  (** Bytecodes the VM executed. *)
+  output : string;  (** The script's printed output (for checksums). *)
+  code_bytes : int;  (** Interpreter native-code footprint. *)
+}
+
+val run : run_config -> source:string -> result
+(** Compile and co-simulate [source]. Raises on script errors. *)
+
+val cycles : result -> int
+val instructions : result -> int

@@ -1,0 +1,90 @@
+type component = {
+  name : string;
+  depth : int;
+  area_mm2 : float;
+  power_mw : float;
+}
+
+let c name depth area_mm2 power_mw = { name; depth; area_mm2; power_mw }
+
+(* Table V, baseline column. *)
+let baseline =
+  [
+    c "Top" 0 0.690 18.46;
+    c "Tile" 1 0.649 14.66;
+    c "Core" 2 0.044 2.86;
+    c "CSR" 3 0.013 1.07;
+    c "Div" 3 0.006 0.17;
+    c "FPU" 2 0.087 3.19;
+    c "ICache" 2 0.251 3.58;
+    c "BTB" 3 0.019 1.40;
+    c "Array" 3 0.229 1.91;
+    c "ITLB" 3 0.003 0.28;
+    c "DCache" 2 0.248 3.70;
+    c "Uncore" 2 0.018 1.34;
+    c "HTIF" 3 0.006 0.41;
+    c "Memsys/L2Hub" 3 0.012 0.92;
+    c "Wrapping" 1 0.041 3.80;
+  ]
+
+type scd_cost = {
+  btb_area_factor : float;
+  btb_power_factor : float;
+  added_bits : int;
+}
+
+(* Rocket's fully-associative BTB: CAM tag (~30 significant PC bits),
+   30-bit target, valid bit and LRU state per entry. *)
+let baseline_entry_bits = 30 + 30 + 1 + 6
+
+(* SCD additions per entry: the J/B flag and an opcode-tag extension so a
+   JTE's (branch-id, opcode) key can live in the CAM; plus the three
+   architectural registers and their datapath. *)
+let scd_added_bits ~btb_entries =
+  let per_entry = 1 + 8 in
+  let registers = 33 (* Rop.d + Rop.v *) + 32 (* Rmask *) + 30 (* Rbop-pc *) in
+  (btb_entries * per_entry) + registers
+
+(* Control logic (comparators, muxes, stall logic) costs a fixed fraction of
+   the added storage; power per added bit is lower than area because JTE
+   lookups reuse the existing CAM access path. *)
+let logic_overhead = 0.50
+let power_bit_discount = 0.45
+
+let scd_btb_cost ~btb_entries =
+  let base_bits = float_of_int (btb_entries * baseline_entry_bits) in
+  let added = scd_added_bits ~btb_entries in
+  let added_effective = float_of_int added *. (1.0 +. logic_overhead) in
+  {
+    btb_area_factor = 1.0 +. (added_effective /. base_bits);
+    btb_power_factor = 1.0 +. (added_effective *. power_bit_discount /. base_bits);
+    added_bits = added;
+  }
+
+let scd ~btb_entries =
+  let cost = scd_btb_cost ~btb_entries in
+  let btb = List.find (fun x -> x.name = "BTB") baseline in
+  let d_area = btb.area_mm2 *. (cost.btb_area_factor -. 1.0) in
+  let d_power = btb.power_mw *. (cost.btb_power_factor -. 1.0) in
+  (* The BTB sits inside ICache, Tile and Top; those absorb the delta. *)
+  let enclosing = [ "Top"; "Tile"; "ICache"; "BTB" ] in
+  List.map
+    (fun x ->
+      if List.mem x.name enclosing then
+        { x with area_mm2 = x.area_mm2 +. d_area; power_mw = x.power_mw +. d_power }
+      else x)
+    baseline
+
+let total_area components = (List.find (fun x -> x.name = "Top") components).area_mm2
+let total_power components = (List.find (fun x -> x.name = "Top") components).power_mw
+
+let area_increase_percent ~btb_entries =
+  (total_area (scd ~btb_entries) /. total_area baseline -. 1.0) *. 100.0
+
+let power_increase_percent ~btb_entries =
+  (total_power (scd ~btb_entries) /. total_power baseline -. 1.0) *. 100.0
+
+let edp_improvement_percent ~btb_entries ~speedup_percent =
+  let time_ratio = 1.0 /. (1.0 +. (speedup_percent /. 100.0)) in
+  let power_ratio = total_power (scd ~btb_entries) /. total_power baseline in
+  (1.0 -. (power_ratio *. time_ratio *. time_ratio)) *. 100.0

@@ -1,0 +1,53 @@
+(** Area/power/EDP model reproducing the paper's Table V.
+
+    The baseline column is the paper's own synthesis breakdown of a RISC-V
+    Rocket tile in TSMC 40 nm (the numbers a re-synthesis would produce are
+    unavailable in this environment, so the published baseline is the model
+    input — see DESIGN.md's substitution table). The SCD column is *derived*
+    from a per-bit cost model of the hardware SCD adds:
+
+    - one J/B flag bit per BTB entry plus an opcode-tag extension;
+    - the three architectural registers (Rop with valid bit, Rmask,
+      Rbop-pc);
+    - comparator/mux control logic, modelled as a fixed fraction of the
+      added storage.
+
+    Storage area/power per bit is inferred from the baseline BTB figures.
+    Chip-level deltas then roll up the hierarchy exactly as Table V does,
+    and EDP improvement combines the power delta with a measured speedup. *)
+
+type component = {
+  name : string;
+  depth : int;  (** Indentation level in Table V's hierarchy. *)
+  area_mm2 : float;
+  power_mw : float;
+}
+
+val baseline : component list
+(** Table V's baseline column, top-down. *)
+
+type scd_cost = {
+  btb_area_factor : float;  (** SCD BTB area / baseline BTB area. *)
+  btb_power_factor : float;
+  added_bits : int;
+}
+
+val scd_btb_cost : btb_entries:int -> scd_cost
+(** The bit-model evaluated for a BTB of the given size (62 for the Rocket
+    configuration). *)
+
+val scd : btb_entries:int -> component list
+(** The derived SCD column: the BTB scales by {!scd_btb_cost}; enclosing
+    components absorb the delta; everything else is unchanged. *)
+
+val total_area : component list -> float
+(** The "Top" row's area. *)
+
+val total_power : component list -> float
+
+val area_increase_percent : btb_entries:int -> float
+val power_increase_percent : btb_entries:int -> float
+
+val edp_improvement_percent : btb_entries:int -> speedup_percent:float -> float
+(** EDP = power x time^2. [speedup_percent] is the measured cycle-count
+    speedup of SCD over baseline (Table IV's geomean). *)

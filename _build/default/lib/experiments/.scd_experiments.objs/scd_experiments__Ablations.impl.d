@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Config Driver Experiment Indirect List Printf Scd_core Scd_cosim Scd_uarch Scd_util Scd_workloads Stats Summary Sweep Table

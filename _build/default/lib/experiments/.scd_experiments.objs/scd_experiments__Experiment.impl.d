@@ -1,0 +1,1 @@
+lib/experiments/experiment.ml: List Scd_util String

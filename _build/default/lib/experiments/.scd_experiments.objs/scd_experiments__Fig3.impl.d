@@ -1,0 +1,1 @@
+lib/experiments/fig3.ml: Experiment List Scd_core Scd_cosim Scd_uarch Scd_util Scd_workloads Stats Summary Sweep Table

@@ -1,0 +1,1 @@
+lib/experiments/fig7.ml: Experiment List Printf Scd_core Scd_cosim Scd_util Scd_workloads Sweep Table

@@ -1,0 +1,1 @@
+lib/experiments/fig9.ml: Experiment List Printf Scd_core Scd_cosim Scd_uarch Scd_util Scd_workloads Stats Summary Sweep Table

@@ -1,0 +1,1 @@
+lib/experiments/highend.ml: Experiment List Printf Scd_core Scd_cosim Scd_uarch Scd_util Scd_workloads Summary Sweep Table

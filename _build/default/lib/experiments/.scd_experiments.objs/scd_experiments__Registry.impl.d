@@ -1,0 +1,1 @@
+lib/experiments/registry.ml: Ablations Experiment Fig10 Fig11 Fig2 Fig3 Fig7 Fig8 Fig9 Highend List String Tab4 Tab5

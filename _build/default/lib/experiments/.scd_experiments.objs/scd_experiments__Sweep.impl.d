@@ -1,0 +1,1 @@
+lib/experiments/sweep.ml: Config Driver Hashtbl Printf Scd_core Scd_cosim Scd_uarch Scd_util Scd_workloads

@@ -1,0 +1,1 @@
+lib/experiments/tab4.ml: Config Experiment List Printf Scd_core Scd_cosim Scd_uarch Scd_util Scd_workloads Sweep Table

@@ -1,0 +1,1 @@
+lib/experiments/tab5.ml: Experiment List Printf Scd_energy Scd_util Scd_workloads String Sweep Tab4 Table

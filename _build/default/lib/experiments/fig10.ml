@@ -1,0 +1,58 @@
+(** Figure 10: instruction cache miss rates in MPKI (the lower, the
+    better). Jump threading's replicated dispatchers inflate the code
+    footprint; SCD leaves it untouched. *)
+
+open Scd_util
+open Scd_uarch
+
+let schemes = Scd_core.Scheme.all
+
+let table_for ~scale vm label =
+  let table =
+    Table.make
+      ~title:(Printf.sprintf "Figure 10: I-cache miss MPKI, %s" label)
+      ~headers:
+        (("benchmark" :: List.map Scd_core.Scheme.name schemes) @ [ "code bytes (jt)" ])
+  in
+  let sums = List.map (fun s -> (s, ref [])) schemes in
+  List.iter
+    (fun w ->
+      let jt_code = ref 0 in
+      let cells =
+        List.map
+          (fun scheme ->
+            let r = Sweep.run ~scale vm scheme w in
+            if scheme = Scd_core.Scheme.Jump_threading then jt_code := r.code_bytes;
+            let mpki = Stats.icache_mpki r.stats in
+            (match List.assoc_opt scheme sums with
+             | Some acc -> acc := mpki :: !acc
+             | None -> ());
+            Table.cell_float mpki)
+          schemes
+      in
+      Table.add_row table
+        ((w.Scd_workloads.Workload.name :: cells) @ [ string_of_int !jt_code ]))
+    Sweep.workloads;
+  Table.add_separator table;
+  Table.add_row table
+    (("MEAN"
+     :: List.map
+          (fun scheme -> Table.cell_float (Summary.mean !(List.assoc scheme sums)))
+          schemes)
+    @ [ "" ]);
+  table
+
+let run ~quick =
+  let scale = Sweep.scale_for ~quick Scd_workloads.Workload.Sim in
+  [
+    table_for ~scale Scd_cosim.Driver.Lua "Lua";
+    table_for ~scale Scd_cosim.Driver.Js "JavaScript";
+  ]
+
+let experiment =
+  {
+    Experiment.id = "fig10";
+    paper = "Figure 10";
+    title = "Instruction cache miss rates (MPKI)";
+    run;
+  }

@@ -1,0 +1,39 @@
+(** Figure 2: branch MPKI breakdown for the baseline Lua interpreter,
+    attributing mispredictions to the dispatcher's indirect jump versus all
+    other branches. *)
+
+open Scd_util
+open Scd_uarch
+
+let run ~quick =
+  let scale = Sweep.scale_for ~quick Scd_workloads.Workload.Sim in
+  let table =
+    Table.make ~title:"Figure 2: branch MPKI breakdown, Lua interpreter (baseline)"
+      ~headers:[ "benchmark"; "dispatch MPKI"; "other MPKI"; "total MPKI" ]
+  in
+  let totals = ref [] in
+  List.iter
+    (fun w ->
+      let r = Sweep.run ~scale Scd_cosim.Driver.Lua Scd_core.Scheme.Baseline w in
+      let dispatch = Stats.dispatch_mpki r.stats in
+      let total = Stats.branch_mpki r.stats in
+      totals := (dispatch, total) :: !totals;
+      Table.add_row table
+        [ w.name; Table.cell_float dispatch;
+          Table.cell_float (total -. dispatch); Table.cell_float total ])
+    Sweep.workloads;
+  Table.add_separator table;
+  let ds = List.map fst !totals and ts = List.map snd !totals in
+  Table.add_row table
+    [ "MEAN"; Table.cell_float (Summary.mean ds);
+      Table.cell_float (Summary.mean ts -. Summary.mean ds);
+      Table.cell_float (Summary.mean ts) ];
+  [ table ]
+
+let experiment =
+  {
+    Experiment.id = "fig2";
+    paper = "Figure 2";
+    title = "Branch MPKI breakdown for Lua interpreter";
+    run;
+  }

@@ -1,0 +1,35 @@
+(** Figure 3: fraction of dynamic instructions spent in dispatcher code for
+    the baseline Lua interpreter (the paper reports >25%). *)
+
+open Scd_util
+open Scd_uarch
+
+let run ~quick =
+  let scale = Sweep.scale_for ~quick Scd_workloads.Workload.Sim in
+  let table =
+    Table.make ~title:"Figure 3: fraction of dispatch instructions, Lua (baseline)"
+      ~headers:[ "benchmark"; "dispatch instr %"; "instrs/bytecode" ]
+  in
+  let fractions = ref [] in
+  List.iter
+    (fun w ->
+      let r = Sweep.run ~scale Scd_cosim.Driver.Lua Scd_core.Scheme.Baseline w in
+      let f = 100.0 *. Stats.dispatch_fraction r.stats in
+      fractions := f :: !fractions;
+      Table.add_row table
+        [ w.name; Table.cell_float f;
+          Table.cell_float
+            (float_of_int r.stats.instructions /. float_of_int r.bytecodes) ])
+    Sweep.workloads;
+  Table.add_separator table;
+  Table.add_row table
+    [ "MEAN"; Table.cell_float (Summary.mean !fractions); "" ];
+  [ table ]
+
+let experiment =
+  {
+    Experiment.id = "fig3";
+    paper = "Figure 3";
+    title = "Fraction of dispatch instructions for Lua";
+    run;
+  }

@@ -1,0 +1,55 @@
+(** Figure 7: overall speedups of jump threading, VBBI and SCD over the
+    out-of-the-box baseline, per benchmark plus geomean, for both
+    interpreters (the higher, the better). *)
+
+open Scd_util
+
+let schemes = Scd_core.Scheme.[ Jump_threading; Vbbi; Scd ]
+
+let table_for ~scale vm label =
+  let table =
+    Table.make
+      ~title:(Printf.sprintf "Figure 7: overall speedups, %s interpreter (%%)" label)
+      ~headers:("benchmark" :: List.map Scd_core.Scheme.name schemes)
+  in
+  let ratios = List.map (fun s -> (s, ref [])) schemes in
+  List.iter
+    (fun w ->
+      let baseline = Sweep.run ~scale vm Scd_core.Scheme.Baseline w in
+      let cells =
+        List.map
+          (fun scheme ->
+            let r = Sweep.run ~scale vm scheme w in
+            let ratio = Sweep.speedup_ratio ~baseline r in
+            (match List.assoc_opt scheme ratios with
+             | Some acc -> acc := ratio :: !acc
+             | None -> ());
+            Table.cell_percent (Sweep.speedup ~baseline r))
+          schemes
+      in
+      Table.add_row table (w.Scd_workloads.Workload.name :: cells))
+    Sweep.workloads;
+  Table.add_separator table;
+  Table.add_row table
+    ("GEOMEAN"
+    :: List.map
+         (fun scheme ->
+           Table.cell_percent
+             (Sweep.geomean_speedup_percent !(List.assoc scheme ratios)))
+         schemes);
+  table
+
+let run ~quick =
+  let scale = Sweep.scale_for ~quick Scd_workloads.Workload.Sim in
+  [
+    table_for ~scale Scd_cosim.Driver.Lua "Lua";
+    table_for ~scale Scd_cosim.Driver.Js "JavaScript";
+  ]
+
+let experiment =
+  {
+    Experiment.id = "fig7";
+    paper = "Figure 7";
+    title = "Overall speedups for Lua and JavaScript interpreters";
+    run;
+  }

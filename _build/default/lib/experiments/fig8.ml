@@ -1,0 +1,58 @@
+(** Figure 8: dynamic instruction count normalised to the baseline (the
+    lower, the better). VBBI executes baseline code, so only jump threading
+    and SCD change the count. *)
+
+open Scd_util
+
+let schemes = Scd_core.Scheme.[ Jump_threading; Vbbi; Scd ]
+
+let table_for ~scale vm label =
+  let table =
+    Table.make
+      ~title:
+        (Printf.sprintf "Figure 8: normalized dynamic instruction count, %s" label)
+      ~headers:("benchmark" :: List.map Scd_core.Scheme.name schemes)
+  in
+  let ratios = List.map (fun s -> (s, ref [])) schemes in
+  List.iter
+    (fun w ->
+      let baseline = Sweep.run ~scale vm Scd_core.Scheme.Baseline w in
+      let cells =
+        List.map
+          (fun scheme ->
+            let r = Sweep.run ~scale vm scheme w in
+            let ratio =
+              float_of_int (Scd_cosim.Driver.instructions r)
+              /. float_of_int (Scd_cosim.Driver.instructions baseline)
+            in
+            (match List.assoc_opt scheme ratios with
+             | Some acc -> acc := ratio :: !acc
+             | None -> ());
+            Printf.sprintf "%.3f" ratio)
+          schemes
+      in
+      Table.add_row table (w.Scd_workloads.Workload.name :: cells))
+    Sweep.workloads;
+  Table.add_separator table;
+  Table.add_row table
+    ("GEOMEAN"
+    :: List.map
+         (fun scheme ->
+           Printf.sprintf "%.3f" (Summary.geomean !(List.assoc scheme ratios)))
+         schemes);
+  table
+
+let run ~quick =
+  let scale = Sweep.scale_for ~quick Scd_workloads.Workload.Sim in
+  [
+    table_for ~scale Scd_cosim.Driver.Lua "Lua";
+    table_for ~scale Scd_cosim.Driver.Js "JavaScript";
+  ]
+
+let experiment =
+  {
+    Experiment.id = "fig8";
+    paper = "Figure 8";
+    title = "Normalized dynamic instruction count";
+    run;
+  }

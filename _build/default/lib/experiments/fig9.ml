@@ -1,0 +1,52 @@
+(** Figure 9: branch misprediction rate in MPKI for all four schemes (the
+    lower, the better). *)
+
+open Scd_util
+open Scd_uarch
+
+let schemes = Scd_core.Scheme.all
+
+let table_for ~scale vm label =
+  let table =
+    Table.make
+      ~title:(Printf.sprintf "Figure 9: branch misprediction MPKI, %s" label)
+      ~headers:("benchmark" :: List.map Scd_core.Scheme.name schemes)
+  in
+  let sums = List.map (fun s -> (s, ref [])) schemes in
+  List.iter
+    (fun w ->
+      let cells =
+        List.map
+          (fun scheme ->
+            let r = Sweep.run ~scale vm scheme w in
+            let mpki = Stats.branch_mpki r.stats in
+            (match List.assoc_opt scheme sums with
+             | Some acc -> acc := mpki :: !acc
+             | None -> ());
+            Table.cell_float mpki)
+          schemes
+      in
+      Table.add_row table (w.Scd_workloads.Workload.name :: cells))
+    Sweep.workloads;
+  Table.add_separator table;
+  Table.add_row table
+    ("MEAN"
+    :: List.map
+         (fun scheme -> Table.cell_float (Summary.mean !(List.assoc scheme sums)))
+         schemes);
+  table
+
+let run ~quick =
+  let scale = Sweep.scale_for ~quick Scd_workloads.Workload.Sim in
+  [
+    table_for ~scale Scd_cosim.Driver.Lua "Lua";
+    table_for ~scale Scd_cosim.Driver.Js "JavaScript";
+  ]
+
+let experiment =
+  {
+    Experiment.id = "fig9";
+    paper = "Figure 9";
+    title = "Branch misprediction rate (MPKI)";
+    run;
+  }

@@ -1,0 +1,23 @@
+(** Every figure and table of the paper's evaluation, in paper order. *)
+
+let all : Experiment.t list =
+  [
+    Fig2.experiment;
+    Fig3.experiment;
+    Fig7.experiment;
+    Fig8.experiment;
+    Fig9.experiment;
+    Fig10.experiment;
+    Fig11.experiment_a;
+    Fig11.experiment_b;
+    Fig11.experiment_c;
+    Fig11.experiment_d;
+    Tab4.experiment;
+    Tab5.experiment;
+    Highend.experiment;
+  ]
+  @ Ablations.all
+
+let find id = List.find_opt (fun (e : Experiment.t) -> String.equal e.id id) all
+
+let ids = List.map (fun (e : Experiment.t) -> e.id) all

@@ -1,0 +1,66 @@
+(** Shared, cached co-simulation runs.
+
+    Figures 7-10 all read different statistics from the *same* runs, and the
+    sensitivity studies reuse baselines across sweep points, so results are
+    memoised per (vm, scheme, machine, workload, scale) within a process. *)
+
+open Scd_cosim
+open Scd_uarch
+
+let cache : (string, Driver.result) Hashtbl.t = Hashtbl.create 64
+
+let machine_key (m : Config.t) =
+  Printf.sprintf "%s/btb%d/cap%s" m.name m.btb_entries
+    (match m.jte_cap with None -> "inf" | Some c -> string_of_int c)
+
+let run ?(machine = Config.simulator) ?(scale = Scd_workloads.Workload.Sim) vm
+    scheme (w : Scd_workloads.Workload.t) =
+  let key =
+    Printf.sprintf "%s|%s|%s|%s|%s" (Driver.vm_name vm)
+      (Scd_core.Scheme.name scheme) (machine_key machine) w.name
+      (Scd_workloads.Workload.scale_name scale)
+  in
+  match Hashtbl.find_opt cache key with
+  | Some r -> r
+  | None ->
+    let r =
+      Driver.run
+        { Driver.default_config with vm; scheme; machine }
+        ~source:(Scd_workloads.Workload.source w scale)
+    in
+    Hashtbl.replace cache key r;
+    r
+
+let clear () = Hashtbl.reset cache
+
+(** Cycle-count speedup of [r] over [baseline], in percent. *)
+let speedup ~baseline r =
+  Scd_util.Summary.speedup_percent
+    ~baseline:(float_of_int (Driver.cycles baseline))
+    ~cycles:(float_of_int (Driver.cycles r))
+
+(** Speedup expressed as a ratio (for geomeans). *)
+let speedup_ratio ~baseline r =
+  float_of_int (Driver.cycles baseline) /. float_of_int (Driver.cycles r)
+
+let geomean_speedup_percent ratios =
+  (Scd_util.Summary.geomean ratios -. 1.0) *. 100.0
+
+(* Runs with non-default driver knobs (multi-table, indirect override,
+   custom machine tweaks) are cached under an explicit tag. *)
+let run_custom ~tag (config : Driver.run_config) (w : Scd_workloads.Workload.t)
+    scale =
+  let key =
+    Printf.sprintf "custom|%s|%s|%s" tag w.name
+      (Scd_workloads.Workload.scale_name scale)
+  in
+  match Hashtbl.find_opt cache key with
+  | Some r -> r
+  | None ->
+    let r = Driver.run config ~source:(Scd_workloads.Workload.source w scale) in
+    Hashtbl.replace cache key r;
+    r
+
+let workloads = Scd_workloads.Registry.all
+
+let scale_for ~quick default = if quick then Scd_workloads.Workload.Test else default

@@ -1,0 +1,83 @@
+(** Table IV: cycle and instruction counts of the Lua interpreter on the
+    Rocket (FPGA) configuration with larger inputs — baseline vs jump
+    threading vs SCD, with per-benchmark savings and speedups. *)
+
+open Scd_util
+open Scd_uarch
+
+let fmt_count n =
+  if n >= 1_000_000_000 then Printf.sprintf "%.2fB" (float_of_int n /. 1e9)
+  else if n >= 1_000_000 then Printf.sprintf "%.1fM" (float_of_int n /. 1e6)
+  else if n >= 1_000 then Printf.sprintf "%.1fK" (float_of_int n /. 1e3)
+  else string_of_int n
+
+(** Per-benchmark rows plus the four geomean summary numbers:
+    (jt inst savings %, jt speedup %, scd inst savings %, scd speedup %). *)
+let compute ~scale =
+  let rows = ref [] in
+  let jt_inst = ref [] and jt_speed = ref [] in
+  let scd_inst = ref [] and scd_speed = ref [] in
+  List.iter
+    (fun (w : Scd_workloads.Workload.t) ->
+      let machine = Config.fpga in
+      let vm = Scd_cosim.Driver.Lua in
+      let base = Sweep.run ~machine ~scale vm Scd_core.Scheme.Baseline w in
+      let jt = Sweep.run ~machine ~scale vm Scd_core.Scheme.Jump_threading w in
+      let scd = Sweep.run ~machine ~scale vm Scd_core.Scheme.Scd w in
+      let inst r = Scd_cosim.Driver.instructions r in
+      let savings r =
+        100.0 *. (1.0 -. (float_of_int (inst r) /. float_of_int (inst base)))
+      in
+      let inst_ratio r = float_of_int (inst base) /. float_of_int (inst r) in
+      jt_inst := inst_ratio jt :: !jt_inst;
+      scd_inst := inst_ratio scd :: !scd_inst;
+      jt_speed := Sweep.speedup_ratio ~baseline:base jt :: !jt_speed;
+      scd_speed := Sweep.speedup_ratio ~baseline:base scd :: !scd_speed;
+      rows :=
+        [
+          w.name;
+          fmt_count (inst base); fmt_count (Scd_cosim.Driver.cycles base);
+          fmt_count (inst jt); fmt_count (Scd_cosim.Driver.cycles jt);
+          fmt_count (inst scd); fmt_count (Scd_cosim.Driver.cycles scd);
+          Table.cell_percent (savings jt);
+          Table.cell_percent (Sweep.speedup ~baseline:base jt);
+          Table.cell_percent (savings scd);
+          Table.cell_percent (Sweep.speedup ~baseline:base scd);
+        ]
+        :: !rows)
+    Sweep.workloads;
+  let geo l = Sweep.geomean_speedup_percent !l in
+  (List.rev !rows, (geo jt_inst, geo jt_speed, geo scd_inst, geo scd_speed))
+
+(** The geomean SCD speedup on the FPGA configuration; Table V's EDP
+    computation consumes this. *)
+let scd_geomean_speedup ~scale =
+  let _, (_, _, _, scd_speed) = compute ~scale in
+  scd_speed
+
+let run ~quick =
+  let scale = Sweep.scale_for ~quick Scd_workloads.Workload.Fpga in
+  let table =
+    Table.make
+      ~title:"Table IV: Lua interpreter on the Rocket (FPGA) configuration"
+      ~headers:
+        [ "benchmark"; "base inst"; "base cyc"; "jt inst"; "jt cyc";
+          "scd inst"; "scd cyc"; "jt inst sav"; "jt speedup"; "scd inst sav";
+          "scd speedup" ]
+  in
+  let rows, (jt_inst, jt_speed, scd_inst, scd_speed) = compute ~scale in
+  List.iter (Table.add_row table) rows;
+  Table.add_separator table;
+  Table.add_row table
+    [ "GEOMEAN"; ""; ""; ""; ""; ""; "";
+      Table.cell_percent jt_inst; Table.cell_percent jt_speed;
+      Table.cell_percent scd_inst; Table.cell_percent scd_speed ];
+  [ table ]
+
+let experiment =
+  {
+    Experiment.id = "tab4";
+    paper = "Table IV";
+    title = "Cycle and instruction counts on the FPGA configuration (Lua)";
+    run;
+  }

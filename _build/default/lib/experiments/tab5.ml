@@ -1,0 +1,57 @@
+(** Table V: hardware overhead (area, power) of SCD on the Rocket core, and
+    the resulting EDP improvement using Table IV's measured speedup. *)
+
+open Scd_util
+
+let btb_entries = 62 (* the Rocket configuration's BTB *)
+
+let run ~quick =
+  let breakdown =
+    Table.make ~title:"Table V: hardware overhead breakdown (area, power)"
+      ~headers:
+        [ "module"; "base area mm2"; "base power mW"; "scd area mm2";
+          "scd power mW" ]
+  in
+  let scd = Scd_energy.Model.scd ~btb_entries in
+  List.iter2
+    (fun (b : Scd_energy.Model.component) (s : Scd_energy.Model.component) ->
+      let indent = String.make (2 * b.depth) ' ' in
+      Table.add_row breakdown
+        [ indent ^ b.name;
+          Printf.sprintf "%.3f" b.area_mm2; Printf.sprintf "%.2f" b.power_mw;
+          Printf.sprintf "%.3f" s.area_mm2; Printf.sprintf "%.2f" s.power_mw ])
+    Scd_energy.Model.baseline scd;
+  let summary =
+    Table.make ~title:"Table V summary: SCD cost and EDP"
+      ~headers:[ "metric"; "value" ]
+  in
+  let cost = Scd_energy.Model.scd_btb_cost ~btb_entries in
+  let scale = Sweep.scale_for ~quick Scd_workloads.Workload.Fpga in
+  let speedup = Tab4.scd_geomean_speedup ~scale in
+  Table.add_row summary
+    [ "BTB area increase"; Table.cell_percent ((cost.btb_area_factor -. 1.0) *. 100.) ];
+  Table.add_row summary
+    [ "BTB power increase"; Table.cell_percent ((cost.btb_power_factor -. 1.0) *. 100.) ];
+  Table.add_row summary [ "added storage bits"; string_of_int cost.added_bits ];
+  Table.add_row summary
+    [ "chip area increase";
+      Table.cell_percent (Scd_energy.Model.area_increase_percent ~btb_entries) ];
+  Table.add_row summary
+    [ "chip power increase";
+      Table.cell_percent (Scd_energy.Model.power_increase_percent ~btb_entries) ];
+  Table.add_row summary
+    [ "measured SCD speedup (Table IV geomean)"; Table.cell_percent speedup ];
+  Table.add_row summary
+    [ "EDP improvement";
+      Table.cell_percent
+        (Scd_energy.Model.edp_improvement_percent ~btb_entries
+           ~speedup_percent:speedup) ];
+  [ breakdown; summary ]
+
+let experiment =
+  {
+    Experiment.id = "tab5";
+    paper = "Table V";
+    title = "Hardware overhead breakdown and EDP improvement";
+    run;
+  }

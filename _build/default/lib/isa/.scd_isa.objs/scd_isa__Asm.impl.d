@@ -1,0 +1,1 @@
+lib/isa/asm.ml: Array Buffer Filename Fun Instr List Option Printf String

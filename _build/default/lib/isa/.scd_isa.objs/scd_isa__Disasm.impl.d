@@ -1,0 +1,1 @@
+lib/isa/disasm.ml: Array Asm Buffer Encode Format Instr List Printf

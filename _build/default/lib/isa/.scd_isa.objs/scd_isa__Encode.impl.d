@@ -1,0 +1,1 @@
+lib/isa/encode.ml: Bits Instr Printf Result Scd_util

@@ -1,0 +1,1 @@
+lib/isa/event.ml: Format Printf

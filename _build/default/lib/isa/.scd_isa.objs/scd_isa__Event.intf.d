@@ -1,0 +1,1 @@
+lib/isa/event.mli: Format

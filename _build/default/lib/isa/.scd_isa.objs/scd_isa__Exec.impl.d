@@ -1,0 +1,1 @@
+lib/isa/exec.ml: Array Asm Bits Event Hashtbl Instr Option Scd_util

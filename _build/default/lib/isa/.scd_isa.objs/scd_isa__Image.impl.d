@@ -1,0 +1,1 @@
+lib/isa/image.ml: Array Asm Buffer Encode Instr List Printf String

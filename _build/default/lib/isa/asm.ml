@@ -1,0 +1,358 @@
+type program = {
+  base : int;
+  instrs : Instr.t array;
+  symbols : (string * int) list;
+}
+
+type error = { line : int; message : string }
+
+(* ------------------------------------------------------------------ *)
+(* Line-level parsing                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let strip_comment line =
+  let cut c s = match String.index_opt s c with
+    | Some i -> String.sub s 0 i
+    | None -> s
+  in
+  line |> cut '#' |> cut ';'
+
+let tokenize line =
+  (* Split an operand list on commas and whitespace, keeping "off(base)"
+     memory operands intact as single tokens. *)
+  let buf = Buffer.create 16 in
+  let tokens = ref [] in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      tokens := Buffer.contents buf :: !tokens;
+      Buffer.clear buf
+    end
+  in
+  String.iter
+    (fun c ->
+      match c with
+      | ' ' | '\t' | ',' -> flush ()
+      | c -> Buffer.add_char buf c)
+    line;
+  flush ();
+  List.rev !tokens
+
+type operand =
+  | Reg of int
+  | Imm of int
+  | Sym of string
+  | Mem of int * int  (* offset, base register *)
+
+let parse_reg s =
+  let n = String.length s in
+  if n >= 2 && (s.[0] = 'r' || s.[0] = 'R') then
+    match int_of_string_opt (String.sub s 1 (n - 1)) with
+    | Some r when r >= 0 && r < 32 -> Some r
+    | _ -> None
+  else None
+
+let parse_imm s = int_of_string_opt s (* handles 0x..., negatives *)
+
+let parse_mem s =
+  (* "off(base)" *)
+  match String.index_opt s '(' with
+  | None -> None
+  | Some i ->
+    if String.length s = 0 || s.[String.length s - 1] <> ')' then None
+    else
+      let off_str = String.sub s 0 i in
+      let base_str = String.sub s (i + 1) (String.length s - i - 2) in
+      let off = if off_str = "" then Some 0 else parse_imm off_str in
+      (match (off, parse_reg base_str) with
+       | Some off, Some base -> Some (Mem (off, base))
+       | _ -> None)
+
+let parse_operand s =
+  match parse_reg s with
+  | Some r -> Some (Reg r)
+  | None -> (
+    match parse_mem s with
+    | Some m -> Some m
+    | None -> (
+      match parse_imm s with
+      | Some i -> Some (Imm i)
+      | None ->
+        (* label reference: letters, digits, '_', '.' not starting with digit *)
+        if
+          String.length s > 0
+          && (match s.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' | '.' -> true | _ -> false)
+        then Some (Sym s)
+        else None))
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type statement = {
+  line : int;
+  mnemonic : string;
+  operands : operand list;
+}
+
+let alu_ops =
+  [ ("add", Instr.Add); ("sub", Sub); ("and", And); ("or", Or); ("xor", Xor);
+    ("sll", Sll); ("srl", Srl); ("sra", Sra); ("slt", Slt); ("sltu", Sltu);
+    ("mul", Mul); ("div", Div); ("rem", Rem) ]
+
+let conds =
+  [ ("beq", Instr.Eq); ("bne", Ne); ("blt", Lt); ("bge", Ge); ("bltu", Ltu);
+    ("bgeu", Geu) ]
+
+let widths = [ ("b", Instr.Byte); ("h", Half); ("w", Word) ]
+
+let split_op_suffix m =
+  match Filename.check_suffix m ".op" with
+  | true -> (Filename.chop_suffix m ".op", true)
+  | false -> (m, false)
+
+(* Number of machine instructions a statement expands to. *)
+let statement_size st =
+  match (st.mnemonic, st.operands) with
+  | "li", [ Reg _; Imm imm ] when imm < -2048 || imm > 2047 -> 2
+  (* label addresses are unknown in pass 1, so [la] always reserves the
+     full lui+addi pair *)
+  | "la", _ -> 2
+  | _ -> 1
+
+let fits_signed bits v = v >= -(1 lsl (bits - 1)) && v <= (1 lsl (bits - 1)) - 1
+
+(* ------------------------------------------------------------------ *)
+(* Encoding a statement into instructions                              *)
+(* ------------------------------------------------------------------ *)
+
+let err line fmt = Printf.ksprintf (fun message -> Error { line; message }) fmt
+
+let resolve_target symbols line pc = function
+  | Imm i -> Ok i (* already a pc-relative offset *)
+  | Sym s -> (
+    match List.assoc_opt s symbols with
+    | Some addr -> Ok (addr - pc)
+    | None -> err line "undefined label %S" s)
+  | Reg _ | Mem _ -> err line "expected label or offset"
+
+let encode_statement symbols pc st =
+  let { line; mnemonic; operands } = st in
+  let base_mnemonic, op_suffix = split_op_suffix mnemonic in
+  let alu_r op = function
+    | [ Reg rd; Reg rs1; Reg rs2 ] ->
+      Ok [ Instr.Alu { op; rd; rs1; rs2; op_suffix } ]
+    | _ -> err line "%s expects rd, rs1, rs2" mnemonic
+  in
+  let alu_i op = function
+    | [ Reg rd; Reg rs1; Imm imm ] ->
+      if fits_signed 12 imm then Ok [ Instr.Alui { op; rd; rs1; imm; op_suffix } ]
+      else err line "%s immediate %d does not fit 12 bits" mnemonic imm
+    | _ -> err line "%s expects rd, rs1, imm" mnemonic
+  in
+  match base_mnemonic, operands with
+  | "nop", [] -> Ok [ Instr.Alui { op = Add; rd = 0; rs1 = 0; imm = 0; op_suffix = false } ]
+  | "halt", [] -> Ok [ Instr.Halt ]
+  | "bop", [] -> Ok [ Instr.Bop ]
+  | "jte.flush", [] -> Ok [ Instr.Jte_flush ]
+  | "setmask", [ Reg rs ] -> Ok [ Instr.Setmask { rs } ]
+  | "mv", [ Reg rd; Reg rs1 ] ->
+    Ok [ Instr.Alui { op = Add; rd; rs1; imm = 0; op_suffix } ]
+  | "li", [ Reg rd; Imm imm ] ->
+    if fits_signed 12 imm then
+      Ok [ Instr.Alui { op = Add; rd; rs1 = 0; imm; op_suffix = false } ]
+    else begin
+      let lo = imm land 0xFFF in
+      let lo = if lo >= 0x800 then lo - 0x1000 else lo in
+      let hi = (imm - lo) lsr 12 in
+      if hi < 0 || hi >= 1 lsl 20 then err line "li immediate %d out of range" imm
+      else
+        Ok
+          [ Instr.Lui { rd; imm = hi };
+            Instr.Alui { op = Add; rd; rs1 = rd; imm = lo; op_suffix = false } ]
+    end
+  | "lui", [ Reg rd; Imm imm ] -> Ok [ Instr.Lui { rd; imm } ]
+  | "la", [ Reg rd; Sym name ] -> (
+    match List.assoc_opt name symbols with
+    | None -> err line "undefined label %S" name
+    | Some addr ->
+      let lo = addr land 0xFFF in
+      let lo = if lo >= 0x800 then lo - 0x1000 else lo in
+      let hi = (addr - lo) lsr 12 in
+      if hi < 0 || hi >= 1 lsl 20 then err line "la address out of range"
+      else
+        Ok
+          [ Instr.Lui { rd; imm = hi };
+            Instr.Alui { op = Add; rd; rs1 = rd; imm = lo; op_suffix = false } ])
+  | "jal", [ Reg rd; target ] -> (
+    match resolve_target symbols line pc target with
+    | Ok offset -> Ok [ Instr.Jal { rd; offset } ]
+    | Error _ as e -> e)
+  | "j", [ target ] -> (
+    match resolve_target symbols line pc target with
+    | Ok offset -> Ok [ Instr.Jal { rd = 0; offset } ]
+    | Error _ as e -> e)
+  | "call", [ target ] -> (
+    match resolve_target symbols line pc target with
+    | Ok offset -> Ok [ Instr.Jal { rd = 31; offset } ]
+    | Error _ as e -> e)
+  | "jalr", [ Reg rd; Mem (offset, base) ] -> Ok [ Instr.Jalr { rd; base; offset } ]
+  | "jru", [ Reg rd; Mem (offset, base) ] -> Ok [ Instr.Jru { rd; base; offset } ]
+  | "jr", [ Reg base ] -> Ok [ Instr.Jalr { rd = 0; base; offset = 0 } ]
+  | "ret", [] -> Ok [ Instr.Jalr { rd = 0; base = 31; offset = 0 } ]
+  | _ -> (
+    match List.assoc_opt base_mnemonic alu_ops with
+    | Some op -> alu_r op operands
+    | None -> (
+      (* immediate ALU forms: opcode name + "i" *)
+      let n = String.length base_mnemonic in
+      let imm_form =
+        if n > 1 && base_mnemonic.[n - 1] = 'i' then
+          List.assoc_opt (String.sub base_mnemonic 0 (n - 1)) alu_ops
+        else None
+      in
+      match imm_form with
+      | Some op -> alu_i op operands
+      | None -> (
+        match List.assoc_opt base_mnemonic conds with
+        | Some cond -> (
+          match operands with
+          | [ Reg rs1; Reg rs2; target ] -> (
+            match resolve_target symbols line pc target with
+            | Ok offset -> Ok [ Instr.Branch { cond; rs1; rs2; offset } ]
+            | Error _ as e -> e)
+          | _ -> err line "%s expects rs1, rs2, target" mnemonic)
+        | None -> (
+          (* loads/stores: ld{b,h,w}, st{b,h,w} *)
+          let mem kind =
+            let w = String.sub base_mnemonic 2 (String.length base_mnemonic - 2) in
+            match List.assoc_opt w widths with
+            | None -> err line "unknown mnemonic %S" mnemonic
+            | Some width -> (
+              match kind, operands with
+              | `Load, [ Reg rd; Mem (offset, base) ] ->
+                Ok [ Instr.Load { width; rd; base; offset; op_suffix } ]
+              | `Store, [ Reg src; Mem (offset, base) ] ->
+                Ok [ Instr.Store { width; src; base; offset } ]
+              | _, _ -> err line "%s expects reg, off(base)" mnemonic)
+          in
+          if String.length base_mnemonic = 3 && String.sub base_mnemonic 0 2 = "ld"
+          then mem `Load
+          else if
+            String.length base_mnemonic = 3 && String.sub base_mnemonic 0 2 = "st"
+          then mem `Store
+          else err line "unknown mnemonic %S" mnemonic))))
+
+(* ------------------------------------------------------------------ *)
+(* Two passes                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let parse_lines source =
+  let lines = String.split_on_char '\n' source in
+  let statements = ref [] in
+  let labels = ref [] in
+  let error = ref None in
+  List.iteri
+    (fun i raw ->
+      if !error = None then begin
+        let lineno = i + 1 in
+        let text = String.trim (strip_comment raw) in
+        if text <> "" then begin
+          (* Split off any leading "label:" prefixes. *)
+          let rec peel text =
+            match String.index_opt text ':' with
+            | Some ci
+              when String.for_all
+                     (function
+                       | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '.' -> true
+                       | _ -> false)
+                     (String.sub text 0 ci) ->
+              labels := (String.sub text 0 ci, lineno, List.length !statements) :: !labels;
+              peel (String.trim (String.sub text (ci + 1) (String.length text - ci - 1)))
+            | _ -> text
+          in
+          let rest = peel text in
+          if rest <> "" then
+            match tokenize rest with
+            | [] -> ()
+            | mnemonic :: operand_tokens ->
+              let operands = List.map parse_operand operand_tokens in
+              if List.exists Option.is_none operands then
+                error := Some { line = lineno; message = "bad operand in: " ^ rest }
+              else
+                statements :=
+                  {
+                    line = lineno;
+                    mnemonic = String.lowercase_ascii mnemonic;
+                    operands = List.filter_map Fun.id operands;
+                  }
+                  :: !statements
+        end
+      end)
+    lines;
+  match !error with
+  | Some e -> Error e
+  | None -> Ok (List.rev !statements, List.rev !labels)
+
+let assemble ?(base = 0x1000) source =
+  match parse_lines source with
+  | Error e -> Error e
+  | Ok (statements, raw_labels) ->
+    let statements = Array.of_list statements in
+    (* Pass 1: statement addresses. *)
+    let addresses = Array.make (Array.length statements + 1) base in
+    Array.iteri
+      (fun i st -> addresses.(i + 1) <- addresses.(i) + (4 * statement_size st))
+      statements;
+    let symbols =
+      List.map
+        (fun (name, _line, stmt_index) -> (name, addresses.(stmt_index)))
+        raw_labels
+    in
+    (* Reject duplicate labels. *)
+    let dup =
+      List.find_opt
+        (fun (name, _, _) ->
+          List.length (List.filter (fun (n, _, _) -> n = name) raw_labels) > 1)
+        raw_labels
+    in
+    (match dup with
+     | Some (name, line, _) -> Error { line; message = "duplicate label " ^ name }
+     | None ->
+       (* Pass 2: encode. *)
+       let out = ref [] in
+       let error = ref None in
+       Array.iteri
+         (fun i st ->
+           if !error = None then begin
+             (* Branch offsets are relative to the statement's own pc. For a
+                two-instruction [li] the control-flow statement is elsewhere,
+                so using the first pc is always correct. *)
+             match encode_statement symbols addresses.(i) st with
+             | Ok instrs ->
+               List.iter
+                 (fun instr ->
+                   match Instr.validate instr with
+                   | Ok () -> out := instr :: !out
+                   | Error m -> error := Some { line = st.line; message = m })
+                 instrs
+             | Error e -> error := Some e
+           end)
+         statements;
+       (match !error with
+        | Some e -> Error e
+        | None ->
+          Ok { base; instrs = Array.of_list (List.rev !out); symbols }))
+
+let assemble_exn ?base source =
+  match assemble ?base source with
+  | Ok p -> p
+  | Error { line; message } ->
+    failwith (Printf.sprintf "assembly error at line %d: %s" line message)
+
+let address_of program name = List.assoc_opt name program.symbols
+
+let instr_at program addr =
+  let index = (addr - program.base) / 4 in
+  if addr mod 4 = 0 && index >= 0 && index < Array.length program.instrs then
+    Some program.instrs.(index)
+  else None

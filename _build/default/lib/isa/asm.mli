@@ -1,0 +1,43 @@
+(** Two-pass assembler for ERV32 text assembly.
+
+    Syntax, one instruction or label per line:
+    {v
+      # comment (also ';')
+      loop:                     # label definition
+        ldw.op r9, 0(r5)        # load-word with SCD .op suffix
+        addi   r5, r5, 4
+        bop
+        and    r2, r9, r3
+        beq    r1, r0, default  # branch to label or numeric offset
+        jru    r31, 0(r1)
+        jal    r0, loop
+        halt
+    v}
+
+    Pseudo-instructions: [nop], [mv rd, rs], [li rd, imm] (expands to
+    [lui]+[addi] when the immediate does not fit 12 bits), [la rd, label]
+    (absolute address of a label, always two instructions), [j label],
+    [jr rs], [call label] (= [jal r31, label]), [ret] (= [jalr r0, 0(r31)]).
+
+    Registers are written [r0] .. [r31]; immediates are decimal or [0x]-hex,
+    optionally negative. *)
+
+type program = {
+  base : int;  (** Byte address of the first instruction. *)
+  instrs : Instr.t array;
+  symbols : (string * int) list;  (** Label name -> byte address. *)
+}
+
+type error = { line : int; message : string }
+
+val assemble : ?base:int -> string -> (program, error) result
+(** Assemble a source string. [base] defaults to [0x1000]. *)
+
+val assemble_exn : ?base:int -> string -> program
+(** As {!assemble} but raises [Failure] with a located message. *)
+
+val address_of : program -> string -> int option
+(** Look up a label's byte address. *)
+
+val instr_at : program -> int -> Instr.t option
+(** Instruction at a byte address, if within the program. *)

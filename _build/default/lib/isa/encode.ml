@@ -1,0 +1,231 @@
+open Scd_util
+
+let major_of = function
+  | Instr.Alu _ -> 0
+  | Alui _ -> 1
+  | Load _ -> 2
+  | Store _ -> 3
+  | Branch _ -> 4
+  | Jal _ -> 5
+  | Jalr _ -> 6
+  | Lui _ -> 7
+  | Setmask _ -> 8
+  | Bop -> 9
+  | Jru _ -> 10
+  | Jte_flush -> 11
+  | Halt -> 12
+
+let funct_of_alu : Instr.alu_op -> int = function
+  | Add -> 0
+  | Sub -> 1
+  | And -> 2
+  | Or -> 3
+  | Xor -> 4
+  | Sll -> 5
+  | Srl -> 6
+  | Sra -> 7
+  | Slt -> 8
+  | Sltu -> 9
+  | Mul -> 10
+  | Div -> 11
+  | Rem -> 12
+
+let alu_of_funct : int -> (Instr.alu_op, string) result = function
+  | 0 -> Ok Add
+  | 1 -> Ok Sub
+  | 2 -> Ok And
+  | 3 -> Ok Or
+  | 4 -> Ok Xor
+  | 5 -> Ok Sll
+  | 6 -> Ok Srl
+  | 7 -> Ok Sra
+  | 8 -> Ok Slt
+  | 9 -> Ok Sltu
+  | 10 -> Ok Mul
+  | 11 -> Ok Div
+  | 12 -> Ok Rem
+  | n -> Error (Printf.sprintf "invalid ALU funct %d" n)
+
+let code_of_cond : Instr.cond -> int = function
+  | Eq -> 0
+  | Ne -> 1
+  | Lt -> 2
+  | Ge -> 3
+  | Ltu -> 4
+  | Geu -> 5
+
+let cond_of_code : int -> (Instr.cond, string) result = function
+  | 0 -> Ok Eq
+  | 1 -> Ok Ne
+  | 2 -> Ok Lt
+  | 3 -> Ok Ge
+  | 4 -> Ok Ltu
+  | 5 -> Ok Geu
+  | n -> Error (Printf.sprintf "invalid branch cond %d" n)
+
+let code_of_width : Instr.width -> int = function
+  | Byte -> 0
+  | Half -> 1
+  | Word -> 2
+
+let width_of_code : int -> (Instr.width, string) result = function
+  | 0 -> Ok Byte
+  | 1 -> Ok Half
+  | 2 -> Ok Word
+  | n -> Error (Printf.sprintf "invalid memory width %d" n)
+
+let flag b = if b then 1 else 0
+
+let field v ~lo ~width ~value = Bits.deposit v ~lo ~width ~field:value
+
+let encode instr =
+  match Instr.validate instr with
+  | Error _ as e -> e
+  | Ok () ->
+    let w = major_of instr in
+    let word =
+      match instr with
+      | Alu { op; rd; rs1; rs2; op_suffix } ->
+        field w ~lo:5 ~width:5 ~value:rd
+        |> fun w ->
+        field w ~lo:10 ~width:5 ~value:rs1
+        |> fun w ->
+        field w ~lo:15 ~width:5 ~value:rs2
+        |> fun w ->
+        field w ~lo:20 ~width:4 ~value:(funct_of_alu op)
+        |> fun w -> field w ~lo:24 ~width:1 ~value:(flag op_suffix)
+      | Alui { op; rd; rs1; imm; op_suffix } ->
+        field w ~lo:5 ~width:5 ~value:rd
+        |> fun w ->
+        field w ~lo:10 ~width:5 ~value:rs1
+        |> fun w ->
+        field w ~lo:15 ~width:4 ~value:(funct_of_alu op)
+        |> fun w ->
+        field w ~lo:19 ~width:1 ~value:(flag op_suffix)
+        |> fun w -> field w ~lo:20 ~width:12 ~value:imm
+      | Load { width; rd; base; offset; op_suffix } ->
+        field w ~lo:5 ~width:5 ~value:rd
+        |> fun w ->
+        field w ~lo:10 ~width:5 ~value:base
+        |> fun w ->
+        field w ~lo:15 ~width:2 ~value:(code_of_width width)
+        |> fun w ->
+        field w ~lo:17 ~width:1 ~value:(flag op_suffix)
+        |> fun w -> field w ~lo:18 ~width:13 ~value:offset
+      | Store { width; src; base; offset } ->
+        field w ~lo:5 ~width:5 ~value:src
+        |> fun w ->
+        field w ~lo:10 ~width:5 ~value:base
+        |> fun w ->
+        field w ~lo:15 ~width:2 ~value:(code_of_width width)
+        |> fun w -> field w ~lo:17 ~width:13 ~value:offset
+      | Branch { cond; rs1; rs2; offset } ->
+        field w ~lo:5 ~width:5 ~value:rs1
+        |> fun w ->
+        field w ~lo:10 ~width:5 ~value:rs2
+        |> fun w ->
+        field w ~lo:15 ~width:3 ~value:(code_of_cond cond)
+        |> fun w -> field w ~lo:18 ~width:14 ~value:offset
+      | Jal { rd; offset } ->
+        field w ~lo:5 ~width:5 ~value:rd
+        |> fun w -> field w ~lo:10 ~width:22 ~value:offset
+      | Jalr { rd; base; offset } | Jru { rd; base; offset } ->
+        field w ~lo:5 ~width:5 ~value:rd
+        |> fun w ->
+        field w ~lo:10 ~width:5 ~value:base
+        |> fun w -> field w ~lo:15 ~width:13 ~value:offset
+      | Lui { rd; imm } ->
+        field w ~lo:5 ~width:5 ~value:rd
+        |> fun w -> field w ~lo:10 ~width:20 ~value:imm
+      | Setmask { rs } -> field w ~lo:5 ~width:5 ~value:rs
+      | Bop | Jte_flush | Halt -> w
+    in
+    Ok word
+
+let encode_exn instr =
+  match encode instr with
+  | Ok w -> w
+  | Error msg -> invalid_arg ("Encode.encode_exn: " ^ msg)
+
+let ( let* ) = Result.bind
+
+let decode word =
+  let f ~lo ~width = Bits.extract word ~lo ~width in
+  let signed ~lo ~width = Bits.sign_extend (f ~lo ~width) ~width in
+  match f ~lo:0 ~width:5 with
+  | 0 ->
+    let* op = alu_of_funct (f ~lo:20 ~width:4) in
+    Ok
+      (Instr.Alu
+         {
+           op;
+           rd = f ~lo:5 ~width:5;
+           rs1 = f ~lo:10 ~width:5;
+           rs2 = f ~lo:15 ~width:5;
+           op_suffix = f ~lo:24 ~width:1 = 1;
+         })
+  | 1 ->
+    let* op = alu_of_funct (f ~lo:15 ~width:4) in
+    Ok
+      (Instr.Alui
+         {
+           op;
+           rd = f ~lo:5 ~width:5;
+           rs1 = f ~lo:10 ~width:5;
+           imm = signed ~lo:20 ~width:12;
+           op_suffix = f ~lo:19 ~width:1 = 1;
+         })
+  | 2 ->
+    let* width = width_of_code (f ~lo:15 ~width:2) in
+    Ok
+      (Instr.Load
+         {
+           width;
+           rd = f ~lo:5 ~width:5;
+           base = f ~lo:10 ~width:5;
+           offset = signed ~lo:18 ~width:13;
+           op_suffix = f ~lo:17 ~width:1 = 1;
+         })
+  | 3 ->
+    let* width = width_of_code (f ~lo:15 ~width:2) in
+    Ok
+      (Instr.Store
+         {
+           width;
+           src = f ~lo:5 ~width:5;
+           base = f ~lo:10 ~width:5;
+           offset = signed ~lo:17 ~width:13;
+         })
+  | 4 ->
+    let* cond = cond_of_code (f ~lo:15 ~width:3) in
+    Ok
+      (Instr.Branch
+         {
+           cond;
+           rs1 = f ~lo:5 ~width:5;
+           rs2 = f ~lo:10 ~width:5;
+           offset = signed ~lo:18 ~width:14;
+         })
+  | 5 -> Ok (Instr.Jal { rd = f ~lo:5 ~width:5; offset = signed ~lo:10 ~width:22 })
+  | 6 ->
+    Ok
+      (Instr.Jalr
+         {
+           rd = f ~lo:5 ~width:5;
+           base = f ~lo:10 ~width:5;
+           offset = signed ~lo:15 ~width:13;
+         })
+  | 7 -> Ok (Instr.Lui { rd = f ~lo:5 ~width:5; imm = f ~lo:10 ~width:20 })
+  | 8 -> Ok (Instr.Setmask { rs = f ~lo:5 ~width:5 })
+  | 9 -> Ok Instr.Bop
+  | 10 ->
+    Ok
+      (Instr.Jru
+         {
+           rd = f ~lo:5 ~width:5;
+           base = f ~lo:10 ~width:5;
+           offset = signed ~lo:15 ~width:13;
+         })
+  | 11 -> Ok Instr.Jte_flush
+  | 12 -> Ok Instr.Halt
+  | n -> Error (Printf.sprintf "unknown major opcode %d" n)

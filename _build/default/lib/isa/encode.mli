@@ -1,0 +1,27 @@
+(** Binary encoding of ERV32 instructions into 32-bit words.
+
+    Layout (bit ranges inclusive, little-endian bit numbering):
+
+    - major opcode in bits [4:0];
+    - [Alu]: rd[9:5] rs1[14:10] rs2[19:15] funct[23:20] op-flag[24];
+    - [Alui]: rd[9:5] rs1[14:10] funct[18:15] op-flag[19] imm12[31:20];
+    - [Load]: rd[9:5] base[14:10] width[16:15] op-flag[17] imm13[30:18];
+    - [Store]: src[9:5] base[14:10] width[16:15] imm13[29:17];
+    - [Branch]: rs1[9:5] rs2[14:10] cond[17:15] imm14[31:18];
+    - [Jal]: rd[9:5] imm22[31:10];
+    - [Jalr]/[Jru]: rd[9:5] base[14:10] imm13[27:15];
+    - [Lui]: rd[9:5] imm20[29:10];
+    - [Setmask]: rs[9:5]; [Bop]/[Jte_flush]/[Halt]: major only.
+
+    Signed immediates are stored in two's complement within their field. *)
+
+val encode : Instr.t -> (int, string) result
+(** Encode to a 32-bit word (returned as a non-negative [int]). Fails with a
+    descriptive message when [Instr.validate] fails. *)
+
+val encode_exn : Instr.t -> int
+(** As {!encode} but raises [Invalid_argument]. *)
+
+val decode : int -> (Instr.t, string) result
+(** Decode a 32-bit word. Fails on unknown major opcodes or invalid function
+    codes. [decode] is a left inverse of [encode]. *)

@@ -1,0 +1,47 @@
+type kind =
+  | Plain
+  | Mem_read of { addr : int }
+  | Mem_write of { addr : int }
+  | Cond_branch of { taken : bool; target : int }
+  | Jump of { target : int }
+  | Ind_jump of { target : int; hint : int option }
+  | Call of { target : int; indirect : bool }
+  | Return of { target : int }
+  | Bop of { opcode : int; hit : bool; target : int }
+  | Jru of { opcode : int option; target : int }
+  | Jte_flush
+
+type t = { pc : int; kind : kind; dispatch : bool; sets_rop : bool }
+
+let make ?(dispatch = false) ?(sets_rop = false) pc kind =
+  { pc; kind; dispatch; sets_rop }
+
+let plain ?dispatch ?sets_rop pc = make ?dispatch ?sets_rop pc Plain
+
+let is_control t =
+  match t.kind with
+  | Cond_branch _ | Jump _ | Ind_jump _ | Call _ | Return _ | Bop _ | Jru _ ->
+    true
+  | Plain | Mem_read _ | Mem_write _ | Jte_flush -> false
+
+let pp fmt t =
+  let k =
+    match t.kind with
+    | Plain -> "plain"
+    | Mem_read { addr } -> Printf.sprintf "load[0x%x]" addr
+    | Mem_write { addr } -> Printf.sprintf "store[0x%x]" addr
+    | Cond_branch { taken; target } ->
+      Printf.sprintf "br(%s->0x%x)" (if taken then "T" else "N") target
+    | Jump { target } -> Printf.sprintf "j(0x%x)" target
+    | Ind_jump { target; _ } -> Printf.sprintf "ij(0x%x)" target
+    | Call { target; indirect } ->
+      Printf.sprintf "call%s(0x%x)" (if indirect then "*" else "") target
+    | Return { target } -> Printf.sprintf "ret(0x%x)" target
+    | Bop { opcode; hit; target } ->
+      Printf.sprintf "bop(op=%d,%s,0x%x)" opcode (if hit then "hit" else "miss") target
+    | Jru { target; _ } -> Printf.sprintf "jru(0x%x)" target
+    | Jte_flush -> "jte.flush"
+  in
+  Format.fprintf fmt "0x%x:%s%s%s" t.pc k
+    (if t.dispatch then " [disp]" else "")
+    (if t.sets_rop then " [.op]" else "")

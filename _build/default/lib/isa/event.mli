@@ -1,0 +1,52 @@
+(** Dynamic instruction events.
+
+    A simulated run — whether execution-driven (the ERV32 functional
+    executor) or trace-driven (the VM co-simulator) — is a stream of these
+    events in program order. The timing model ({!Scd_uarch.Pipeline}) consumes
+    them one at a time; it never needs architectural register values, only
+    PCs, control-flow outcomes and memory addresses. *)
+
+type kind =
+  | Plain  (** ALU, lui, setmask, ... one issue slot, no memory port. *)
+  | Mem_read of { addr : int }
+  | Mem_write of { addr : int }
+  | Cond_branch of { taken : bool; target : int }
+      (** [target] is the taken-path PC (used for BTB training). *)
+  | Jump of { target : int }  (** Direct unconditional jump. *)
+  | Ind_jump of { target : int; hint : int option }
+      (** Indirect jump via register. [hint] is the compiler-identified value
+          correlated with the target (the opcode, for the dispatch jump);
+          the VBBI predictor indexes the BTB with a hash of PC and hint. *)
+  | Call of { target : int; indirect : bool }
+  | Return of { target : int }
+  | Bop of { opcode : int; hit : bool; target : int }
+      (** SCD branch-on-opcode. [hit] and [target] are decided by the SCD
+          engine at trace time (the BTB is architecturally visible); the
+          pipeline charges stall bubbles and records fast-path statistics.
+          On a miss [target] is the fall-through PC. *)
+  | Jru of { opcode : int option; target : int }
+      (** SCD jump-register-with-JTE-update: times like an indirect jump;
+          the JTE insertion has already been performed by the engine. *)
+  | Jte_flush
+
+type t = {
+  pc : int;  (** Byte address of the instruction. *)
+  kind : kind;
+  dispatch : bool;
+      (** True when the instruction belongs to the interpreter dispatcher
+          code (fetch/decode/bound-check/target-calculation/jump); drives the
+          paper's Figure 2 and Figure 3 accounting. *)
+  sets_rop : bool;
+      (** True for [.op]-suffixed instructions; lets the pipeline model the
+          Rop-not-ready stall before a subsequent [bop]. *)
+}
+
+val plain : ?dispatch:bool -> ?sets_rop:bool -> int -> t
+(** [plain pc] is a non-memory, non-control event. *)
+
+val make : ?dispatch:bool -> ?sets_rop:bool -> int -> kind -> t
+
+val is_control : t -> bool
+(** True for every kind that can redirect the PC. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,240 @@
+open Scd_util
+
+type scd_backend = {
+  bop_lookup : opcode:int -> int option;
+  jru_insert : opcode:int -> target:int -> unit;
+  jte_flush : unit -> unit;
+}
+
+let unbounded_backend () =
+  let table : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  {
+    bop_lookup = (fun ~opcode -> Hashtbl.find_opt table opcode);
+    jru_insert = (fun ~opcode ~target -> Hashtbl.replace table opcode target);
+    jte_flush = (fun () -> Hashtbl.reset table);
+  }
+
+type t = {
+  program : Asm.program;
+  regs : int array;
+  memory : (int, int) Hashtbl.t; (* byte address -> byte *)
+  scd : scd_backend;
+  sink : (Event.t -> unit) option;
+  mutable pc : int;
+  mutable halted : bool;
+  mutable retired : int;
+  (* SCD architectural registers *)
+  mutable rop_d : int;
+  mutable rop_v : bool;
+  mutable rmask : int;
+  mutable rbop_pc : int; (* -1 when unset *)
+}
+
+let word_mask = 0xFFFFFFFF
+
+let create ?scd ?sink program =
+  let scd = match scd with Some s -> s | None -> unbounded_backend () in
+  {
+    program;
+    regs = Array.make 32 0;
+    memory = Hashtbl.create 1024;
+    scd;
+    sink;
+    pc = program.base;
+    halted = false;
+    retired = 0;
+    rop_d = 0;
+    rop_v = false;
+    rmask = word_mask;
+    rbop_pc = -1;
+  }
+
+let reg t r = t.regs.(r)
+let set_reg t r v = if r <> 0 then t.regs.(r) <- v land word_mask
+let pc t = t.pc
+let halted t = t.halted
+let instructions_retired t = t.retired
+let rop t = (t.rop_d, t.rop_v)
+let rmask t = t.rmask
+
+let load_byte t addr = Option.value ~default:0 (Hashtbl.find_opt t.memory addr)
+let store_byte t addr v = Hashtbl.replace t.memory addr (v land 0xFF)
+
+let load_width t width addr =
+  match width with
+  | Instr.Byte -> load_byte t addr
+  | Half -> load_byte t addr lor (load_byte t (addr + 1) lsl 8)
+  | Word ->
+    load_byte t addr
+    lor (load_byte t (addr + 1) lsl 8)
+    lor (load_byte t (addr + 2) lsl 16)
+    lor (load_byte t (addr + 3) lsl 24)
+
+let store_width t width addr v =
+  match width with
+  | Instr.Byte -> store_byte t addr v
+  | Half ->
+    store_byte t addr v;
+    store_byte t (addr + 1) (v lsr 8)
+  | Word ->
+    store_byte t addr v;
+    store_byte t (addr + 1) (v lsr 8);
+    store_byte t (addr + 2) (v lsr 16);
+    store_byte t (addr + 3) (v lsr 24)
+
+let load_word t addr = load_width t Word addr
+let store_word t addr v = store_width t Word addr v
+
+let signed v = Bits.sign_extend v ~width:32
+
+let alu_eval op a b =
+  let open Instr in
+  let result =
+    match op with
+    | Add -> a + b
+    | Sub -> a - b
+    | And -> a land b
+    | Or -> a lor b
+    | Xor -> a lxor b
+    | Sll -> a lsl (b land 31)
+    | Srl -> (a land word_mask) lsr (b land 31)
+    | Sra -> signed a asr (b land 31)
+    | Slt -> if signed a < signed b then 1 else 0
+    | Sltu -> if a land word_mask < b land word_mask then 1 else 0
+    | Mul -> a * b
+    | Div -> if b = 0 then -1 else signed a / signed b
+    | Rem -> if b = 0 then a else signed a mod signed b
+  in
+  result land word_mask
+
+type stop_reason = Halted | Step_limit | Decode_fault of { pc : int }
+
+let latch_rop t result =
+  t.rop_d <- result land t.rmask;
+  t.rop_v <- true
+
+let emit t event = match t.sink with Some f -> f event | None -> ()
+
+(* Classify a jalr for the event stream: RISC-V-style conventions with r31 as
+   the link register. *)
+let classify_indirect ~rd ~base ~target =
+  if rd = 31 then Event.Call { target; indirect = true }
+  else if rd = 0 && base = 31 then Event.Return { target }
+  else Event.Ind_jump { target; hint = None }
+
+let step t : stop_reason option =
+  if t.halted then Some Halted
+  else
+    match Asm.instr_at t.program t.pc with
+    | None -> Some (Decode_fault { pc = t.pc })
+    | Some instr ->
+      let pc = t.pc in
+      let next = pc + 4 in
+      t.retired <- t.retired + 1;
+      (match instr with
+       | Alu { op; rd; rs1; rs2; op_suffix } ->
+         let result = alu_eval op t.regs.(rs1) t.regs.(rs2) in
+         set_reg t rd result;
+         if op_suffix then latch_rop t result;
+         emit t (Event.plain ~sets_rop:op_suffix pc);
+         t.pc <- next
+       | Alui { op; rd; rs1; imm; op_suffix } ->
+         let result = alu_eval op t.regs.(rs1) (imm land word_mask) in
+         set_reg t rd result;
+         if op_suffix then latch_rop t result;
+         emit t (Event.plain ~sets_rop:op_suffix pc);
+         t.pc <- next
+       | Load { width; rd; base; offset; op_suffix } ->
+         let addr = (t.regs.(base) + offset) land word_mask in
+         let value = load_width t width addr in
+         set_reg t rd value;
+         if op_suffix then latch_rop t value;
+         emit t (Event.make ~sets_rop:op_suffix pc (Mem_read { addr }));
+         t.pc <- next
+       | Store { width; src; base; offset } ->
+         let addr = (t.regs.(base) + offset) land word_mask in
+         store_width t width addr t.regs.(src);
+         emit t (Event.make pc (Mem_write { addr }));
+         t.pc <- next
+       | Branch { cond; rs1; rs2; offset } ->
+         let a = t.regs.(rs1) and b = t.regs.(rs2) in
+         let taken =
+           match cond with
+           | Eq -> a = b
+           | Ne -> a <> b
+           | Lt -> signed a < signed b
+           | Ge -> signed a >= signed b
+           | Ltu -> a < b
+           | Geu -> a >= b
+         in
+         let target = pc + offset in
+         emit t (Event.make pc (Cond_branch { taken; target }));
+         t.pc <- (if taken then target else next)
+       | Jal { rd; offset } ->
+         let target = pc + offset in
+         set_reg t rd next;
+         emit t
+           (Event.make pc
+              (if rd = 31 then Event.Call { target; indirect = false }
+               else Event.Jump { target }));
+         t.pc <- target
+       | Jalr { rd; base; offset } ->
+         let target = (t.regs.(base) + offset) land lnot 3 land word_mask in
+         set_reg t rd next;
+         emit t (Event.make pc (classify_indirect ~rd ~base ~target));
+         t.pc <- target
+       | Lui { rd; imm } ->
+         set_reg t rd (imm lsl 12);
+         emit t (Event.plain pc);
+         t.pc <- next
+       | Setmask { rs } ->
+         t.rmask <- t.regs.(rs);
+         emit t (Event.plain pc);
+         t.pc <- next
+       | Bop ->
+         (* Table I: hit requires Rbop-pc == PC, Rop valid, and a JTE for
+            Rop.d; Rbop-pc is updated to this bop's PC either way. *)
+         let hit_target =
+           if t.rbop_pc = pc && t.rop_v then t.scd.bop_lookup ~opcode:t.rop_d
+           else None
+         in
+         (match hit_target with
+          | Some target ->
+            emit t (Event.make pc (Bop { opcode = t.rop_d; hit = true; target }));
+            t.rop_v <- false;
+            t.pc <- target
+          | None ->
+            emit t (Event.make pc (Bop { opcode = t.rop_d; hit = false; target = next }));
+            t.pc <- next);
+         t.rbop_pc <- pc
+       | Jru { rd; base; offset } ->
+         let target = (t.regs.(base) + offset) land lnot 3 land word_mask in
+         set_reg t rd next;
+         let opcode = if t.rop_v then Some t.rop_d else None in
+         (match opcode with
+          | Some op_value ->
+            t.scd.jru_insert ~opcode:op_value ~target;
+            t.rop_v <- false
+          | None -> ());
+         emit t (Event.make pc (Jru { opcode; target }));
+         t.pc <- target
+       | Jte_flush ->
+         t.scd.jte_flush ();
+         t.rop_v <- false;
+         emit t (Event.make pc Jte_flush);
+         t.pc <- next
+       | Halt ->
+         t.halted <- true;
+         emit t (Event.plain pc);
+         t.pc <- next);
+      if t.halted then Some Halted else None
+
+let run ?(max_steps = 10_000_000) t =
+  let rec go remaining =
+    if remaining = 0 then Step_limit
+    else
+      match step t with
+      | Some reason -> reason
+      | None -> go (remaining - 1)
+  in
+  go max_steps

@@ -1,0 +1,57 @@
+type t = { base : int; words : int array }
+
+let of_program (program : Asm.program) =
+  { base = program.base; words = Array.map Encode.encode_exn program.instrs }
+
+let to_program t =
+  let instrs = Array.make (Array.length t.words) Instr.Halt in
+  let rec decode i =
+    if i = Array.length t.words then Ok { Asm.base = t.base; instrs; symbols = [] }
+    else
+      match Encode.decode t.words.(i) with
+      | Ok instr ->
+        instrs.(i) <- instr;
+        decode (i + 1)
+      | Error m ->
+        Error (Printf.sprintf "undecodable word %08x at 0x%x: %s" t.words.(i)
+                 (t.base + (4 * i)) m)
+  in
+  decode 0
+
+let to_hex t =
+  let buf = Buffer.create (16 + (9 * Array.length t.words)) in
+  Buffer.add_string buf (Printf.sprintf "@%08x\n" t.base);
+  Array.iter (fun w -> Buffer.add_string buf (Printf.sprintf "%08x\n" w)) t.words;
+  Buffer.contents buf
+
+let of_hex source =
+  let base = ref 0x1000 in
+  let words = ref [] in
+  let error = ref None in
+  List.iteri
+    (fun lineno raw ->
+      if !error = None then begin
+        let line =
+          match String.index_opt raw '#' with
+          | Some i -> String.sub raw 0 i
+          | None -> raw
+        in
+        let line = String.trim line in
+        if line <> "" then
+          if line.[0] = '@' then begin
+            match int_of_string_opt ("0x" ^ String.sub line 1 (String.length line - 1)) with
+            | Some a when !words = [] -> base := a
+            | Some _ ->
+              error := Some (Printf.sprintf "line %d: @address after data" (lineno + 1))
+            | None ->
+              error := Some (Printf.sprintf "line %d: bad address record" (lineno + 1))
+          end
+          else
+            match int_of_string_opt ("0x" ^ line) with
+            | Some w when w >= 0 && w <= 0xFFFFFFFF -> words := w :: !words
+            | _ -> error := Some (Printf.sprintf "line %d: bad word %S" (lineno + 1) line)
+      end)
+    (String.split_on_char '\n' source);
+  match !error with
+  | Some m -> Error m
+  | None -> Ok { base = !base; words = Array.of_list (List.rev !words) }

@@ -1,0 +1,35 @@
+(** Binary program images: the bridge between the assembler and a stored
+    machine-code artefact.
+
+    An image is the encoded 32-bit words of a program plus its base address.
+    The textual container is a Verilog-style hex format — an `@address`
+    record followed by one 8-digit word per line, with `#` comments — the
+    format FPGA flows and boot ROMs conventionally consume:
+
+    {v
+      @00001000
+      0000A0C1   # addi r6, r0, 10
+      ...
+    v}
+
+    [to_program] decodes an image back into executable form (labels are
+    gone; branch targets are already resolved displacements), so stored
+    images run on {!Exec} like freshly assembled sources. *)
+
+type t = {
+  base : int;  (** Byte address of the first word. *)
+  words : int array;  (** Encoded instructions, one per 4 bytes. *)
+}
+
+val of_program : Asm.program -> t
+(** Encode every instruction. Raises [Invalid_argument] only if the program
+    contains an unencodable instruction (assembled programs never do). *)
+
+val to_program : t -> (Asm.program, string) result
+(** Decode back to an executable program (with an empty symbol table). Fails
+    on any undecodable word, naming its address. *)
+
+val to_hex : t -> string
+val of_hex : string -> (t, string) result
+(** Parse the hex container; tolerates blank lines and [#] comments.
+    Defaults the base to 0x1000 when no [@address] record is present. *)

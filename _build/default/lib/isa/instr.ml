@@ -1,0 +1,159 @@
+type reg = int
+
+type alu_op =
+  | Add
+  | Sub
+  | And
+  | Or
+  | Xor
+  | Sll
+  | Srl
+  | Sra
+  | Slt
+  | Sltu
+  | Mul
+  | Div
+  | Rem
+
+type cond = Eq | Ne | Lt | Ge | Ltu | Geu
+
+type width = Byte | Half | Word
+
+type t =
+  | Alu of { op : alu_op; rd : reg; rs1 : reg; rs2 : reg; op_suffix : bool }
+  | Alui of { op : alu_op; rd : reg; rs1 : reg; imm : int; op_suffix : bool }
+  | Load of { width : width; rd : reg; base : reg; offset : int; op_suffix : bool }
+  | Store of { width : width; src : reg; base : reg; offset : int }
+  | Branch of { cond : cond; rs1 : reg; rs2 : reg; offset : int }
+  | Jal of { rd : reg; offset : int }
+  | Jalr of { rd : reg; base : reg; offset : int }
+  | Lui of { rd : reg; imm : int }
+  | Setmask of { rs : reg }
+  | Bop
+  | Jru of { rd : reg; base : reg; offset : int }
+  | Jte_flush
+  | Halt
+
+let alu_op_name = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | And -> "and"
+  | Or -> "or"
+  | Xor -> "xor"
+  | Sll -> "sll"
+  | Srl -> "srl"
+  | Sra -> "sra"
+  | Slt -> "slt"
+  | Sltu -> "sltu"
+  | Mul -> "mul"
+  | Div -> "div"
+  | Rem -> "rem"
+
+let cond_name = function
+  | Eq -> "beq"
+  | Ne -> "bne"
+  | Lt -> "blt"
+  | Ge -> "bge"
+  | Ltu -> "bltu"
+  | Geu -> "bgeu"
+
+let width_name = function Byte -> "b" | Half -> "h" | Word -> "w"
+
+let suffix s op_suffix = if op_suffix then s ^ ".op" else s
+
+let mnemonic = function
+  | Alu { op; op_suffix; _ } -> suffix (alu_op_name op) op_suffix
+  | Alui { op; op_suffix; _ } -> suffix (alu_op_name op ^ "i") op_suffix
+  | Load { width; op_suffix; _ } -> suffix ("ld" ^ width_name width) op_suffix
+  | Store { width; _ } -> "st" ^ width_name width
+  | Branch { cond; _ } -> cond_name cond
+  | Jal _ -> "jal"
+  | Jalr _ -> "jalr"
+  | Lui _ -> "lui"
+  | Setmask _ -> "setmask"
+  | Bop -> "bop"
+  | Jru _ -> "jru"
+  | Jte_flush -> "jte.flush"
+  | Halt -> "halt"
+
+let is_scd_extension = function
+  | Setmask _ | Bop | Jru _ | Jte_flush -> true
+  | Alu { op_suffix; _ } | Alui { op_suffix; _ } | Load { op_suffix; _ } ->
+    op_suffix
+  | Store _ | Branch _ | Jal _ | Jalr _ | Lui _ | Halt -> false
+
+let check cond msg = if cond then Ok () else Error msg
+
+let ( let* ) r f = match r with Ok () -> f () | Error _ as e -> e
+
+let check_reg name r =
+  check (r >= 0 && r < 32) (Printf.sprintf "%s out of range: %d" name r)
+
+let check_signed name bits v =
+  let lo = -(1 lsl (bits - 1)) and hi = (1 lsl (bits - 1)) - 1 in
+  check (v >= lo && v <= hi)
+    (Printf.sprintf "%s immediate out of %d-bit range: %d" name bits v)
+
+let check_aligned name v =
+  check (v mod 4 = 0) (Printf.sprintf "%s offset not 4-byte aligned: %d" name v)
+
+let validate = function
+  | Alu { rd; rs1; rs2; _ } ->
+    let* () = check_reg "rd" rd in
+    let* () = check_reg "rs1" rs1 in
+    check_reg "rs2" rs2
+  | Alui { rd; rs1; imm; _ } ->
+    let* () = check_reg "rd" rd in
+    let* () = check_reg "rs1" rs1 in
+    check_signed "alui" 12 imm
+  | Load { rd; base; offset; _ } ->
+    let* () = check_reg "rd" rd in
+    let* () = check_reg "base" base in
+    check_signed "load" 13 offset
+  | Store { src; base; offset; _ } ->
+    let* () = check_reg "src" src in
+    let* () = check_reg "base" base in
+    check_signed "store" 13 offset
+  | Branch { rs1; rs2; offset; _ } ->
+    let* () = check_reg "rs1" rs1 in
+    let* () = check_reg "rs2" rs2 in
+    let* () = check_signed "branch" 14 offset in
+    check_aligned "branch" offset
+  | Jal { rd; offset } ->
+    let* () = check_reg "rd" rd in
+    let* () = check_signed "jal" 22 offset in
+    check_aligned "jal" offset
+  | Jalr { rd; base; offset } | Jru { rd; base; offset } ->
+    let* () = check_reg "rd" rd in
+    let* () = check_reg "base" base in
+    check_signed "jalr" 13 offset
+  | Lui { rd; imm } ->
+    let* () = check_reg "rd" rd in
+    check (imm >= 0 && imm < 1 lsl 20)
+      (Printf.sprintf "lui immediate out of 20-bit range: %d" imm)
+  | Setmask { rs } -> check_reg "rs" rs
+  | Bop | Jte_flush | Halt -> Ok ()
+
+let equal (a : t) (b : t) = a = b
+
+let pp fmt t =
+  let reg r = Printf.sprintf "r%d" r in
+  match t with
+  | Alu { rd; rs1; rs2; _ } ->
+    Format.fprintf fmt "%s %s, %s, %s" (mnemonic t) (reg rd) (reg rs1) (reg rs2)
+  | Alui { rd; rs1; imm; _ } ->
+    Format.fprintf fmt "%s %s, %s, %d" (mnemonic t) (reg rd) (reg rs1) imm
+  | Load { rd; base; offset; _ } ->
+    Format.fprintf fmt "%s %s, %d(%s)" (mnemonic t) (reg rd) offset (reg base)
+  | Store { src; base; offset; _ } ->
+    Format.fprintf fmt "%s %s, %d(%s)" (mnemonic t) (reg src) offset (reg base)
+  | Branch { rs1; rs2; offset; _ } ->
+    Format.fprintf fmt "%s %s, %s, %d" (mnemonic t) (reg rs1) (reg rs2) offset
+  | Jal { rd; offset } -> Format.fprintf fmt "jal %s, %d" (reg rd) offset
+  | Jalr { rd; base; offset } ->
+    Format.fprintf fmt "jalr %s, %d(%s)" (reg rd) offset (reg base)
+  | Jru { rd; base; offset } ->
+    Format.fprintf fmt "jru %s, %d(%s)" (reg rd) offset (reg base)
+  | Lui { rd; imm } -> Format.fprintf fmt "lui %s, %d" (reg rd) imm
+  | Setmask { rs } -> Format.fprintf fmt "setmask %s" (reg rs)
+  | Bop | Jte_flush | Halt -> Format.fprintf fmt "%s" (mnemonic t)

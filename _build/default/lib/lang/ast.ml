@@ -1,0 +1,67 @@
+(** Abstract syntax of Mina.
+
+    The language is deliberately a strict subset of Lua's shape: dynamic
+    types, tables as the only data structure, first-class functions (without
+    upvalue capture — functions may reference their own locals, parameters
+    and globals only; the compilers reject other references). Assignments
+    and [local] declarations bind a single name, and functions return at
+    most one value. *)
+
+type unop = Neg | Not | Len
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div  (** Float division, as in Lua 5.3. *)
+  | Idiv  (** Floor division [//]. *)
+  | Mod
+  | Concat
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+
+type expr =
+  | Nil
+  | True
+  | False
+  | Int of int
+  | Float of float
+  | Str of string
+  | Var of string  (** Resolved to local, parameter or global at compile time. *)
+  | Index of expr * expr  (** [t\[k\]]; [t.k] desugars to [t\["k"\]]. *)
+  | Call of expr * expr list
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | And of expr * expr  (** Short-circuit; yields one of its operands. *)
+  | Or of expr * expr
+  | Table of field list
+  | Function of string list * block  (** Anonymous function literal. *)
+
+and field =
+  | Positional of expr  (** Array part, 1-based like Lua. *)
+  | Named of string * expr
+  | Keyed of expr * expr
+
+and stmt =
+  | Local of string * expr option
+  | Assign of expr * expr
+      (** Target is [Var _] or [Index _] (enforced by the parser). *)
+  | Expr_stmt of expr  (** Call used as a statement. *)
+  | If of (expr * block) list * block option
+  | While of expr * block
+  | Repeat of block * expr
+      (** [repeat body until cond]: body runs at least once; exits when
+          [cond] becomes true. *)
+  | Numeric_for of { var : string; start : expr; stop : expr; step : expr option; body : block }
+  | Return of expr option
+  | Break
+  | Function_decl of string * string list * block
+      (** [function name(params) body end]: sugar for a global binding. *)
+
+and block = stmt list
+
+type program = block

@@ -1,0 +1,150 @@
+exception Error of { line : int; message : string }
+
+let fail line fmt = Printf.ksprintf (fun message -> raise (Error { line; message })) fmt
+
+let is_digit c = c >= '0' && c <= '9'
+let is_hex c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+let is_name_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_name_char c = is_name_start c || is_digit c
+
+let tokenize source =
+  let n = String.length source in
+  let tokens = ref [] in
+  let line = ref 1 in
+  let pos = ref 0 in
+  let peek k = if !pos + k < n then Some source.[!pos + k] else None in
+  let emit tok = tokens := (tok, !line) :: !tokens in
+  let advance () = incr pos in
+  while !pos < n do
+    let c = source.[!pos] in
+    if c = '\n' then begin
+      incr line;
+      advance ()
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then advance ()
+    else if c = '-' && peek 1 = Some '-' then begin
+      (* comment to end of line *)
+      while !pos < n && source.[!pos] <> '\n' do
+        advance ()
+      done
+    end
+    else if is_digit c then begin
+      let start = !pos in
+      if c = '0' && (peek 1 = Some 'x' || peek 1 = Some 'X') then begin
+        pos := !pos + 2;
+        while (match peek 0 with Some c -> is_hex c | None -> false) do
+          advance ()
+        done;
+        let text = String.sub source start (!pos - start) in
+        match int_of_string_opt text with
+        | Some v -> emit (Token.Int_lit v)
+        | None -> fail !line "bad hex literal %S" text
+      end
+      else begin
+        let is_float = ref false in
+        while (match peek 0 with Some c -> is_digit c | None -> false) do
+          advance ()
+        done;
+        (if peek 0 = Some '.'
+            && (match peek 1 with Some c -> is_digit c | None -> false)
+         then begin
+           is_float := true;
+           advance ();
+           while (match peek 0 with Some c -> is_digit c | None -> false) do
+             advance ()
+           done
+         end);
+        (match peek 0 with
+         | Some ('e' | 'E') ->
+           let after_sign =
+             match peek 1 with Some ('+' | '-') -> 2 | _ -> 1
+           in
+           (match peek after_sign with
+            | Some c when is_digit c ->
+              is_float := true;
+              pos := !pos + after_sign;
+              while (match peek 0 with Some c -> is_digit c | None -> false) do
+                advance ()
+              done
+            | _ -> ())
+         | _ -> ());
+        let text = String.sub source start (!pos - start) in
+        if !is_float then
+          match float_of_string_opt text with
+          | Some v -> emit (Token.Float_lit v)
+          | None -> fail !line "bad float literal %S" text
+        else
+          match int_of_string_opt text with
+          | Some v -> emit (Token.Int_lit v)
+          | None -> fail !line "bad integer literal %S" text
+      end
+    end
+    else if is_name_start c then begin
+      let start = !pos in
+      while (match peek 0 with Some c -> is_name_char c | None -> false) do
+        advance ()
+      done;
+      let text = String.sub source start (!pos - start) in
+      match Token.keyword_of_string text with
+      | Some kw -> emit kw
+      | None -> emit (Token.Name text)
+    end
+    else if c = '"' then begin
+      advance ();
+      let buf = Buffer.create 16 in
+      let rec scan () =
+        match peek 0 with
+        | None -> fail !line "unterminated string literal"
+        | Some '"' -> advance ()
+        | Some '\n' -> fail !line "newline in string literal"
+        | Some '\\' -> (
+          advance ();
+          match peek 0 with
+          | Some 'n' -> Buffer.add_char buf '\n'; advance (); scan ()
+          | Some 't' -> Buffer.add_char buf '\t'; advance (); scan ()
+          | Some '\\' -> Buffer.add_char buf '\\'; advance (); scan ()
+          | Some '"' -> Buffer.add_char buf '"'; advance (); scan ()
+          | Some c -> fail !line "bad escape \\%c" c
+          | None -> fail !line "unterminated string literal")
+        | Some c ->
+          Buffer.add_char buf c;
+          advance ();
+          scan ()
+      in
+      scan ();
+      emit (Token.Str_lit (Buffer.contents buf))
+    end
+    else begin
+      let two tok = emit tok; advance (); advance () in
+      let one tok = emit tok; advance () in
+      match c, peek 1 with
+      | '=', Some '=' -> two Token.Eq
+      | '~', Some '=' -> two Token.Ne
+      | '<', Some '=' -> two Token.Le
+      | '>', Some '=' -> two Token.Ge
+      | '/', Some '/' -> two Token.Dslash
+      | '.', Some '.' -> two Token.Dotdot
+      | '=', _ -> one Token.Assign
+      | '<', _ -> one Token.Lt
+      | '>', _ -> one Token.Gt
+      | '+', _ -> one Token.Plus
+      | '-', _ -> one Token.Minus
+      | '*', _ -> one Token.Star
+      | '/', _ -> one Token.Slash
+      | '%', _ -> one Token.Percent
+      | '(', _ -> one Token.Lparen
+      | ')', _ -> one Token.Rparen
+      | '{', _ -> one Token.Lbrace
+      | '}', _ -> one Token.Rbrace
+      | '[', _ -> one Token.Lbracket
+      | ']', _ -> one Token.Rbracket
+      | ';', _ -> one Token.Semi
+      | ',', _ -> one Token.Comma
+      | '.', _ -> one Token.Dot
+      | '#', _ -> one Token.Hash
+      | '~', _ -> fail !line "unexpected character '~'"
+      | c, _ -> fail !line "unexpected character %C" c
+    end
+  done;
+  emit Token.Eof;
+  List.rev !tokens

@@ -1,0 +1,12 @@
+(** Hand-written lexer for Mina source text.
+
+    Comments run from [--] to end of line. String literals use double quotes
+    with backslash escapes for newline, tab, backslash and double quote.
+    Numbers are decimal integers,
+    decimal floats ([1.5], [1e9], [2.5e-3]) or hex integers ([0x1F]). *)
+
+exception Error of { line : int; message : string }
+
+val tokenize : string -> (Token.t * int) list
+(** Token stream with 1-based line numbers, ending with [Eof]. Raises
+    {!Error} on malformed input. *)

@@ -1,0 +1,313 @@
+exception Error of { line : int; message : string }
+
+type state = { tokens : (Token.t * int) array; mutable pos : int }
+
+let fail st fmt =
+  let line = snd st.tokens.(min st.pos (Array.length st.tokens - 1)) in
+  Printf.ksprintf (fun message -> raise (Error { line; message })) fmt
+
+let peek st = fst st.tokens.(st.pos)
+let advance st = st.pos <- st.pos + 1
+
+let expect st tok =
+  if peek st = tok then advance st
+  else
+    fail st "expected %s but found %s" (Token.to_string tok)
+      (Token.to_string (peek st))
+
+let accept st tok = if peek st = tok then (advance st; true) else false
+
+let expect_name st =
+  match peek st with
+  | Token.Name n -> advance st; n
+  | t -> fail st "expected a name but found %s" (Token.to_string t)
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_expr_prec st = parse_or st
+
+and parse_or st =
+  let lhs = parse_and st in
+  if accept st Token.Kw_or then Ast.Or (lhs, parse_or st) else lhs
+
+and parse_and st =
+  let lhs = parse_comparison st in
+  if accept st Token.Kw_and then Ast.And (lhs, parse_and st) else lhs
+
+and parse_comparison st =
+  let lhs = parse_concat st in
+  let op =
+    match peek st with
+    | Token.Eq -> Some Ast.Eq
+    | Token.Ne -> Some Ast.Ne
+    | Token.Lt -> Some Ast.Lt
+    | Token.Le -> Some Ast.Le
+    | Token.Gt -> Some Ast.Gt
+    | Token.Ge -> Some Ast.Ge
+    | _ -> None
+  in
+  match op with
+  | None -> lhs
+  | Some op ->
+    advance st;
+    Ast.Binop (op, lhs, parse_concat st)
+
+and parse_concat st =
+  let lhs = parse_additive st in
+  if accept st Token.Dotdot then Ast.Binop (Concat, lhs, parse_concat st)
+  else lhs
+
+and parse_additive st =
+  let rec go lhs =
+    match peek st with
+    | Token.Plus -> advance st; go (Ast.Binop (Add, lhs, parse_multiplicative st))
+    | Token.Minus -> advance st; go (Ast.Binop (Sub, lhs, parse_multiplicative st))
+    | _ -> lhs
+  in
+  go (parse_multiplicative st)
+
+and parse_multiplicative st =
+  let rec go lhs =
+    match peek st with
+    | Token.Star -> advance st; go (Ast.Binop (Mul, lhs, parse_unary st))
+    | Token.Slash -> advance st; go (Ast.Binop (Div, lhs, parse_unary st))
+    | Token.Dslash -> advance st; go (Ast.Binop (Idiv, lhs, parse_unary st))
+    | Token.Percent -> advance st; go (Ast.Binop (Mod, lhs, parse_unary st))
+    | _ -> lhs
+  in
+  go (parse_unary st)
+
+and parse_unary st =
+  match peek st with
+  | Token.Minus -> advance st; Ast.Unop (Neg, parse_unary st)
+  | Token.Kw_not -> advance st; Ast.Unop (Not, parse_unary st)
+  | Token.Hash -> advance st; Ast.Unop (Len, parse_unary st)
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let rec go base =
+    match peek st with
+    | Token.Lbracket ->
+      advance st;
+      let key = parse_expr_prec st in
+      expect st Token.Rbracket;
+      go (Ast.Index (base, key))
+    | Token.Dot ->
+      advance st;
+      let name = expect_name st in
+      go (Ast.Index (base, Ast.Str name))
+    | Token.Lparen ->
+      advance st;
+      let args = parse_call_args st in
+      go (Ast.Call (base, args))
+    | _ -> base
+  in
+  go (parse_primary st)
+
+and parse_call_args st =
+  if accept st Token.Rparen then []
+  else begin
+    let rec go acc =
+      let acc = parse_expr_prec st :: acc in
+      if accept st Token.Comma then go acc
+      else begin
+        expect st Token.Rparen;
+        List.rev acc
+      end
+    in
+    go []
+  end
+
+and parse_primary st =
+  match peek st with
+  | Token.Kw_nil -> advance st; Ast.Nil
+  | Token.Kw_true -> advance st; Ast.True
+  | Token.Kw_false -> advance st; Ast.False
+  | Token.Int_lit v -> advance st; Ast.Int v
+  | Token.Float_lit v -> advance st; Ast.Float v
+  | Token.Str_lit s -> advance st; Ast.Str s
+  | Token.Name n -> advance st; Ast.Var n
+  | Token.Lparen ->
+    advance st;
+    let e = parse_expr_prec st in
+    expect st Token.Rparen;
+    e
+  | Token.Lbrace -> parse_table st
+  | Token.Kw_function ->
+    advance st;
+    let params, body = parse_function_rest st in
+    Ast.Function (params, body)
+  | t -> fail st "unexpected token %s in expression" (Token.to_string t)
+
+and parse_table st =
+  expect st Token.Lbrace;
+  let rec go acc =
+    if accept st Token.Rbrace then List.rev acc
+    else begin
+      let field =
+        match peek st with
+        | Token.Lbracket ->
+          advance st;
+          let key = parse_expr_prec st in
+          expect st Token.Rbracket;
+          expect st Token.Assign;
+          Ast.Keyed (key, parse_expr_prec st)
+        | Token.Name n when fst st.tokens.(st.pos + 1) = Token.Assign ->
+          advance st;
+          advance st;
+          Ast.Named (n, parse_expr_prec st)
+        | _ -> Ast.Positional (parse_expr_prec st)
+      in
+      let acc = field :: acc in
+      if accept st Token.Comma || accept st Token.Semi then go acc
+      else begin
+        expect st Token.Rbrace;
+        List.rev acc
+      end
+    end
+  in
+  Ast.Table (go [])
+
+and parse_function_rest st =
+  expect st Token.Lparen;
+  let params =
+    if accept st Token.Rparen then []
+    else begin
+      let rec go acc =
+        let acc = expect_name st :: acc in
+        if accept st Token.Comma then go acc
+        else begin
+          expect st Token.Rparen;
+          List.rev acc
+        end
+      in
+      go []
+    end
+  in
+  let body = parse_block st in
+  expect st Token.Kw_end;
+  (params, body)
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+and block_follows tok =
+  match tok with
+  | Token.Kw_end | Token.Kw_else | Token.Kw_elseif | Token.Kw_until | Token.Eof ->
+    true
+  | _ -> false
+
+and parse_block st =
+  let rec go acc =
+    if block_follows (peek st) then List.rev acc
+    else begin
+      (* A 'return' or 'break' ends the block (Lua rule). *)
+      match parse_statement st with
+      | (Ast.Return _ | Ast.Break) as s ->
+        ignore (accept st Token.Semi);
+        List.rev (s :: acc)
+      | s -> go (s :: acc)
+    end
+  in
+  go []
+
+and parse_statement st =
+  match peek st with
+  | Token.Semi -> advance st; parse_statement st
+  | Token.Kw_local ->
+    advance st;
+    let name = expect_name st in
+    let init = if accept st Token.Assign then Some (parse_expr_prec st) else None in
+    Ast.Local (name, init)
+  | Token.Kw_if ->
+    advance st;
+    let rec arms acc =
+      let cond = parse_expr_prec st in
+      expect st Token.Kw_then;
+      let body = parse_block st in
+      let acc = (cond, body) :: acc in
+      match peek st with
+      | Token.Kw_elseif -> advance st; arms acc
+      | Token.Kw_else ->
+        advance st;
+        let else_body = parse_block st in
+        expect st Token.Kw_end;
+        Ast.If (List.rev acc, Some else_body)
+      | Token.Kw_end -> advance st; Ast.If (List.rev acc, None)
+      | t -> fail st "expected elseif/else/end but found %s" (Token.to_string t)
+    in
+    arms []
+  | Token.Kw_while ->
+    advance st;
+    let cond = parse_expr_prec st in
+    expect st Token.Kw_do;
+    let body = parse_block st in
+    expect st Token.Kw_end;
+    Ast.While (cond, body)
+  | Token.Kw_repeat ->
+    advance st;
+    let body = parse_block st in
+    expect st Token.Kw_until;
+    let cond = parse_expr_prec st in
+    Ast.Repeat (body, cond)
+  | Token.Kw_for ->
+    advance st;
+    let var = expect_name st in
+    expect st Token.Assign;
+    let start = parse_expr_prec st in
+    expect st Token.Comma;
+    let stop = parse_expr_prec st in
+    let step = if accept st Token.Comma then Some (parse_expr_prec st) else None in
+    expect st Token.Kw_do;
+    let body = parse_block st in
+    expect st Token.Kw_end;
+    Ast.Numeric_for { var; start; stop; step; body }
+  | Token.Kw_return ->
+    advance st;
+    let value =
+      if block_follows (peek st) || peek st = Token.Semi then None
+      else Some (parse_expr_prec st)
+    in
+    Ast.Return value
+  | Token.Kw_break -> advance st; Ast.Break
+  | Token.Kw_function ->
+    advance st;
+    let name = expect_name st in
+    let params, body = parse_function_rest st in
+    Ast.Function_decl (name, params, body)
+  | Token.Kw_do ->
+    (* 'do block end' runs the block; Mina has function-level scoping so it
+       is equivalent to inlining the block. Represent as an 'if true'. *)
+    advance st;
+    let body = parse_block st in
+    expect st Token.Kw_end;
+    Ast.If ([ (Ast.True, body) ], None)
+  | _ ->
+    (* assignment or expression statement *)
+    let e = parse_expr_prec st in
+    if accept st Token.Assign then begin
+      let rhs = parse_expr_prec st in
+      match e with
+      | Ast.Var _ | Ast.Index _ -> Ast.Assign (e, rhs)
+      | _ -> fail st "invalid assignment target"
+    end
+    else begin
+      match e with
+      | Ast.Call _ -> Ast.Expr_stmt e
+      | _ -> fail st "expression statement must be a call"
+    end
+
+let parse source =
+  let st = { tokens = Array.of_list (Lexer.tokenize source); pos = 0 } in
+  let program = parse_block st in
+  expect st Token.Eof;
+  program
+
+let parse_expr source =
+  let st = { tokens = Array.of_list (Lexer.tokenize source); pos = 0 } in
+  let e = parse_expr_prec st in
+  expect st Token.Eof;
+  e

@@ -1,0 +1,14 @@
+(** Recursive-descent parser for Mina.
+
+    Operator precedence follows Lua: [or] < [and] < comparison <
+    [..] (right-assoc) < [+ -] < [* / // %] < unary ([not], [-], [#]) <
+    call/index. *)
+
+exception Error of { line : int; message : string }
+
+val parse : string -> Ast.program
+(** Parse a full source string. Raises {!Error} (or {!Lexer.Error}) on
+    malformed input. *)
+
+val parse_expr : string -> Ast.expr
+(** Parse a single expression (for tests and the REPL example). *)

@@ -1,0 +1,128 @@
+(** Lexical tokens of the Mina language (Lua-flavoured surface syntax). *)
+
+type t =
+  | Int_lit of int
+  | Float_lit of float
+  | Str_lit of string
+  | Name of string
+  (* keywords *)
+  | Kw_and
+  | Kw_break
+  | Kw_do
+  | Kw_else
+  | Kw_elseif
+  | Kw_end
+  | Kw_false
+  | Kw_for
+  | Kw_function
+  | Kw_if
+  | Kw_local
+  | Kw_nil
+  | Kw_not
+  | Kw_or
+  | Kw_repeat
+  | Kw_return
+  | Kw_then
+  | Kw_true
+  | Kw_until
+  | Kw_while
+  (* operators and punctuation *)
+  | Plus
+  | Minus
+  | Star
+  | Slash
+  | Dslash  (** [//] floor division *)
+  | Percent
+  | Eq  (** [==] *)
+  | Ne  (** [~=] *)
+  | Le
+  | Ge
+  | Lt
+  | Gt
+  | Assign  (** [=] *)
+  | Lparen
+  | Rparen
+  | Lbrace
+  | Rbrace
+  | Lbracket
+  | Rbracket
+  | Semi
+  | Comma
+  | Dot
+  | Dotdot  (** [..] string concatenation *)
+  | Hash  (** [#] length operator *)
+  | Eof
+
+let keyword_of_string = function
+  | "and" -> Some Kw_and
+  | "break" -> Some Kw_break
+  | "do" -> Some Kw_do
+  | "else" -> Some Kw_else
+  | "elseif" -> Some Kw_elseif
+  | "end" -> Some Kw_end
+  | "false" -> Some Kw_false
+  | "for" -> Some Kw_for
+  | "function" -> Some Kw_function
+  | "if" -> Some Kw_if
+  | "local" -> Some Kw_local
+  | "nil" -> Some Kw_nil
+  | "not" -> Some Kw_not
+  | "or" -> Some Kw_or
+  | "repeat" -> Some Kw_repeat
+  | "return" -> Some Kw_return
+  | "then" -> Some Kw_then
+  | "true" -> Some Kw_true
+  | "until" -> Some Kw_until
+  | "while" -> Some Kw_while
+  | _ -> None
+
+let to_string = function
+  | Int_lit n -> string_of_int n
+  | Float_lit f -> string_of_float f
+  | Str_lit s -> Printf.sprintf "%S" s
+  | Name n -> n
+  | Kw_and -> "and"
+  | Kw_break -> "break"
+  | Kw_do -> "do"
+  | Kw_else -> "else"
+  | Kw_elseif -> "elseif"
+  | Kw_end -> "end"
+  | Kw_false -> "false"
+  | Kw_for -> "for"
+  | Kw_function -> "function"
+  | Kw_if -> "if"
+  | Kw_local -> "local"
+  | Kw_nil -> "nil"
+  | Kw_not -> "not"
+  | Kw_or -> "or"
+  | Kw_repeat -> "repeat"
+  | Kw_return -> "return"
+  | Kw_then -> "then"
+  | Kw_true -> "true"
+  | Kw_until -> "until"
+  | Kw_while -> "while"
+  | Plus -> "+"
+  | Minus -> "-"
+  | Star -> "*"
+  | Slash -> "/"
+  | Dslash -> "//"
+  | Percent -> "%"
+  | Eq -> "=="
+  | Ne -> "~="
+  | Le -> "<="
+  | Ge -> ">="
+  | Lt -> "<"
+  | Gt -> ">"
+  | Assign -> "="
+  | Lparen -> "("
+  | Rparen -> ")"
+  | Lbrace -> "{"
+  | Rbrace -> "}"
+  | Lbracket -> "["
+  | Rbracket -> "]"
+  | Semi -> ";"
+  | Comma -> ","
+  | Dot -> "."
+  | Dotdot -> ".."
+  | Hash -> "#"
+  | Eof -> "<eof>"

@@ -1,0 +1,1 @@
+lib/runtime/builtins.ml: Array Buffer Char Float Int64 List Printf Rng Scd_util String Value

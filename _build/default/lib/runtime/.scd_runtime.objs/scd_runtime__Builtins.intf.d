@@ -1,0 +1,1 @@
+lib/runtime/builtins.mli: Value

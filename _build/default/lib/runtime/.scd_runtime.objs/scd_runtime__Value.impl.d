@@ -1,0 +1,1 @@
+lib/runtime/value.ml: Array Float Hashtbl Option Printf String

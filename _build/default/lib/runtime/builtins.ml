@@ -1,0 +1,226 @@
+open Scd_util
+
+type ctx = { buffer : Buffer.t; mutable rng : Rng.t }
+
+let create_ctx ?(seed = 0x5EED_2016L) () =
+  { buffer = Buffer.create 1024; rng = Rng.create seed }
+
+let output ctx = Buffer.contents ctx.buffer
+let reset_output ctx = Buffer.clear ctx.buffer
+
+type builtin = {
+  name : string;
+  arity : int option;
+  fn : ctx -> Value.t list -> Value.t;
+}
+
+let error msg = Value.Runtime_error msg
+
+let number_arg name = function
+  | Value.Int i -> float_of_int i
+  | Value.Float f -> f
+  | v -> raise (error (Printf.sprintf "%s: expected a number, got %s" name (Value.type_name v)))
+
+let int_arg name = function
+  | Value.Int i -> i
+  | Value.Float f when Float.is_integer f -> int_of_float f
+  | v -> raise (error (Printf.sprintf "%s: expected an integer, got %s" name (Value.type_name v)))
+
+let string_arg name = function
+  | Value.Str s -> s
+  | v -> raise (error (Printf.sprintf "%s: expected a string, got %s" name (Value.type_name v)))
+
+let float_fn name f =
+  {
+    name;
+    arity = Some 1;
+    fn = (fun _ args -> Value.Float (f (number_arg name (List.hd args))));
+  }
+
+let all =
+  [
+    {
+      name = "print";
+      arity = None;
+      fn =
+        (fun ctx args ->
+          let parts = List.map Value.to_display_string args in
+          Buffer.add_string ctx.buffer (String.concat "\t" parts);
+          Buffer.add_char ctx.buffer '\n';
+          Value.Nil);
+    };
+    {
+      name = "write";
+      arity = None;
+      fn =
+        (fun ctx args ->
+          List.iter
+            (fun v -> Buffer.add_string ctx.buffer (Value.to_display_string v))
+            args;
+          Value.Nil);
+    };
+    {
+      name = "tostring";
+      arity = Some 1;
+      fn = (fun _ args -> Value.Str (Value.to_display_string (List.hd args)));
+    };
+    float_fn "sqrt" Float.sqrt;
+    {
+      name = "floor";
+      arity = Some 1;
+      fn =
+        (fun _ args ->
+          match List.hd args with
+          | Value.Int i -> Value.Int i
+          | v -> Value.Int (int_of_float (Float.floor (number_arg "floor" v))));
+    };
+    {
+      name = "ceil";
+      arity = Some 1;
+      fn =
+        (fun _ args ->
+          match List.hd args with
+          | Value.Int i -> Value.Int i
+          | v -> Value.Int (int_of_float (Float.ceil (number_arg "ceil" v))));
+    };
+    {
+      name = "abs";
+      arity = Some 1;
+      fn =
+        (fun _ args ->
+          match List.hd args with
+          | Value.Int i -> Value.Int (abs i)
+          | v -> Value.Float (Float.abs (number_arg "abs" v)));
+    };
+    {
+      name = "min";
+      arity = Some 2;
+      fn =
+        (fun _ args ->
+          match args with
+          | [ a; b ] -> if Value.compare_lt a b then a else b
+          | _ -> assert false);
+    };
+    {
+      name = "max";
+      arity = Some 2;
+      fn =
+        (fun _ args ->
+          match args with
+          | [ a; b ] -> if Value.compare_lt a b then b else a
+          | _ -> assert false);
+    };
+    float_fn "exp" Float.exp;
+    float_fn "log" Float.log;
+    {
+      name = "pow";
+      arity = Some 2;
+      fn =
+        (fun _ args ->
+          match args with
+          | [ a; b ] ->
+            Value.Float (Float.pow (number_arg "pow" a) (number_arg "pow" b))
+          | _ -> assert false);
+    };
+    {
+      name = "random";
+      arity = None;
+      fn =
+        (fun ctx args ->
+          match args with
+          | [] -> Value.Float (Rng.float ctx.rng)
+          | [ m ] -> Value.Int (1 + Rng.int ctx.rng (int_arg "random" m))
+          | m :: n :: _ ->
+            let lo = int_arg "random" m and hi = int_arg "random" n in
+            Value.Int (lo + Rng.int ctx.rng (hi - lo + 1)));
+    };
+    {
+      name = "randomseed";
+      arity = Some 1;
+      fn =
+        (fun ctx args ->
+          ctx.rng <- Rng.create (Int64.of_int (int_arg "randomseed" (List.hd args)));
+          Value.Nil);
+    };
+    {
+      name = "len";
+      arity = Some 1;
+      fn = (fun _ args -> Value.length (List.hd args));
+    };
+    {
+      name = "strlen";
+      arity = Some 1;
+      fn = (fun _ args -> Value.Int (String.length (string_arg "strlen" (List.hd args))));
+    };
+    {
+      name = "sub";
+      arity = Some 3;
+      fn =
+        (fun _ args ->
+          match args with
+          | [ s; i; j ] ->
+            let s = string_arg "sub" s in
+            let n = String.length s in
+            let norm v = if v < 0 then n + v + 1 else v in
+            let i = max 1 (norm (int_arg "sub" i)) in
+            let j = min n (norm (int_arg "sub" j)) in
+            if i > j then Value.Str ""
+            else Value.Str (String.sub s (i - 1) (j - i + 1))
+          | _ -> assert false);
+    };
+    {
+      name = "byte";
+      arity = Some 2;
+      fn =
+        (fun _ args ->
+          match args with
+          | [ s; i ] ->
+            let s = string_arg "byte" s in
+            let i = int_arg "byte" i in
+            if i < 1 || i > String.length s then
+              raise (error "byte: index out of range")
+            else Value.Int (Char.code s.[i - 1])
+          | _ -> assert false);
+    };
+    {
+      name = "char";
+      arity = None;
+      fn =
+        (fun _ args ->
+          let b = Buffer.create (List.length args) in
+          List.iter
+            (fun v ->
+              let c = int_arg "char" v in
+              if c < 0 || c > 255 then raise (error "char: value out of range")
+              else Buffer.add_char b (Char.chr c))
+            args;
+          Value.Str (Buffer.contents b));
+    };
+    {
+      name = "float";
+      arity = Some 1;
+      fn = (fun _ args -> Value.Float (number_arg "float" (List.hd args)));
+    };
+    {
+      name = "clock";
+      arity = Some 0;
+      (* Deterministic runs: wall-clock time would break reproducibility. *)
+      fn = (fun _ _ -> Value.Float 0.0);
+    };
+  ]
+
+let table = Array.of_list all
+
+let find name =
+  let rec go i = function
+    | [] -> None
+    | b :: rest -> if String.equal b.name name then Some (i, b) else go (i + 1) rest
+  in
+  go 0 all
+
+let by_id id =
+  if id < 0 || id >= Array.length table then
+    invalid_arg (Printf.sprintf "Builtins.by_id: unknown id %d" id)
+  else table.(id)
+
+let count = Array.length table

@@ -1,0 +1,36 @@
+(** Built-in functions available to Mina programs on both VMs.
+
+    Output goes to a per-context buffer (never directly to stdout) so the
+    test suite can checksum program output and the co-simulator stays quiet.
+    Randomness flows through the context's deterministic generator. *)
+
+type ctx
+
+val create_ctx : ?seed:int64 -> unit -> ctx
+
+val output : ctx -> string
+(** Everything printed so far. *)
+
+val reset_output : ctx -> unit
+
+type builtin = {
+  name : string;
+  arity : int option;  (** [None] = variadic. *)
+  fn : ctx -> Value.t list -> Value.t;
+}
+
+val all : builtin list
+(** In slot order: a compiler assigns each builtin a fixed id (its index in
+    this list) so bytecode referring to builtins is stable.
+
+    Provided: [print], [write], [tostring], [sqrt], [floor], [ceil], [abs],
+    [min], [max], [exp], [log], [pow], [random], [randomseed], [len],
+    [strlen], [sub], [byte], [char], [float], [clock]. *)
+
+val find : string -> (int * builtin) option
+(** Builtin id and descriptor by name. *)
+
+val by_id : int -> builtin
+(** Raises [Invalid_argument] for an unknown id. *)
+
+val count : int

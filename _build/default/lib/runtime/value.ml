@@ -1,0 +1,224 @@
+exception Runtime_error of string
+
+let error fmt = Printf.ksprintf (fun m -> raise (Runtime_error m)) fmt
+
+type t =
+  | Nil
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Table of table
+  | Func of int
+
+(* Canonical table key: integral floats are normalised to Int so that
+   t[2] and t[2.0] address the same slot, as in Lua. *)
+and key = Kint of int | Kstr of string | Kbool of bool | Kfloat of float
+
+and table = {
+  id : int;
+  mutable array : t array;  (** 0-based storage for keys 1..border. *)
+  mutable border : int;
+  hash : (key, t) Hashtbl.t;
+}
+
+let next_table_id = ref 0
+
+let reset_table_ids () = next_table_id := 0
+
+let new_table () =
+  incr next_table_id;
+  Table { id = !next_table_id; array = Array.make 8 Nil; border = 0; hash = Hashtbl.create 8 }
+
+let type_name = function
+  | Nil -> "nil"
+  | Bool _ -> "boolean"
+  | Int _ | Float _ -> "number"
+  | Str _ -> "string"
+  | Table _ -> "table"
+  | Func _ -> "function"
+
+let table_of = function
+  | Table t -> t
+  | v -> error "attempt to index a %s value" (type_name v)
+
+(* Tables and functions as keys are identity-based; their domains are kept
+   apart from ordinary strings with an unprintable tag byte. *)
+let key_of_value v =
+  match v with
+  | Int i -> Kint i
+  | Float f ->
+    if Float.is_nan f then error "table key is NaN"
+    else if Float.is_integer f && Float.abs f < 1e18 then Kint (int_of_float f)
+    else Kfloat f
+  | Str s -> Kstr s
+  | Bool b -> Kbool b
+  | Nil -> error "table key is nil"
+  | Table t -> Kstr (Printf.sprintf "\x00table:%d" t.id)
+  | Func i -> Kstr (Printf.sprintf "\x00func:%d" i)
+
+let array_grow t wanted =
+  if wanted > Array.length t.array then begin
+    let cap = max wanted (2 * Array.length t.array) in
+    let fresh = Array.make cap Nil in
+    Array.blit t.array 0 fresh 0 t.border;
+    t.array <- fresh
+  end
+
+(* After appending at the border, absorb any contiguous keys that were
+   sitting in the hash part (Lua's border migration). *)
+let absorb_from_hash t =
+  let rec go () =
+    let next = t.border + 1 in
+    match Hashtbl.find_opt t.hash (Kint next) with
+    | Some v when v <> Nil ->
+      Hashtbl.remove t.hash (Kint next);
+      array_grow t next;
+      t.array.(next - 1) <- v;
+      t.border <- next;
+      go ()
+    | _ -> ()
+  in
+  go ()
+
+let table_get t k =
+  match key_of_value k with
+  | Kint i when i >= 1 && i <= t.border -> t.array.(i - 1)
+  | key -> Option.value ~default:Nil (Hashtbl.find_opt t.hash key)
+
+let shrink_border t i =
+  (* Key i (<= border) was erased: everything above it moves to the hash
+     part and the border drops to i-1. *)
+  for j = i + 1 to t.border do
+    Hashtbl.replace t.hash (Kint j) t.array.(j - 1)
+  done;
+  for j = i - 1 to t.border - 1 do
+    t.array.(j) <- Nil
+  done;
+  t.border <- i - 1
+
+let table_set t k v =
+  match key_of_value k with
+  | Kint i when i >= 1 && i <= t.border ->
+    if v = Nil then shrink_border t i else t.array.(i - 1) <- v
+  | Kint i when i = t.border + 1 && v <> Nil ->
+    array_grow t i;
+    t.array.(i - 1) <- v;
+    t.border <- i;
+    absorb_from_hash t
+  | key -> if v = Nil then Hashtbl.remove t.hash key else Hashtbl.replace t.hash key v
+
+let table_len t = t.border
+let table_id t = t.id
+
+let truthy = function Nil | Bool false -> false | _ -> true
+
+(* ------------------------------------------------------------------ *)
+(* Arithmetic                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let as_number = function
+  | Int _ | Float _ as v -> v
+  | v -> error "attempt to perform arithmetic on a %s value" (type_name v)
+
+let float_of = function Int i -> float_of_int i | Float f -> f | _ -> assert false
+
+let int_floor_div a b =
+  if b = 0 then error "attempt to perform 'n//0'"
+  else
+    let q = a / b in
+    if (a mod b <> 0) && (a < 0) <> (b < 0) then q - 1 else q
+
+let int_mod a b =
+  if b = 0 then error "attempt to perform 'n%%0'"
+  else
+    let r = a mod b in
+    if r <> 0 && (r < 0) <> (b < 0) then r + b else r
+
+let float_mod a b =
+  let r = Float.rem a b in
+  if r <> 0.0 && (r < 0.0) <> (b < 0.0) then r +. b else r
+
+let arith op a b =
+  let a = as_number a and b = as_number b in
+  match op, a, b with
+  | `Add, Int x, Int y -> Int (x + y)
+  | `Sub, Int x, Int y -> Int (x - y)
+  | `Mul, Int x, Int y -> Int (x * y)
+  | `Idiv, Int x, Int y -> Int (int_floor_div x y)
+  | `Mod, Int x, Int y -> Int (int_mod x y)
+  | `Div, _, _ -> Float (float_of a /. float_of b)
+  | `Add, _, _ -> Float (float_of a +. float_of b)
+  | `Sub, _, _ -> Float (float_of a -. float_of b)
+  | `Mul, _, _ -> Float (float_of a *. float_of b)
+  | `Idiv, _, _ -> Float (Float.floor (float_of a /. float_of b))
+  | `Mod, _, _ -> Float (float_mod (float_of a) (float_of b))
+
+let neg = function
+  | Int i -> Int (-i)
+  | Float f -> Float (-.f)
+  | v -> error "attempt to perform arithmetic on a %s value" (type_name v)
+
+let numeric_lt a b =
+  match a, b with
+  | Int x, Int y -> x < y
+  | _ -> float_of a < float_of b
+
+let numeric_le a b =
+  match a, b with
+  | Int x, Int y -> x <= y
+  | _ -> float_of a <= float_of b
+
+let compare_lt a b =
+  match a, b with
+  | (Int _ | Float _), (Int _ | Float _) -> numeric_lt a b
+  | Str x, Str y -> String.compare x y < 0
+  | _ -> error "attempt to compare %s with %s" (type_name a) (type_name b)
+
+let compare_le a b =
+  match a, b with
+  | (Int _ | Float _), (Int _ | Float _) -> numeric_le a b
+  | Str x, Str y -> String.compare x y <= 0
+  | _ -> error "attempt to compare %s with %s" (type_name a) (type_name b)
+
+let equal a b =
+  match a, b with
+  | Nil, Nil -> true
+  | Bool x, Bool y -> x = y
+  | Int x, Int y -> x = y
+  | Float x, Float y -> x = y
+  | Int x, Float y | Float y, Int x -> float_of_int x = y
+  | Str x, Str y -> String.equal x y
+  | Table x, Table y -> x == y
+  | Func x, Func y -> x = y
+  | _ -> false
+
+let float_to_string f =
+  if Float.is_integer f && Float.abs f < 1e16 then Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.14g" f
+
+let to_display_string = function
+  | Nil -> "nil"
+  | Bool true -> "true"
+  | Bool false -> "false"
+  | Int i -> string_of_int i
+  | Float f -> float_to_string f
+  | Str s -> s
+  | Table t -> Printf.sprintf "table:%d" t.id
+  | Func i -> Printf.sprintf "function:%d" i
+
+let concat a b =
+  let coerce = function
+    | Str s -> s
+    | Int i -> string_of_int i
+    | Float f -> float_to_string f
+    | v -> error "attempt to concatenate a %s value" (type_name v)
+  in
+  Str (coerce a ^ coerce b)
+
+let length = function
+  | Str s -> Int (String.length s)
+  | Table t -> Int (table_len t)
+  | v -> error "attempt to get length of a %s value" (type_name v)
+
+let hash_key v = Hashtbl.hash (key_of_value v)

@@ -1,0 +1,82 @@
+(** Dynamic values shared by both virtual machines.
+
+    Semantics follow Lua 5.3: separate integer and float numbers
+    (arithmetic promotes to float when either operand is float; [/] always
+    yields float; [//] and [%] are floor division and modulo), strings are
+    immutable byte strings, tables are the only aggregate (array part +
+    hash part), and functions are represented by an index into the owning
+    VM's function table (Mina functions capture no upvalues, so the index
+    is the whole closure).
+
+    Keeping one value model for the register VM and the stack VM lets the
+    test suite check the two interpreters produce identical results on
+    every workload. *)
+
+exception Runtime_error of string
+
+type t =
+  | Nil
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Table of table
+  | Func of int
+
+and table
+
+val new_table : unit -> t
+val table_of : t -> table
+(** Raises {!Runtime_error} when the value is not a table. *)
+
+val table_get : table -> t -> t
+(** [table_get t k] is [Nil] for absent keys. Raises on [Nil]/NaN keys. *)
+
+val table_set : table -> t -> t -> unit
+(** Integer keys extending the array border grow the array part; setting an
+    existing key to [Nil] deletes it. *)
+
+val table_len : table -> int
+(** The array-border length ([#t] in Lua). *)
+
+val table_id : table -> int
+(** Stable identity for printing/debugging. *)
+
+val reset_table_ids : unit -> unit
+(** Restart the table-id counter. Ids must stay unique within one VM heap,
+    so only call this between runs (the co-simulator calls it at the start
+    of every run to make simulated heap addresses independent of whatever
+    executed earlier in the process). *)
+
+(* --- semantics helpers used by both VM interpreters --- *)
+
+val truthy : t -> bool
+(** Lua truth: everything except [Nil] and [Bool false]. *)
+
+val type_name : t -> string
+
+val arith : [ `Add | `Sub | `Mul | `Div | `Idiv | `Mod ] -> t -> t -> t
+(** Binary arithmetic with Lua 5.3 promotion rules. Raises on non-numbers,
+    integer division by zero. *)
+
+val neg : t -> t
+val compare_lt : t -> t -> bool
+(** [<] on two numbers or two strings; raises otherwise. *)
+
+val compare_le : t -> t -> bool
+val equal : t -> t -> bool
+(** Primitive equality: numbers compare across int/float; tables and
+    functions by identity. Never raises. *)
+
+val concat : t -> t -> t
+(** String concatenation; numbers coerce to strings. *)
+
+val length : t -> t
+(** The [#] operator: string byte length or table border. *)
+
+val to_display_string : t -> string
+(** [tostring] semantics: integers without a decimal point, floats with
+    [%.14g], tables as [table:<id>]. *)
+
+val hash_key : t -> int
+(** Hash for use as a table key (integral floats hash as their integer). *)

@@ -1,0 +1,1 @@
+lib/rvm/bytecode.ml: Array Printf Scd_runtime

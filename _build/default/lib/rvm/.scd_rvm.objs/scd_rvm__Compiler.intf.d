@@ -1,0 +1,1 @@
+lib/rvm/compiler.mli: Bytecode Scd_lang

@@ -1,0 +1,1 @@
+lib/rvm/peephole.ml: Array Bytecode

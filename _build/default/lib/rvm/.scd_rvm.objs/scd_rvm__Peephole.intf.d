@@ -1,0 +1,1 @@
+lib/rvm/peephole.mli: Bytecode

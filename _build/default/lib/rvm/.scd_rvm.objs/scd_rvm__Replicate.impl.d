@@ -1,0 +1,1 @@
+lib/rvm/replicate.ml: Array Bytecode Hashtbl

@@ -1,0 +1,1 @@
+lib/rvm/replicate.mli: Bytecode

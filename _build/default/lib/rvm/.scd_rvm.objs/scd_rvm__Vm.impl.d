@@ -1,0 +1,1 @@
+lib/rvm/vm.ml: Array Builtins Bytecode Compiler Hashtbl List Option Printf Scd_runtime Trace Value

@@ -1,0 +1,1 @@
+lib/rvm/vm.mli: Bytecode Scd_runtime

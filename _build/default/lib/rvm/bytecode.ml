@@ -1,0 +1,174 @@
+(** Register-based bytecode, modelled on Lua 5.3's virtual machine.
+
+    Instructions are fixed-width with a 6-bit opcode field; operands address
+    a per-frame register window. [rk] operands select either a register or a
+    constant-pool slot, exactly like Lua's RK encoding. Conditional bytecodes
+    ([EQ]/[LT]/[LE]/[TEST]) skip the following instruction (always a [JMP])
+    when the test fails, which is Lua's skip-next idiom. *)
+
+type arith = Add | Sub | Mul | Div | Idiv | Mod
+
+type rk = R of int | K of int
+
+type instr =
+  | MOVE of int * int  (** [R\[a\] <- R\[b\]] *)
+  | LOADK of int * int  (** [R\[a\] <- K\[b\]] *)
+  | LOADINT of int * int  (** [R\[a\] <- immediate integer] *)
+  | LOADBOOL of int * bool
+  | LOADNIL of int
+  | GETGLOBAL of int * int  (** [R\[a\] <- G\[K\[b\]\]]; [K\[b\]] is the name. *)
+  | SETGLOBAL of int * int
+  | GETTABLE of int * int * rk  (** [R\[a\] <- R\[b\]\[rk\]] *)
+  | SETTABLE of int * rk * rk  (** [R\[a\]\[rk1\] <- rk2] *)
+  | NEWTABLE of int
+  | ARITH of arith * int * rk * rk
+  | UNM of int * int
+  | NOT of int * int
+  | LEN of int * int
+  | CONCAT of int * rk * rk
+  | JMP of int  (** Relative displacement from the next instruction. *)
+  | EQ of bool * rk * rk  (** Skip next unless [(b == c) = flag]. *)
+  | LT of bool * rk * rk
+  | LE of bool * rk * rk
+  | TEST of int * bool  (** Skip next unless [truthy R\[a\] = flag]. *)
+  | CALL of int * int  (** Callee in [R\[a\]], args in [R\[a+1..a+n\]]; result to [R\[a\]]. *)
+  | RETURN of int * bool  (** Return [R\[a\]] when the flag is set, else nil. *)
+  | CLOSURE of int * int  (** [R\[a\] <- Func b] *)
+  | FORPREP of int * int  (** Numeric-for setup over registers [a..a+3]. *)
+  | FORLOOP of int * int
+  (* Superinstructions (Ertl & Gregg): fused compare-and-branch bytecodes
+     produced by the optional {!Peephole} pass. [EQJMP (flag, b, c, d)]
+     jumps by [d] when [(b == c) = flag], replacing an [EQ]+[JMP] pair —
+     one dispatch instead of two. *)
+  | EQJMP of bool * rk * rk * int
+  | LTJMP of bool * rk * rk * int
+  | LEJMP of bool * rk * rk * int
+  | TESTJMP of int * bool * int
+
+type proto = {
+  id : int;
+  name : string;
+  num_params : int;
+  num_regs : int;  (** Frame size in registers. *)
+  code : instr array;
+  consts : Scd_runtime.Value.t array;
+  opcode_overrides : int array;
+      (** Per-instruction dispatch opcode override, or [-1]. Used by the
+          {!Replicate} pass (bytecode replication, Ertl & Gregg): a replica
+          shares its base opcode's semantics but dispatches through its own
+          jump-table slot. Empty when no pass ran. *)
+}
+
+type program = {
+  protos : proto array;  (** [protos.(0)] is the main chunk. *)
+}
+
+(* Numeric opcode ids: these key the dispatch jump table, so each ARITH
+   flavour gets its own id (they are distinct bytecodes in Lua too). *)
+let opcode_of_instr = function
+  | MOVE _ -> 0
+  | LOADK _ -> 1
+  | LOADINT _ -> 2
+  | LOADBOOL _ -> 3
+  | LOADNIL _ -> 4
+  | GETGLOBAL _ -> 5
+  | SETGLOBAL _ -> 6
+  | GETTABLE _ -> 7
+  | SETTABLE _ -> 8
+  | NEWTABLE _ -> 9
+  | ARITH (Add, _, _, _) -> 10
+  | ARITH (Sub, _, _, _) -> 11
+  | ARITH (Mul, _, _, _) -> 12
+  | ARITH (Div, _, _, _) -> 13
+  | ARITH (Idiv, _, _, _) -> 14
+  | ARITH (Mod, _, _, _) -> 15
+  | UNM _ -> 16
+  | NOT _ -> 17
+  | LEN _ -> 18
+  | CONCAT _ -> 19
+  | JMP _ -> 20
+  | EQ _ -> 21
+  | LT _ -> 22
+  | LE _ -> 23
+  | TEST _ -> 24
+  | CALL _ -> 25
+  | RETURN _ -> 26
+  | CLOSURE _ -> 27
+  | FORPREP _ -> 28
+  | FORLOOP _ -> 29
+  | EQJMP _ -> 30
+  | LTJMP _ -> 31
+  | LEJMP _ -> 32
+  | TESTJMP _ -> 33
+
+let num_opcodes = 34
+
+(* The baseline interpreter binary contains no fused-superinstruction
+   handlers; they exist only in builds that run the {!Peephole} pass. *)
+let num_opcodes_base = 30
+
+(* Bytecode replication (Ertl & Gregg): the hottest opcodes get one replica
+   id each in [num_opcodes, num_opcodes_replicated). A replica behaves
+   exactly like its base opcode but occupies its own handler and jump-table
+   slot, splitting the dispatch contexts the predictors see (and, under
+   SCD, consuming an extra JTE). *)
+let replica_bases = [| 0 (* MOVE *); 1 (* LOADK *); 7 (* GETTABLE *);
+                       8 (* SETTABLE *); 10 (* ADD *); 22 (* LT *);
+                       25 (* CALL *); 29 (* FORLOOP *) |]
+
+let num_opcodes_replicated = num_opcodes + Array.length replica_bases
+
+let replica_of_base base =
+  let rec go i =
+    if i = Array.length replica_bases then None
+    else if replica_bases.(i) = base then Some (num_opcodes + i)
+    else go (i + 1)
+  in
+  go 0
+
+let base_of_replica replica =
+  if replica >= num_opcodes && replica < num_opcodes_replicated then
+    Some replica_bases.(replica - num_opcodes)
+  else None
+
+let rec opcode_name = function
+  | 0 -> "MOVE"
+  | 1 -> "LOADK"
+  | 2 -> "LOADINT"
+  | 3 -> "LOADBOOL"
+  | 4 -> "LOADNIL"
+  | 5 -> "GETGLOBAL"
+  | 6 -> "SETGLOBAL"
+  | 7 -> "GETTABLE"
+  | 8 -> "SETTABLE"
+  | 9 -> "NEWTABLE"
+  | 10 -> "ADD"
+  | 11 -> "SUB"
+  | 12 -> "MUL"
+  | 13 -> "DIV"
+  | 14 -> "IDIV"
+  | 15 -> "MOD"
+  | 16 -> "UNM"
+  | 17 -> "NOT"
+  | 18 -> "LEN"
+  | 19 -> "CONCAT"
+  | 20 -> "JMP"
+  | 21 -> "EQ"
+  | 22 -> "LT"
+  | 23 -> "LE"
+  | 24 -> "TEST"
+  | 25 -> "CALL"
+  | 26 -> "RETURN"
+  | 27 -> "CLOSURE"
+  | 28 -> "FORPREP"
+  | 29 -> "FORLOOP"
+  | 30 -> "EQJMP"
+  | 31 -> "LTJMP"
+  | 32 -> "LEJMP"
+  | 33 -> "TESTJMP"
+  | n -> (
+    match base_of_replica n with
+    | Some base -> opcode_name_base base ^ "'"
+    | None -> Printf.sprintf "OP%d" n)
+
+and opcode_name_base n = opcode_name n

@@ -1,0 +1,443 @@
+open Scd_util
+open Scd_lang
+open Scd_runtime
+open Bytecode
+
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Error m)) fmt
+
+type fn_state = {
+  name : string;
+  num_params : int;
+  parent : fn_state option;
+  mutable locals : (string * int) list;  (* innermost binding first *)
+  mutable next_reg : int;
+  mutable max_reg : int;
+  code : instr Vec.t;
+  consts : Value.t Vec.t;
+  const_index : (Value.t, int) Hashtbl.t;
+  mutable break_patches : int list list;  (* stack, one list per enclosing loop *)
+}
+
+type compiler = { protos : proto option Vec.t }
+
+let new_fn ?parent ~name params =
+  let st =
+    {
+      name;
+      num_params = List.length params;
+      parent;
+      locals = [];
+      next_reg = 0;
+      max_reg = 0;
+      code = Vec.create ();
+      consts = Vec.create ();
+      const_index = Hashtbl.create 16;
+      break_patches = [];
+    }
+  in
+  List.iter
+    (fun p ->
+      st.locals <- (p, st.next_reg) :: st.locals;
+      st.next_reg <- st.next_reg + 1)
+    params;
+  st.max_reg <- st.next_reg;
+  st
+
+let emit st instr = Vec.push st.code instr
+
+let here st = Vec.length st.code
+
+let patch_jump st index ~target =
+  match Vec.get st.code index with
+  | JMP _ -> Vec.set st.code index (JMP (target - (index + 1)))
+  | FORPREP (a, _) -> Vec.set st.code index (FORPREP (a, target - (index + 1)))
+  | _ -> fail "internal: patching a non-jump at %d" index
+
+let const_of st v =
+  match Hashtbl.find_opt st.const_index v with
+  | Some i -> i
+  | None ->
+    let i = Vec.push st.consts v in
+    Hashtbl.replace st.const_index v i;
+    i
+
+let alloc st =
+  let r = st.next_reg in
+  st.next_reg <- r + 1;
+  if st.next_reg > st.max_reg then st.max_reg <- st.next_reg;
+  r
+
+let free_to st mark = st.next_reg <- mark
+
+let lookup_local st name = List.assoc_opt name st.locals
+
+let rec bound_in_ancestor parent name =
+  match parent with
+  | None -> false
+  | Some st ->
+    Option.is_some (lookup_local st name) || bound_in_ancestor st.parent name
+
+(* Small integers that fit LOADINT's conceptual 18-bit immediate field. *)
+let fits_loadint i = i >= -131072 && i <= 131071
+
+let literal_const = function
+  | Ast.Int i when not (fits_loadint i) -> Some (Value.Int i)
+  | Ast.Float f -> Some (Value.Float f)
+  | Ast.Str s -> Some (Value.Str s)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec expr_to c st e target =
+  match e with
+  | Ast.Nil -> ignore (emit st (LOADNIL target))
+  | Ast.True -> ignore (emit st (LOADBOOL (target, true)))
+  | Ast.False -> ignore (emit st (LOADBOOL (target, false)))
+  | Ast.Int i ->
+    if fits_loadint i then ignore (emit st (LOADINT (target, i)))
+    else ignore (emit st (LOADK (target, const_of st (Value.Int i))))
+  | Ast.Float f -> ignore (emit st (LOADK (target, const_of st (Value.Float f))))
+  | Ast.Str s -> ignore (emit st (LOADK (target, const_of st (Value.Str s))))
+  | Ast.Var name -> (
+    match lookup_local st name with
+    | Some r -> if r <> target then ignore (emit st (MOVE (target, r)))
+    | None ->
+      if bound_in_ancestor st.parent name then
+        fail "upvalue %S: Mina functions cannot capture enclosing locals" name
+      else
+        ignore (emit st (GETGLOBAL (target, const_of st (Value.Str name)))))
+  | Ast.Index (tbl, key) ->
+    let mark = st.next_reg in
+    let rt = expr_to_anyreg c st tbl in
+    let rk = expr_to_rk c st key in
+    free_to st mark;
+    ignore (emit st (GETTABLE (target, rt, rk)))
+  | Ast.Call (callee, args) ->
+    let mark = st.next_reg in
+    let base = alloc st in
+    expr_to c st callee base;
+    List.iter
+      (fun arg ->
+        let r = alloc st in
+        expr_to c st arg r)
+      args;
+    ignore (emit st (CALL (base, List.length args)));
+    free_to st mark;
+    if base <> target then ignore (emit st (MOVE (target, base)))
+  | Ast.Unop (op, operand) -> (
+    let mark = st.next_reg in
+    let r = expr_to_anyreg c st operand in
+    free_to st mark;
+    match op with
+    | Ast.Neg -> ignore (emit st (UNM (target, r)))
+    | Ast.Not -> ignore (emit st (NOT (target, r)))
+    | Ast.Len -> ignore (emit st (LEN (target, r))))
+  | Ast.Binop (op, lhs, rhs) -> binop_to c st op lhs rhs target
+  | Ast.And (lhs, rhs) ->
+    expr_to c st lhs target;
+    ignore (emit st (TEST (target, false)));
+    let j = emit st (JMP 0) in
+    expr_to c st rhs target;
+    patch_jump st j ~target:(here st)
+  | Ast.Or (lhs, rhs) ->
+    expr_to c st lhs target;
+    ignore (emit st (TEST (target, true)));
+    let j = emit st (JMP 0) in
+    expr_to c st rhs target;
+    patch_jump st j ~target:(here st)
+  | Ast.Table fields ->
+    ignore (emit st (NEWTABLE target));
+    let next_positional = ref 1 in
+    List.iter
+      (fun field ->
+        let mark = st.next_reg in
+        (match field with
+         | Ast.Positional value ->
+           let key = K (const_of st (Value.Int !next_positional)) in
+           incr next_positional;
+           let v = expr_to_rk c st value in
+           ignore (emit st (SETTABLE (target, key, v)))
+         | Ast.Named (name, value) ->
+           let key = K (const_of st (Value.Str name)) in
+           let v = expr_to_rk c st value in
+           ignore (emit st (SETTABLE (target, key, v)))
+         | Ast.Keyed (key, value) ->
+           let k = expr_to_rk c st key in
+           let v = expr_to_rk c st value in
+           ignore (emit st (SETTABLE (target, k, v))));
+        free_to st mark)
+      fields
+  | Ast.Function (params, body) ->
+    let pid = compile_function c ~parent:st ~name:"<anonymous>" params body in
+    ignore (emit st (CLOSURE (target, pid)))
+
+and binop_to c st op lhs rhs target =
+  let arith kind =
+    let mark = st.next_reg in
+    let b = expr_to_rk c st lhs in
+    let cc = expr_to_rk c st rhs in
+    free_to st mark;
+    ignore (emit st (ARITH (kind, target, b, cc)))
+  in
+  match op with
+  | Ast.Add -> arith Add
+  | Ast.Sub -> arith Sub
+  | Ast.Mul -> arith Mul
+  | Ast.Div -> arith Div
+  | Ast.Idiv -> arith Idiv
+  | Ast.Mod -> arith Mod
+  | Ast.Concat ->
+    let mark = st.next_reg in
+    let b = expr_to_rk c st lhs in
+    let cc = expr_to_rk c st rhs in
+    free_to st mark;
+    ignore (emit st (CONCAT (target, b, cc)))
+  | Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge ->
+    (* Materialise the comparison as a boolean via the skip-next idiom. *)
+    let mark = st.next_reg in
+    emit_comparison c st op lhs rhs ~jump_when:true;
+    let jtrue = emit st (JMP 0) in
+    free_to st mark;
+    ignore (emit st (LOADBOOL (target, false)));
+    let jend = emit st (JMP 0) in
+    patch_jump st jtrue ~target:(here st);
+    ignore (emit st (LOADBOOL (target, true)));
+    patch_jump st jend ~target:(here st)
+
+(* Emit the test instruction such that the *following* JMP executes exactly
+   when (comparison result) = jump_when. *)
+and emit_comparison c st op lhs rhs ~jump_when =
+  let rk_pair lhs rhs =
+    let b = expr_to_rk c st lhs in
+    let cc = expr_to_rk c st rhs in
+    (b, cc)
+  in
+  match op with
+  | Ast.Eq ->
+    let b, cc = rk_pair lhs rhs in
+    ignore (emit st (EQ (jump_when, b, cc)))
+  | Ast.Ne ->
+    let b, cc = rk_pair lhs rhs in
+    ignore (emit st (EQ (not jump_when, b, cc)))
+  | Ast.Lt ->
+    let b, cc = rk_pair lhs rhs in
+    ignore (emit st (LT (jump_when, b, cc)))
+  | Ast.Le ->
+    let b, cc = rk_pair lhs rhs in
+    ignore (emit st (LE (jump_when, b, cc)))
+  | Ast.Gt ->
+    let b, cc = rk_pair rhs lhs in
+    ignore (emit st (LT (jump_when, b, cc)))
+  | Ast.Ge ->
+    let b, cc = rk_pair rhs lhs in
+    ignore (emit st (LE (jump_when, b, cc)))
+  | _ -> fail "internal: not a comparison"
+
+and expr_to_anyreg c st e =
+  match e with
+  | Ast.Var name when Option.is_some (lookup_local st name) ->
+    Option.get (lookup_local st name)
+  | _ ->
+    let r = alloc st in
+    expr_to c st e r;
+    r
+
+and expr_to_rk c st e =
+  match literal_const e with
+  | Some v -> K (const_of st v)
+  | None -> R (expr_to_anyreg c st e)
+
+(* Emit code that jumps to a (to-be-patched) label when the condition
+   evaluates to [jump_when]; returns the JMP indices to patch. *)
+and cond_jumps c st e ~jump_when : int list =
+  match e with
+  | Ast.Binop ((Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge) as op, lhs, rhs) ->
+    let mark = st.next_reg in
+    emit_comparison c st op lhs rhs ~jump_when;
+    free_to st mark;
+    [ emit st (JMP 0) ]
+  | Ast.Unop (Ast.Not, operand) -> cond_jumps c st operand ~jump_when:(not jump_when)
+  | Ast.And (lhs, rhs) ->
+    if jump_when then begin
+      (* jump iff both true: short-circuit lhs to a local skip label *)
+      let skips = cond_jumps c st lhs ~jump_when:false in
+      let jumps = cond_jumps c st rhs ~jump_when:true in
+      List.iter (fun j -> patch_jump st j ~target:(here st)) skips;
+      jumps
+    end
+    else
+      cond_jumps c st lhs ~jump_when:false @ cond_jumps c st rhs ~jump_when:false
+  | Ast.Or (lhs, rhs) ->
+    if jump_when then
+      cond_jumps c st lhs ~jump_when:true @ cond_jumps c st rhs ~jump_when:true
+    else begin
+      let skips = cond_jumps c st lhs ~jump_when:true in
+      let jumps = cond_jumps c st rhs ~jump_when:false in
+      List.iter (fun j -> patch_jump st j ~target:(here st)) skips;
+      jumps
+    end
+  | Ast.True | Ast.Int _ | Ast.Float _ | Ast.Str _ ->
+    if jump_when then [ emit st (JMP 0) ] else []
+  | Ast.Nil | Ast.False -> if jump_when then [] else [ emit st (JMP 0) ]
+  | _ ->
+    let mark = st.next_reg in
+    let r = expr_to_anyreg c st e in
+    free_to st mark;
+    ignore (emit st (TEST (r, jump_when)));
+    [ emit st (JMP 0) ]
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+and compile_block c st block = List.iter (compile_stmt c st) block
+
+and compile_stmt c st = function
+  | Ast.Local (name, init) ->
+    let r = alloc st in
+    (match init with
+     | Some e -> expr_to c st e r
+     | None -> ignore (emit st (LOADNIL r)));
+    st.locals <- (name, r) :: st.locals
+  | Ast.Assign (Ast.Var name, e) -> (
+    match lookup_local st name with
+    | Some r -> expr_to c st e r
+    | None ->
+      if bound_in_ancestor st.parent name then
+        fail "upvalue %S: Mina functions cannot capture enclosing locals" name
+      else begin
+        let mark = st.next_reg in
+        let r = expr_to_anyreg c st e in
+        free_to st mark;
+        ignore (emit st (SETGLOBAL (r, const_of st (Value.Str name))))
+      end)
+  | Ast.Assign (Ast.Index (tbl, key), e) ->
+    let mark = st.next_reg in
+    let rt = expr_to_anyreg c st tbl in
+    let rk_key = expr_to_rk c st key in
+    let rk_val = expr_to_rk c st e in
+    free_to st mark;
+    ignore (emit st (SETTABLE (rt, rk_key, rk_val)))
+  | Ast.Assign (_, _) -> fail "invalid assignment target"
+  | Ast.Expr_stmt e ->
+    let mark = st.next_reg in
+    let _ = expr_to_anyreg c st e in
+    free_to st mark
+  | Ast.If (arms, else_block) ->
+    let end_jumps = ref [] in
+    let rec go = function
+      | [] -> (
+        match else_block with
+        | Some b -> compile_block c st b
+        | None -> ())
+      | (cond, body) :: rest ->
+        let false_jumps = cond_jumps c st cond ~jump_when:false in
+        compile_block c st body;
+        (match (rest, else_block) with
+         | [], None -> ()
+         | _ -> end_jumps := emit st (JMP 0) :: !end_jumps);
+        List.iter (fun j -> patch_jump st j ~target:(here st)) false_jumps;
+        go rest
+    in
+    go arms;
+    List.iter (fun j -> patch_jump st j ~target:(here st)) !end_jumps
+  | Ast.While (cond, body) ->
+    let loop_start = here st in
+    let exit_jumps = cond_jumps c st cond ~jump_when:false in
+    st.break_patches <- [] :: st.break_patches;
+    compile_block c st body;
+    let back = emit st (JMP 0) in
+    patch_jump st back ~target:loop_start;
+    let breaks = List.hd st.break_patches in
+    st.break_patches <- List.tl st.break_patches;
+    List.iter (fun j -> patch_jump st j ~target:(here st)) (exit_jumps @ breaks)
+  | Ast.Repeat (body, cond) ->
+    let loop_start = here st in
+    st.break_patches <- [] :: st.break_patches;
+    compile_block c st body;
+    (* loop again while the condition is false *)
+    let again = cond_jumps c st cond ~jump_when:false in
+    List.iter (fun j -> patch_jump st j ~target:loop_start) again;
+    let breaks = List.hd st.break_patches in
+    st.break_patches <- List.tl st.break_patches;
+    List.iter (fun j -> patch_jump st j ~target:(here st)) breaks
+  | Ast.Numeric_for { var; start; stop; step; body } ->
+    let saved_locals = st.locals in
+    let base = alloc st in
+    expr_to c st start base;
+    let limit = alloc st in
+    expr_to c st stop limit;
+    let step_reg = alloc st in
+    (match step with
+     | Some e -> expr_to c st e step_reg
+     | None -> ignore (emit st (LOADINT (step_reg, 1))));
+    let user = alloc st in
+    st.locals <- (var, user) :: st.locals;
+    let prep = emit st (FORPREP (base, 0)) in
+    let body_start = here st in
+    st.break_patches <- [] :: st.break_patches;
+    compile_block c st body;
+    patch_jump st prep ~target:(here st);
+    let forloop = emit st (FORLOOP (base, 0)) in
+    (match Vec.get st.code forloop with
+     | FORLOOP (a, _) -> Vec.set st.code forloop (FORLOOP (a, body_start - (forloop + 1)))
+     | _ -> assert false);
+    let breaks = List.hd st.break_patches in
+    st.break_patches <- List.tl st.break_patches;
+    List.iter (fun j -> patch_jump st j ~target:(here st)) breaks;
+    st.locals <- saved_locals;
+    free_to st base
+  | Ast.Return None -> ignore (emit st (RETURN (0, false)))
+  | Ast.Return (Some e) ->
+    let mark = st.next_reg in
+    let r = expr_to_anyreg c st e in
+    free_to st mark;
+    ignore (emit st (RETURN (r, true)))
+  | Ast.Break -> (
+    match st.break_patches with
+    | [] -> fail "break outside a loop"
+    | breaks :: rest ->
+      let j = emit st (JMP 0) in
+      st.break_patches <- (j :: breaks) :: rest)
+  | Ast.Function_decl (name, params, body) ->
+    let pid = compile_function c ~parent:st ~name params body in
+    let mark = st.next_reg in
+    let r = alloc st in
+    ignore (emit st (CLOSURE (r, pid)));
+    ignore (emit st (SETGLOBAL (r, const_of st (Value.Str name))));
+    free_to st mark
+
+and compile_function c ?parent ~name params body =
+  let id = Vec.push c.protos None in
+  let st = new_fn ?parent ~name params in
+  compile_block c st body;
+  ignore (emit st (RETURN (0, false)));
+  Vec.set c.protos id
+    (Some
+       {
+         id;
+         name;
+         num_params = st.num_params;
+         num_regs = max st.max_reg 1;
+         code = Vec.to_array st.code;
+         consts = Vec.to_array st.consts;
+         opcode_overrides = [||];
+       });
+  id
+
+let compile (program : Ast.program) : Bytecode.program =
+  let c = { protos = Vec.create () } in
+  let main = compile_function c ~name:"<main>" [] program in
+  assert (main = 0);
+  let protos =
+    Array.map
+      (function Some p -> p | None -> fail "internal: unfilled proto")
+      (Vec.to_array c.protos)
+  in
+  { protos }
+
+let compile_string source = compile (Parser.parse source)

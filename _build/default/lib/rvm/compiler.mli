@@ -1,0 +1,17 @@
+(** AST -> register bytecode compiler (Lua-style code generation).
+
+    Registers are allocated Lua-fashion: locals occupy the low frame slots
+    for the rest of the function, temporaries are a stack above them.
+    Constants are deduplicated into a per-function pool. Conditionals use
+    the skip-next idiom ([EQ]/[LT]/[LE]/[TEST] followed by a [JMP]).
+
+    Mina functions capture no upvalues; referencing a local of an enclosing
+    function is a compile error. *)
+
+exception Error of string
+
+val compile : Scd_lang.Ast.program -> Bytecode.program
+(** Compile a parsed chunk. [protos.(0)] is the main function. *)
+
+val compile_string : string -> Bytecode.program
+(** Parse and compile. *)

@@ -1,0 +1,118 @@
+open Bytecode
+
+(* The jump displacement of an instruction, if it has one: the target is
+   [index + 1 + d]. *)
+let displacement = function
+  | JMP d | FORPREP (_, d) | FORLOOP (_, d) -> Some d
+  | EQJMP (_, _, _, d) | LTJMP (_, _, _, d) | LEJMP (_, _, _, d)
+  | TESTJMP (_, _, d) ->
+    Some d
+  | _ -> None
+
+let with_displacement instr d =
+  match instr with
+  | JMP _ -> JMP d
+  | FORPREP (a, _) -> FORPREP (a, d)
+  | FORLOOP (a, _) -> FORLOOP (a, d)
+  | EQJMP (f, b, c, _) -> EQJMP (f, b, c, d)
+  | LTJMP (f, b, c, _) -> LTJMP (f, b, c, d)
+  | LEJMP (f, b, c, _) -> LEJMP (f, b, c, d)
+  | TESTJMP (a, f, _) -> TESTJMP (a, f, d)
+  | _ -> invalid_arg "Peephole.with_displacement"
+
+let fuse test d =
+  match test with
+  | EQ (flag, b, c) -> Some (EQJMP (flag, b, c, d))
+  | LT (flag, b, c) -> Some (LTJMP (flag, b, c, d))
+  | LE (flag, b, c) -> Some (LEJMP (flag, b, c, d))
+  | TEST (a, flag) -> Some (TESTJMP (a, flag, d))
+  | _ -> None
+
+let is_test = function EQ _ | LT _ | LE _ | TEST _ -> true | _ -> false
+
+let optimize_proto (proto : proto) =
+  let code = proto.code in
+  let n = Array.length code in
+  (* 1. every index some jump lands on must stay an instruction boundary *)
+  let jump_target = Array.make (n + 1) false in
+  Array.iteri
+    (fun i instr ->
+      match displacement instr with
+      | Some d ->
+        let t = i + 1 + d in
+        if t >= 0 && t <= n then jump_target.(t) <- true
+      | None -> ())
+    code;
+  (* tests skip to i+2, which must also remain a boundary; it always does
+     (only the JMP at a fused pair's i+1 disappears), so no marking needed
+     beyond protecting the JMP itself. *)
+  (* 2. decide fusions: a test at i whose JMP at i+1 is not a jump target *)
+  let fused = Array.make n false in
+  for i = 0 to n - 2 do
+    if
+      is_test code.(i)
+      && (match code.(i + 1) with JMP _ -> true | _ -> false)
+      && not jump_target.(i + 1)
+    then fused.(i) <- true
+  done;
+  (* 3. old index -> new index *)
+  let map = Array.make (n + 1) 0 in
+  let next = ref 0 in
+  for i = 0 to n - 1 do
+    map.(i) <- !next;
+    let consumed_by_previous = i > 0 && fused.(i - 1) in
+    if not consumed_by_previous then incr next
+  done;
+  map.(n) <- !next;
+  (* fix map for JMP slots inside fused pairs: they map to the fused op *)
+  for i = 0 to n - 2 do
+    if fused.(i) then map.(i + 1) <- map.(i)
+  done;
+  (* 4. emit with remapped displacements *)
+  let out = Array.make !next (JMP 0) in
+  let emit_at = ref 0 in
+  let i = ref 0 in
+  while !i < n do
+    let new_i = !emit_at in
+    (if fused.(!i) then begin
+       let d =
+         match code.(!i + 1) with JMP d -> d | _ -> assert false
+       in
+       (* taken path: the JMP's target, re-expressed from the fused op *)
+       let target_new = map.(!i + 2 + d) in
+       let fused_instr =
+         match fuse code.(!i) (target_new - (new_i + 1)) with
+         | Some f -> f
+         | None -> assert false
+       in
+       out.(new_i) <- fused_instr;
+       i := !i + 2
+     end
+     else begin
+       let instr = code.(!i) in
+       (match displacement instr with
+        | Some d ->
+          let target_new = map.(!i + 1 + d) in
+          out.(new_i) <- with_displacement instr (target_new - (new_i + 1))
+        | None -> out.(new_i) <- instr);
+       i := !i + 1
+     end);
+    emit_at := new_i + 1
+  done;
+  (* instruction indices shifted: any opcode overrides are invalidated
+     (run Replicate after Peephole, not before) *)
+  { proto with code = out; opcode_overrides = [||] }
+
+let optimize (program : program) =
+  { protos = Array.map optimize_proto program.protos }
+
+let fused_count (program : program) =
+  Array.fold_left
+    (fun acc (p : proto) ->
+      Array.fold_left
+        (fun acc instr ->
+          match instr with
+          | EQJMP _ | LTJMP _ | LEJMP _ | TESTJMP _ -> acc + 1
+          | _ -> acc)
+        acc p.code)
+    0 program.protos

@@ -1,0 +1,343 @@
+open Scd_runtime
+open Bytecode
+
+type frame = {
+  proto : proto;
+  base : int;
+  mutable pc : int;
+  ret_slot : int;  (** Absolute stack slot receiving the return value. *)
+}
+
+type t = {
+  program : program;
+  ctx : Builtins.ctx;
+  globals : (string, Value.t) Hashtbl.t;
+  mutable stack : Value.t array;
+  mutable frames : frame list;
+  trace : Trace.sink option;
+  mutable steps : int;
+  max_steps : int;
+}
+
+let create ?ctx ?trace ?(max_steps = 200_000_000) program =
+  let ctx = match ctx with Some c -> c | None -> Builtins.create_ctx () in
+  let globals = Hashtbl.create 64 in
+  List.iteri
+    (fun id (b : Builtins.builtin) ->
+      Hashtbl.replace globals b.name (Value.Func (-1 - id)))
+    Builtins.all;
+  {
+    program;
+    ctx;
+    globals;
+    stack = Array.make 256 Value.Nil;
+    frames = [];
+    trace;
+    steps = 0;
+    max_steps;
+  }
+
+let steps t = t.steps
+let ctx t = t.ctx
+let output t = Builtins.output t.ctx
+
+let error fmt = Printf.ksprintf (fun m -> raise (Value.Runtime_error m)) fmt
+
+let ensure_stack t size =
+  if size > Array.length t.stack then begin
+    let fresh = Array.make (max size (2 * Array.length t.stack)) Value.Nil in
+    Array.blit t.stack 0 fresh 0 (Array.length t.stack);
+    t.stack <- fresh
+  end
+
+let push_frame t ~proto_id ~ret_slot ~args_from ~num_args =
+  let proto = t.program.protos.(proto_id) in
+  if num_args <> proto.num_params then
+    error "%s: expected %d arguments, got %d" proto.name proto.num_params num_args;
+  let base = args_from in
+  ensure_stack t (base + proto.num_regs);
+  (* Clear the non-parameter registers of the fresh window. *)
+  for i = num_args to proto.num_regs - 1 do
+    t.stack.(base + i) <- Value.Nil
+  done;
+  t.frames <- { proto; base; pc = 0; ret_slot } :: t.frames
+
+(* --- trace helpers ------------------------------------------------- *)
+
+let table_slot_of_key table key ~write =
+  Trace.Table_slot
+    {
+      id = Value.table_id table;
+      slot = Value.hash_key key land 63;
+      write;
+    }
+
+let rk_access frame (rk : rk) =
+  match rk with
+  | R r -> Trace.Reg { slot = frame.base + r; write = false }
+  | K i -> Trace.Const { fn = frame.proto.id; index = i }
+
+let reg_read frame r = Trace.Reg { slot = frame.base + r; write = false }
+let reg_write frame r = Trace.Reg { slot = frame.base + r; write = true }
+
+let global_hash name = Hashtbl.hash name land 0xFFFF
+
+(* --- value helpers ------------------------------------------------- *)
+
+let rk_value t frame (rk : rk) =
+  match rk with
+  | R r -> t.stack.(frame.base + r)
+  | K i -> frame.proto.consts.(i)
+
+let arith_op : arith -> [ `Add | `Sub | `Mul | `Div | `Idiv | `Mod ] = function
+  | Add -> `Add
+  | Sub -> `Sub
+  | Mul -> `Mul
+  | Div -> `Div
+  | Idiv -> `Idiv
+  | Mod -> `Mod
+
+let for_continue counter limit step =
+  if Value.compare_lt (Value.Int 0) step || Value.equal step (Value.Int 0) then
+    Value.compare_le counter limit
+  else Value.compare_le limit counter
+
+(* ------------------------------------------------------------------ *)
+
+let step t frame =
+  let instr = frame.proto.code.(frame.pc) in
+  let pc_of_instr = frame.pc in
+  frame.pc <- frame.pc + 1;
+  let stack = t.stack in
+  let base = frame.base in
+  let set r v = stack.(base + r) <- v in
+  let get r = stack.(base + r) in
+  (* Executed first so the event reflects pre-execution pc; ctrl and
+     accesses are computed in the same match as the semantics below to
+     avoid duplicating the interpretation logic. *)
+  let emit accesses ctrl =
+    match t.trace with
+    | None -> ()
+    | Some sink ->
+      let overrides = frame.proto.opcode_overrides in
+      let opcode =
+        if Array.length overrides > pc_of_instr && overrides.(pc_of_instr) >= 0
+        then overrides.(pc_of_instr)
+        else opcode_of_instr instr
+      in
+      sink
+        { Trace.fn = frame.proto.id; pc = pc_of_instr; opcode; accesses; ctrl }
+  in
+  match instr with
+  | MOVE (a, b) ->
+    set a (get b);
+    emit [ reg_read frame b; reg_write frame a ] Seq
+  | LOADK (a, k) ->
+    set a frame.proto.consts.(k);
+    emit [ Const { fn = frame.proto.id; index = k }; reg_write frame a ] Seq
+  | LOADINT (a, i) ->
+    set a (Value.Int i);
+    emit [ reg_write frame a ] Seq
+  | LOADBOOL (a, b) ->
+    set a (Value.Bool b);
+    emit [ reg_write frame a ] Seq
+  | LOADNIL a ->
+    set a Value.Nil;
+    emit [ reg_write frame a ] Seq
+  | GETGLOBAL (a, k) -> (
+    match frame.proto.consts.(k) with
+    | Value.Str name ->
+      let v = Option.value ~default:Value.Nil (Hashtbl.find_opt t.globals name) in
+      set a v;
+      emit
+        [ Const { fn = frame.proto.id; index = k };
+          Global { name_hash = global_hash name; write = false };
+          reg_write frame a ]
+        Seq
+    | _ -> error "GETGLOBAL: constant is not a name")
+  | SETGLOBAL (a, k) -> (
+    match frame.proto.consts.(k) with
+    | Value.Str name ->
+      Hashtbl.replace t.globals name (get a);
+      emit
+        [ reg_read frame a;
+          Const { fn = frame.proto.id; index = k };
+          Global { name_hash = global_hash name; write = true } ]
+        Seq
+    | _ -> error "SETGLOBAL: constant is not a name")
+  | GETTABLE (a, b, c) ->
+    let tbl = Value.table_of (get b) in
+    let key = rk_value t frame c in
+    set a (Value.table_get tbl key);
+    emit
+      [ reg_read frame b; rk_access frame c;
+        table_slot_of_key tbl key ~write:false; reg_write frame a ]
+      Seq
+  | SETTABLE (a, bk, cv) ->
+    let tbl = Value.table_of (get a) in
+    let key = rk_value t frame bk in
+    let v = rk_value t frame cv in
+    Value.table_set tbl key v;
+    emit
+      [ reg_read frame a; rk_access frame bk; rk_access frame cv;
+        table_slot_of_key tbl key ~write:true ]
+      Seq
+  | NEWTABLE a ->
+    set a (Value.new_table ());
+    emit [ reg_write frame a ] Seq
+  | ARITH (op, a, b, c) ->
+    set a (Value.arith (arith_op op) (rk_value t frame b) (rk_value t frame c));
+    emit [ rk_access frame b; rk_access frame c; reg_write frame a ] Seq
+  | UNM (a, b) ->
+    set a (Value.neg (get b));
+    emit [ reg_read frame b; reg_write frame a ] Seq
+  | NOT (a, b) ->
+    set a (Value.Bool (not (Value.truthy (get b))));
+    emit [ reg_read frame b; reg_write frame a ] Seq
+  | LEN (a, b) ->
+    set a (Value.length (get b));
+    emit [ reg_read frame b; reg_write frame a ] Seq
+  | CONCAT (a, b, c) ->
+    let vb = rk_value t frame b and vc = rk_value t frame c in
+    set a (Value.concat vb vc);
+    emit
+      [ rk_access frame b; rk_access frame c; reg_write frame a ]
+      Seq
+  | JMP d ->
+    frame.pc <- frame.pc + d;
+    emit [] (Jump { target = frame.pc })
+  | EQ (flag, b, c) ->
+    let r = Value.equal (rk_value t frame b) (rk_value t frame c) in
+    let skip = r <> flag in
+    if skip then frame.pc <- frame.pc + 1;
+    emit
+      [ rk_access frame b; rk_access frame c ]
+      (Branch { taken = skip; target = frame.pc })
+  | LT (flag, b, c) ->
+    let r = Value.compare_lt (rk_value t frame b) (rk_value t frame c) in
+    let skip = r <> flag in
+    if skip then frame.pc <- frame.pc + 1;
+    emit
+      [ rk_access frame b; rk_access frame c ]
+      (Branch { taken = skip; target = frame.pc })
+  | LE (flag, b, c) ->
+    let r = Value.compare_le (rk_value t frame b) (rk_value t frame c) in
+    let skip = r <> flag in
+    if skip then frame.pc <- frame.pc + 1;
+    emit
+      [ rk_access frame b; rk_access frame c ]
+      (Branch { taken = skip; target = frame.pc })
+  | TEST (a, flag) ->
+    let skip = Value.truthy (get a) <> flag in
+    if skip then frame.pc <- frame.pc + 1;
+    emit [ reg_read frame a ] (Branch { taken = skip; target = frame.pc })
+  | CALL (a, nargs) -> (
+    let callee = get a in
+    match callee with
+    | Value.Func id when id >= 0 ->
+      emit
+        [ reg_read frame a ]
+        (Call { callee = id });
+      push_frame t ~proto_id:id ~ret_slot:(base + a) ~args_from:(base + a + 1)
+        ~num_args:nargs
+    | Value.Func id ->
+      (* builtin *)
+      let builtin_id = -1 - id in
+      let builtin = Builtins.by_id builtin_id in
+      (match builtin.arity with
+       | Some arity when arity <> nargs ->
+         error "%s: expected %d arguments, got %d" builtin.name arity nargs
+       | _ -> ());
+      let args = List.init nargs (fun i -> get (a + 1 + i)) in
+      emit [ reg_read frame a ] (Call { callee = id });
+      set a (builtin.fn t.ctx args)
+    | v -> error "attempt to call a %s value" (Value.type_name v))
+  | RETURN (a, has_value) ->
+    let result = if has_value then get a else Value.Nil in
+    emit (if has_value then [ reg_read frame a ] else []) Ret;
+    (match t.frames with
+     | [] -> assert false
+     | finished :: rest ->
+       t.frames <- rest;
+       if rest <> [] then t.stack.(finished.ret_slot) <- result)
+  | CLOSURE (a, pid) ->
+    set a (Value.Func pid);
+    emit [ reg_write frame a ] Seq
+  | FORPREP (a, d) ->
+    (* Validate and normalise the control values, then jump to FORLOOP. *)
+    let check name v =
+      match v with
+      | Value.Int _ | Value.Float _ -> v
+      | _ -> error "'for' %s must be a number" name
+    in
+    set a (check "initial value" (get a));
+    set (a + 1) (check "limit" (get (a + 1)));
+    (match check "step" (get (a + 2)) with
+     | Value.Int 0 -> error "'for' step is zero"
+     | v -> set (a + 2) v);
+    (* Lua biases the counter down by one step so FORLOOP's increment
+       starts the first iteration. *)
+    set a (Value.arith `Sub (get a) (get (a + 2)));
+    frame.pc <- frame.pc + d;
+    emit
+      [ reg_read frame a; reg_read frame (a + 1); reg_read frame (a + 2);
+        reg_write frame a ]
+      (Jump { target = frame.pc })
+  | EQJMP (flag, b, c, d) ->
+    let taken = Value.equal (rk_value t frame b) (rk_value t frame c) = flag in
+    if taken then frame.pc <- frame.pc + d;
+    emit
+      [ rk_access frame b; rk_access frame c ]
+      (Branch { taken; target = frame.pc })
+  | LTJMP (flag, b, c, d) ->
+    let taken =
+      Value.compare_lt (rk_value t frame b) (rk_value t frame c) = flag
+    in
+    if taken then frame.pc <- frame.pc + d;
+    emit
+      [ rk_access frame b; rk_access frame c ]
+      (Branch { taken; target = frame.pc })
+  | LEJMP (flag, b, c, d) ->
+    let taken =
+      Value.compare_le (rk_value t frame b) (rk_value t frame c) = flag
+    in
+    if taken then frame.pc <- frame.pc + d;
+    emit
+      [ rk_access frame b; rk_access frame c ]
+      (Branch { taken; target = frame.pc })
+  | TESTJMP (a, flag, d) ->
+    let taken = Value.truthy (get a) = flag in
+    if taken then frame.pc <- frame.pc + d;
+    emit [ reg_read frame a ] (Branch { taken; target = frame.pc })
+  | FORLOOP (a, d) ->
+    let counter = Value.arith `Add (get a) (get (a + 2)) in
+    set a counter;
+    let continue = for_continue counter (get (a + 1)) (get (a + 2)) in
+    if continue then begin
+      set (a + 3) counter;
+      frame.pc <- frame.pc + d
+    end;
+    emit
+      [ reg_read frame a; reg_read frame (a + 1); reg_read frame (a + 2);
+        reg_write frame a; reg_write frame (a + 3) ]
+      (Branch { taken = continue; target = frame.pc })
+
+let run t =
+  push_frame t ~proto_id:0 ~ret_slot:0 ~args_from:0 ~num_args:0;
+  let rec loop () =
+    match t.frames with
+    | [] -> ()
+    | frame :: _ ->
+      t.steps <- t.steps + 1;
+      if t.steps > t.max_steps then error "step limit exceeded";
+      step t frame;
+      loop ()
+  in
+  loop ()
+
+let run_string ?seed source =
+  let program = Compiler.compile_string source in
+  let ctx = Builtins.create_ctx ?seed () in
+  let vm = create ~ctx program in
+  run vm;
+  Builtins.output ctx

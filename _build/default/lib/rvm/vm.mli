@@ -1,0 +1,37 @@
+(** Register-based bytecode interpreter (the "Lua" of this reproduction).
+
+    The VM executes a compiled {!Bytecode.program} over a contiguous value
+    stack with per-frame register windows, exactly as Lua does: a call at
+    register [a] gives the callee a window starting at the caller's
+    [base + a + 1].
+
+    When a trace sink is installed, every executed bytecode reports a
+    {!Scd_runtime.Trace.t} carrying its opcode, representative memory
+    accesses and control outcome; the co-simulator expands these into
+    native-instruction streams. Tracing does not change semantics. *)
+
+type t
+
+val create :
+  ?ctx:Scd_runtime.Builtins.ctx ->
+  ?trace:Scd_runtime.Trace.sink ->
+  ?max_steps:int ->
+  Bytecode.program ->
+  t
+(** [max_steps] (default 200 million) bounds execution; exceeding it raises
+    [Runtime_error]. Globals are pre-populated with every builtin. *)
+
+val run : t -> unit
+(** Execute the main chunk to completion. Raises
+    {!Scd_runtime.Value.Runtime_error} on a dynamic error. *)
+
+val steps : t -> int
+(** Bytecodes executed so far. *)
+
+val ctx : t -> Scd_runtime.Builtins.ctx
+
+val output : t -> string
+(** Convenience: the builtin context's captured output. *)
+
+val run_string : ?seed:int64 -> string -> string
+(** Parse, compile and run a source string; returns its printed output. *)

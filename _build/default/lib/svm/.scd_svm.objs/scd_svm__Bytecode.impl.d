@@ -1,0 +1,1 @@
+lib/svm/bytecode.ml: Array Scd_runtime

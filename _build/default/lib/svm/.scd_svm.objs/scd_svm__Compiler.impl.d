@@ -1,0 +1,1 @@
+lib/svm/compiler.ml: Array Ast Bytecode Hashtbl List Option Parser Printf Scd_lang Scd_runtime Scd_util Value Vec

@@ -1,0 +1,1 @@
+lib/svm/compiler.mli: Bytecode Scd_lang

@@ -1,0 +1,1 @@
+lib/svm/vm.mli: Bytecode Scd_runtime

@@ -1,0 +1,414 @@
+open Scd_util
+open Scd_lang
+open Scd_runtime
+open Bytecode
+
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Error m)) fmt
+
+type fn_state = {
+  name : string;
+  num_params : int;
+  parent : fn_state option;
+  mutable locals : (string * int) list;
+  mutable num_locals : int;
+  code : int Vec.t;
+  consts : Value.t Vec.t;
+  const_index : (Value.t, int) Hashtbl.t;
+  mutable break_patches : int list list;
+}
+
+type compiler = { protos : proto option Vec.t }
+
+let new_fn ?parent ~name params =
+  let st =
+    {
+      name;
+      num_params = List.length params;
+      parent;
+      locals = [];
+      num_locals = 0;
+      code = Vec.create ();
+      consts = Vec.create ();
+      const_index = Hashtbl.create 16;
+      break_patches = [];
+    }
+  in
+  List.iter
+    (fun p ->
+      st.locals <- (p, st.num_locals) :: st.locals;
+      st.num_locals <- st.num_locals + 1)
+    params;
+  st
+
+let const_of st v =
+  match Hashtbl.find_opt st.const_index v with
+  | Some i -> i
+  | None ->
+    let i = Vec.push st.consts v in
+    Hashtbl.replace st.const_index v i;
+    i
+
+let new_local st name =
+  let slot = st.num_locals in
+  if slot > 255 then fail "%s: too many locals" st.name;
+  st.num_locals <- st.num_locals + 1;
+  st.locals <- (name, slot) :: st.locals;
+  slot
+
+let lookup_local st name = List.assoc_opt name st.locals
+
+let rec bound_in_ancestor parent name =
+  match parent with
+  | None -> false
+  | Some st ->
+    Option.is_some (lookup_local st name) || bound_in_ancestor st.parent name
+
+(* --- byte emission -------------------------------------------------- *)
+
+let emit_op st op = ignore (Vec.push st.code (opcode_of_op op))
+
+let emit_u8 st v =
+  if v < 0 || v > 255 then fail "u8 immediate out of range: %d" v;
+  ignore (Vec.push st.code v)
+
+let emit_u16 st v =
+  if v < 0 || v > 0xFFFF then fail "u16 immediate out of range: %d" v;
+  ignore (Vec.push st.code (v land 0xFF));
+  ignore (Vec.push st.code ((v lsr 8) land 0xFF))
+
+let emit_i16_placeholder st =
+  let at = Vec.length st.code in
+  ignore (Vec.push st.code 0);
+  ignore (Vec.push st.code 0);
+  at
+
+let patch_i16 st at value =
+  if value < -32768 || value > 32767 then fail "jump displacement out of range";
+  let v = value land 0xFFFF in
+  Vec.set st.code at (v land 0xFF);
+  Vec.set st.code (at + 1) ((v lsr 8) land 0xFF)
+
+let emit_i32 st v =
+  for shift = 0 to 3 do
+    ignore (Vec.push st.code ((v asr (8 * shift)) land 0xFF))
+  done
+
+let here st = Vec.length st.code
+
+(* Emit a jump; returns the placeholder offset to patch later. The
+   displacement is relative to the instruction *after* the immediate. *)
+let emit_jump st op =
+  emit_op st op;
+  emit_i16_placeholder st
+
+let patch_jump st at ~target = patch_i16 st at (target - (at + 2))
+
+let emit_jump_to st op ~target =
+  emit_op st op;
+  let at = emit_i16_placeholder st in
+  patch_jump st at ~target
+
+(* ------------------------------------------------------------------ *)
+(* Expressions — leave exactly one value on the operand stack.         *)
+(* ------------------------------------------------------------------ *)
+
+let rec expr c st e =
+  match e with
+  | Ast.Nil -> emit_op st PUSH_NIL
+  | Ast.True -> emit_op st PUSH_TRUE
+  | Ast.False -> emit_op st PUSH_FALSE
+  | Ast.Int i when i >= -128 && i <= 127 ->
+    emit_op st PUSH_INT8;
+    emit_u8 st (i land 0xFF)
+  | Ast.Int i when i >= -0x4000_0000 && i <= 0x3FFF_FFFF ->
+    emit_op st PUSH_INT32;
+    emit_i32 st i
+  | Ast.Int i ->
+    emit_op st PUSH_CONST;
+    emit_u16 st (const_of st (Value.Int i))
+  | Ast.Float f ->
+    emit_op st PUSH_CONST;
+    emit_u16 st (const_of st (Value.Float f))
+  | Ast.Str s ->
+    emit_op st PUSH_CONST;
+    emit_u16 st (const_of st (Value.Str s))
+  | Ast.Var name -> (
+    match lookup_local st name with
+    | Some slot ->
+      emit_op st GET_LOCAL;
+      emit_u8 st slot
+    | None ->
+      if bound_in_ancestor st.parent name then
+        fail "upvalue %S: Mina functions cannot capture enclosing locals" name
+      else begin
+        emit_op st GET_GLOBAL;
+        emit_u16 st (const_of st (Value.Str name))
+      end)
+  | Ast.Index (tbl, key) ->
+    expr c st tbl;
+    expr c st key;
+    emit_op st GET_ELEM
+  | Ast.Call (callee, args) ->
+    expr c st callee;
+    List.iter (expr c st) args;
+    if List.length args > 255 then fail "too many arguments";
+    emit_op st CALL;
+    emit_u8 st (List.length args)
+  | Ast.Unop (op, operand) -> (
+    expr c st operand;
+    match op with
+    | Ast.Neg -> emit_op st NEG
+    | Ast.Not -> emit_op st NOT_OP
+    | Ast.Len -> emit_op st LEN_OP)
+  | Ast.Binop (op, lhs, rhs) ->
+    expr c st lhs;
+    expr c st rhs;
+    emit_op st
+      (match op with
+       | Ast.Add -> ADD
+       | Ast.Sub -> SUB
+       | Ast.Mul -> MUL
+       | Ast.Div -> DIV
+       | Ast.Idiv -> IDIV
+       | Ast.Mod -> MOD
+       | Ast.Concat -> CONCAT
+       | Ast.Eq -> EQ
+       | Ast.Ne -> NE
+       | Ast.Lt -> LT_OP
+       | Ast.Le -> LE_OP
+       | Ast.Gt -> GT_OP
+       | Ast.Ge -> GE_OP)
+  | Ast.And (lhs, rhs) ->
+    expr c st lhs;
+    emit_op st DUP;
+    let j = emit_jump st JUMP_IF_FALSE in
+    emit_op st POP;
+    expr c st rhs;
+    patch_jump st j ~target:(here st)
+  | Ast.Or (lhs, rhs) ->
+    expr c st lhs;
+    emit_op st DUP;
+    let j = emit_jump st JUMP_IF_TRUE in
+    emit_op st POP;
+    expr c st rhs;
+    patch_jump st j ~target:(here st)
+  | Ast.Table fields ->
+    emit_op st NEW_OBJ;
+    let next_positional = ref 1 in
+    List.iter
+      (fun field ->
+        emit_op st DUP;
+        (match field with
+         | Ast.Positional value ->
+           expr c st (Ast.Int !next_positional);
+           incr next_positional;
+           expr c st value
+         | Ast.Named (name, value) ->
+           expr c st (Ast.Str name);
+           expr c st value
+         | Ast.Keyed (key, value) ->
+           expr c st key;
+           expr c st value);
+        emit_op st SET_ELEM)
+      fields
+  | Ast.Function (params, body) ->
+    let pid = compile_function c ~parent:st ~name:"<anonymous>" params body in
+    emit_op st CLOSURE;
+    emit_u16 st pid
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+and compile_block c st block = List.iter (compile_stmt c st) block
+
+and compile_stmt c st = function
+  | Ast.Local (name, init) ->
+    (match init with
+     | Some e -> expr c st e
+     | None -> emit_op st PUSH_NIL);
+    let slot = new_local st name in
+    emit_op st SET_LOCAL;
+    emit_u8 st slot
+  | Ast.Assign (Ast.Var name, e) -> (
+    expr c st e;
+    match lookup_local st name with
+    | Some slot ->
+      emit_op st SET_LOCAL;
+      emit_u8 st slot
+    | None ->
+      if bound_in_ancestor st.parent name then
+        fail "upvalue %S: Mina functions cannot capture enclosing locals" name
+      else begin
+        emit_op st SET_GLOBAL;
+        emit_u16 st (const_of st (Value.Str name))
+      end)
+  | Ast.Assign (Ast.Index (tbl, key), e) ->
+    expr c st tbl;
+    expr c st key;
+    expr c st e;
+    emit_op st SET_ELEM
+  | Ast.Assign (_, _) -> fail "invalid assignment target"
+  | Ast.Expr_stmt e ->
+    expr c st e;
+    emit_op st POP
+  | Ast.If (arms, else_block) ->
+    let end_jumps = ref [] in
+    let rec go = function
+      | [] -> (
+        match else_block with
+        | Some b -> compile_block c st b
+        | None -> ())
+      | (cond, body) :: rest ->
+        expr c st cond;
+        let jfalse = emit_jump st JUMP_IF_FALSE in
+        compile_block c st body;
+        (match (rest, else_block) with
+         | [], None -> ()
+         | _ -> end_jumps := emit_jump st JUMP :: !end_jumps);
+        patch_jump st jfalse ~target:(here st);
+        go rest
+    in
+    go arms;
+    List.iter (fun j -> patch_jump st j ~target:(here st)) !end_jumps
+  | Ast.While (cond, body) ->
+    let loop_start = here st in
+    expr c st cond;
+    let jexit = emit_jump st JUMP_IF_FALSE in
+    st.break_patches <- [] :: st.break_patches;
+    compile_block c st body;
+    emit_jump_to st JUMP ~target:loop_start;
+    patch_jump st jexit ~target:(here st);
+    let breaks = List.hd st.break_patches in
+    st.break_patches <- List.tl st.break_patches;
+    List.iter (fun j -> patch_jump st j ~target:(here st)) breaks
+  | Ast.Repeat (body, cond) ->
+    let loop_start = here st in
+    st.break_patches <- [] :: st.break_patches;
+    compile_block c st body;
+    expr c st cond;
+    let jagain = emit_jump st JUMP_IF_FALSE in
+    patch_jump st jagain ~target:loop_start;
+    let breaks = List.hd st.break_patches in
+    st.break_patches <- List.tl st.break_patches;
+    List.iter (fun j -> patch_jump st j ~target:(here st)) breaks
+  | Ast.Numeric_for { var; start; stop; step; body } ->
+    (* Desugar to hidden counter/limit/step locals plus explicit tests.
+       A literal (or omitted) step lets us pick the comparison direction at
+       compile time; otherwise both directions are emitted. *)
+    let saved_locals = st.locals in
+    expr c st start;
+    let counter = new_local st ("(for-counter)" ^ var) in
+    emit_op st SET_LOCAL;
+    emit_u8 st counter;
+    expr c st stop;
+    let limit = new_local st ("(for-limit)" ^ var) in
+    emit_op st SET_LOCAL;
+    emit_u8 st limit;
+    let step_expr = Option.value ~default:(Ast.Int 1) step in
+    expr c st step_expr;
+    let step_slot = new_local st ("(for-step)" ^ var) in
+    emit_op st SET_LOCAL;
+    emit_u8 st step_slot;
+    let user = new_local st var in
+    let loop_start = here st in
+    (* test: counter <= limit (ascending) / counter >= limit (descending) *)
+    let emit_test cmp_op =
+      emit_op st GET_LOCAL;
+      emit_u8 st counter;
+      emit_op st GET_LOCAL;
+      emit_u8 st limit;
+      emit_op st cmp_op;
+      emit_jump st JUMP_IF_FALSE
+    in
+    let exit_jumps =
+      match step_expr with
+      | Ast.Int i when i > 0 -> [ emit_test LE_OP ]
+      | Ast.Int i when i < 0 -> [ emit_test GE_OP ]
+      | Ast.Int _ -> fail "'for' step is zero"
+      | Ast.Float f when f > 0.0 -> [ emit_test LE_OP ]
+      | Ast.Float f when f < 0.0 -> [ emit_test GE_OP ]
+      | _ ->
+        (* runtime-direction step: step >= 0 ? counter<=limit : counter>=limit *)
+        emit_op st GET_LOCAL;
+        emit_u8 st step_slot;
+        emit_op st PUSH_INT8;
+        emit_u8 st 0;
+        emit_op st LT_OP;
+        let jdesc = emit_jump st JUMP_IF_TRUE in
+        let asc_exit = emit_test LE_OP in
+        let jbody = emit_jump st JUMP in
+        patch_jump st jdesc ~target:(here st);
+        let desc_exit = emit_test GE_OP in
+        patch_jump st jbody ~target:(here st);
+        [ asc_exit; desc_exit ]
+    in
+    (* user variable := counter *)
+    emit_op st GET_LOCAL;
+    emit_u8 st counter;
+    emit_op st SET_LOCAL;
+    emit_u8 st user;
+    st.break_patches <- [] :: st.break_patches;
+    compile_block c st body;
+    (* counter += step; loop *)
+    emit_op st GET_LOCAL;
+    emit_u8 st counter;
+    emit_op st GET_LOCAL;
+    emit_u8 st step_slot;
+    emit_op st ADD;
+    emit_op st SET_LOCAL;
+    emit_u8 st counter;
+    emit_jump_to st JUMP ~target:loop_start;
+    let breaks = List.hd st.break_patches in
+    st.break_patches <- List.tl st.break_patches;
+    List.iter (fun j -> patch_jump st j ~target:(here st)) (exit_jumps @ breaks);
+    st.locals <- saved_locals
+  | Ast.Return None -> emit_op st RETURN_NIL
+  | Ast.Return (Some e) ->
+    expr c st e;
+    emit_op st RETURN_VAL
+  | Ast.Break -> (
+    match st.break_patches with
+    | [] -> fail "break outside a loop"
+    | breaks :: rest ->
+      let j = emit_jump st JUMP in
+      st.break_patches <- (j :: breaks) :: rest)
+  | Ast.Function_decl (name, params, body) ->
+    let pid = compile_function c ~parent:st ~name params body in
+    emit_op st CLOSURE;
+    emit_u16 st pid;
+    emit_op st SET_GLOBAL;
+    emit_u16 st (const_of st (Value.Str name))
+
+and compile_function c ?parent ~name params body =
+  let id = Vec.push c.protos None in
+  if id > 0xFFFF then fail "too many functions";
+  let st = new_fn ?parent ~name params in
+  compile_block c st body;
+  emit_op st RETURN_NIL;
+  Vec.set c.protos id
+    (Some
+       {
+         id;
+         name;
+         num_params = st.num_params;
+         num_locals = max st.num_locals 1;
+         code = Vec.to_array st.code;
+         consts = Vec.to_array st.consts;
+       });
+  id
+
+let compile (program : Ast.program) : Bytecode.program =
+  let c = { protos = Vec.create () } in
+  let main = compile_function c ~name:"<main>" [] program in
+  assert (main = 0);
+  let protos =
+    Array.map
+      (function Some p -> p | None -> fail "internal: unfilled proto")
+      (Vec.to_array c.protos)
+  in
+  { protos }
+
+let compile_string source = compile (Parser.parse source)

@@ -1,0 +1,12 @@
+(** AST -> stack bytecode compiler.
+
+    Expressions evaluate onto the operand stack; locals are indexed slots
+    assigned at first declaration (function-level scoping, like the register
+    compiler). Numeric [for] loops desugar into hidden counter/limit/step
+    locals with explicit compare-and-branch bytecodes — there are no
+    dedicated loop opcodes, matching stack VMs like SpiderMonkey. *)
+
+exception Error of string
+
+val compile : Scd_lang.Ast.program -> Bytecode.program
+val compile_string : string -> Bytecode.program

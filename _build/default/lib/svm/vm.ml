@@ -1,0 +1,325 @@
+open Scd_runtime
+open Bytecode
+
+type frame = {
+  proto : proto;
+  locals_base : int;
+  mutable pc : int;
+  mutable sp : int;  (** Absolute index one past the operand-stack top. *)
+}
+
+type t = {
+  program : program;
+  ctx : Builtins.ctx;
+  globals : (string, Value.t) Hashtbl.t;
+  mutable stack : Value.t array;
+  mutable frames : frame list;
+  trace : Trace.sink option;
+  mutable steps : int;
+  max_steps : int;
+}
+
+let create ?ctx ?trace ?(max_steps = 200_000_000) program =
+  let ctx = match ctx with Some c -> c | None -> Builtins.create_ctx () in
+  let globals = Hashtbl.create 64 in
+  List.iteri
+    (fun id (b : Builtins.builtin) ->
+      Hashtbl.replace globals b.name (Value.Func (-1 - id)))
+    Builtins.all;
+  {
+    program;
+    ctx;
+    globals;
+    stack = Array.make 256 Value.Nil;
+    frames = [];
+    trace;
+    steps = 0;
+    max_steps;
+  }
+
+let steps t = t.steps
+let ctx t = t.ctx
+let output t = Builtins.output t.ctx
+
+let error fmt = Printf.ksprintf (fun m -> raise (Value.Runtime_error m)) fmt
+
+let ensure_stack t size =
+  if size > Array.length t.stack then begin
+    let fresh = Array.make (max size (2 * Array.length t.stack)) Value.Nil in
+    Array.blit t.stack 0 fresh 0 (Array.length t.stack);
+    t.stack <- fresh
+  end
+
+let push_frame t ~proto_id ~locals_base ~num_args =
+  let proto = t.program.protos.(proto_id) in
+  if num_args <> proto.num_params then
+    error "%s: expected %d arguments, got %d" proto.name proto.num_params num_args;
+  ensure_stack t (locals_base + proto.num_locals + 16);
+  for i = num_args to proto.num_locals - 1 do
+    t.stack.(locals_base + i) <- Value.Nil
+  done;
+  t.frames <-
+    { proto; locals_base; pc = 0; sp = locals_base + proto.num_locals } :: t.frames
+
+let global_hash name = Hashtbl.hash name land 0xFFFF
+
+let table_slot_of_key table key ~write =
+  Trace.Table_slot
+    { id = Value.table_id table; slot = Value.hash_key key land 63; write }
+
+(* --- immediate readers --------------------------------------------- *)
+
+let u8 frame =
+  let v = frame.proto.code.(frame.pc) in
+  frame.pc <- frame.pc + 1;
+  v
+
+let i8 frame =
+  let v = u8 frame in
+  if v >= 128 then v - 256 else v
+
+let u16 frame =
+  let lo = u8 frame in
+  let hi = u8 frame in
+  lo lor (hi lsl 8)
+
+let i16 frame =
+  let v = u16 frame in
+  if v >= 32768 then v - 65536 else v
+
+let i32 frame =
+  let b0 = u8 frame and b1 = u8 frame and b2 = u8 frame and b3 = u8 frame in
+  let v = b0 lor (b1 lsl 8) lor (b2 lsl 16) lor (b3 lsl 24) in
+  if v land 0x8000_0000 <> 0 then v - (1 lsl 32) else v
+
+(* ------------------------------------------------------------------ *)
+
+let step t frame =
+  let opcode_pc = frame.pc in
+  let opcode = frame.proto.code.(frame.pc) in
+  let op = op_of_opcode opcode in
+  frame.pc <- frame.pc + 1;
+  let stack = t.stack in
+  let push v =
+    ensure_stack t (frame.sp + 1);
+    t.stack.(frame.sp) <- v;
+    frame.sp <- frame.sp + 1
+  in
+  let pop () =
+    frame.sp <- frame.sp - 1;
+    t.stack.(frame.sp)
+  in
+  let top_slot k = frame.sp - 1 - k in
+  let emit accesses ctrl =
+    match t.trace with
+    | None -> ()
+    | Some sink ->
+      sink
+        { Trace.fn = frame.proto.id; pc = opcode_pc; opcode; accesses; ctrl }
+  in
+  let stk_read k = Trace.Reg { slot = top_slot k; write = false } in
+  let stk_write k = Trace.Reg { slot = top_slot k; write = true } in
+  let binary f =
+    let b = pop () in
+    let a = pop () in
+    push (f a b);
+    (* reads the two inputs where they sat, writes the result slot *)
+    emit [ stk_read 1; Trace.Reg { slot = frame.sp; write = false }; stk_write 0 ] Seq
+  in
+  let compare_op f =
+    let b = pop () in
+    let a = pop () in
+    push (Value.Bool (f a b));
+    emit [ stk_read 1; Trace.Reg { slot = frame.sp; write = false }; stk_write 0 ] Seq
+  in
+  match op with
+  | NOP -> emit [] Seq
+  | PUSH_NIL ->
+    push Value.Nil;
+    emit [ stk_write 0 ] Seq
+  | PUSH_TRUE ->
+    push (Value.Bool true);
+    emit [ stk_write 0 ] Seq
+  | PUSH_FALSE ->
+    push (Value.Bool false);
+    emit [ stk_write 0 ] Seq
+  | PUSH_INT8 ->
+    push (Value.Int (i8 frame));
+    emit [ stk_write 0 ] Seq
+  | PUSH_INT32 ->
+    push (Value.Int (i32 frame));
+    emit [ stk_write 0 ] Seq
+  | PUSH_CONST ->
+    let k = u16 frame in
+    push frame.proto.consts.(k);
+    emit [ Const { fn = frame.proto.id; index = k }; stk_write 0 ] Seq
+  | GET_LOCAL ->
+    let slot = u8 frame in
+    push stack.(frame.locals_base + slot);
+    emit
+      [ Reg { slot = frame.locals_base + slot; write = false }; stk_write 0 ]
+      Seq
+  | SET_LOCAL ->
+    let slot = u8 frame in
+    let v = pop () in
+    stack.(frame.locals_base + slot) <- v;
+    emit
+      [ Trace.Reg { slot = frame.sp; write = false };
+        Reg { slot = frame.locals_base + slot; write = true } ]
+      Seq
+  | GET_GLOBAL -> (
+    let k = u16 frame in
+    match frame.proto.consts.(k) with
+    | Value.Str name ->
+      push (Option.value ~default:Value.Nil (Hashtbl.find_opt t.globals name));
+      emit
+        [ Const { fn = frame.proto.id; index = k };
+          Global { name_hash = global_hash name; write = false };
+          stk_write 0 ]
+        Seq
+    | _ -> error "GET_GLOBAL: constant is not a name")
+  | SET_GLOBAL -> (
+    let k = u16 frame in
+    match frame.proto.consts.(k) with
+    | Value.Str name ->
+      Hashtbl.replace t.globals name (pop ());
+      emit
+        [ Trace.Reg { slot = frame.sp; write = false };
+          Const { fn = frame.proto.id; index = k };
+          Global { name_hash = global_hash name; write = true } ]
+        Seq
+    | _ -> error "SET_GLOBAL: constant is not a name")
+  | GET_ELEM ->
+    let key = pop () in
+    let tbl = Value.table_of (pop ()) in
+    push (Value.table_get tbl key);
+    emit
+      [ stk_read 0; Trace.Reg { slot = frame.sp; write = false };
+        table_slot_of_key tbl key ~write:false; stk_write 0 ]
+      Seq
+  | SET_ELEM ->
+    let v = pop () in
+    let key = pop () in
+    let tbl = Value.table_of (pop ()) in
+    Value.table_set tbl key v;
+    emit
+      [ Trace.Reg { slot = frame.sp; write = false };
+        Trace.Reg { slot = frame.sp + 1; write = false };
+        Trace.Reg { slot = frame.sp + 2; write = false };
+        table_slot_of_key tbl key ~write:true ]
+      Seq
+  | NEW_OBJ ->
+    push (Value.new_table ());
+    emit [ stk_write 0 ] Seq
+  | ADD -> binary (Value.arith `Add)
+  | SUB -> binary (Value.arith `Sub)
+  | MUL -> binary (Value.arith `Mul)
+  | DIV -> binary (Value.arith `Div)
+  | IDIV -> binary (Value.arith `Idiv)
+  | MOD -> binary (Value.arith `Mod)
+  | NEG ->
+    push (Value.neg (pop ()));
+    emit [ stk_read 0; stk_write 0 ] Seq
+  | NOT_OP ->
+    push (Value.Bool (not (Value.truthy (pop ()))));
+    emit [ stk_read 0; stk_write 0 ] Seq
+  | LEN_OP ->
+    push (Value.length (pop ()));
+    emit [ stk_read 0; stk_write 0 ] Seq
+  | CONCAT -> binary Value.concat
+  | EQ -> compare_op Value.equal
+  | NE -> compare_op (fun a b -> not (Value.equal a b))
+  | LT_OP -> compare_op Value.compare_lt
+  | LE_OP -> compare_op Value.compare_le
+  | GT_OP -> compare_op (fun a b -> Value.compare_lt b a)
+  | GE_OP -> compare_op (fun a b -> Value.compare_le b a)
+  | JUMP ->
+    let d = i16 frame in
+    frame.pc <- frame.pc + d;
+    emit [] (Jump { target = frame.pc })
+  | JUMP_IF_FALSE ->
+    let d = i16 frame in
+    let taken = not (Value.truthy (pop ())) in
+    if taken then frame.pc <- frame.pc + d;
+    emit
+      [ Trace.Reg { slot = frame.sp; write = false } ]
+      (Branch { taken; target = frame.pc })
+  | JUMP_IF_TRUE ->
+    let d = i16 frame in
+    let taken = Value.truthy (pop ()) in
+    if taken then frame.pc <- frame.pc + d;
+    emit
+      [ Trace.Reg { slot = frame.sp; write = false } ]
+      (Branch { taken; target = frame.pc })
+  | CALL -> (
+    let nargs = u8 frame in
+    let callee_slot = frame.sp - nargs - 1 in
+    match stack.(callee_slot) with
+    | Value.Func id when id >= 0 ->
+      emit
+        [ Trace.Reg { slot = callee_slot; write = false } ]
+        (Call { callee = id });
+      (* Arguments become the callee's first locals in place. *)
+      frame.sp <- callee_slot;
+      push_frame t ~proto_id:id ~locals_base:(callee_slot + 1) ~num_args:nargs
+    | Value.Func id ->
+      let builtin_id = -1 - id in
+      let builtin = Builtins.by_id builtin_id in
+      (match builtin.arity with
+       | Some arity when arity <> nargs ->
+         error "%s: expected %d arguments, got %d" builtin.name arity nargs
+       | _ -> ());
+      let args = List.init nargs (fun i -> stack.(callee_slot + 1 + i)) in
+      emit
+        [ Trace.Reg { slot = callee_slot; write = false } ]
+        (Call { callee = id });
+      let result = builtin.fn t.ctx args in
+      frame.sp <- callee_slot;
+      stack.(callee_slot) <- result;
+      frame.sp <- callee_slot + 1
+    | v -> error "attempt to call a %s value" (Value.type_name v))
+  | RETURN_VAL | RETURN_NIL ->
+    let result = if op = RETURN_VAL then pop () else Value.Nil in
+    emit (if op = RETURN_VAL then [ stk_read 0 ] else []) Ret;
+    (match t.frames with
+     | [] -> assert false
+     | finished :: rest ->
+       t.frames <- rest;
+       (match rest with
+        | [] -> ()
+        | caller :: _ ->
+          (* The callee sat at locals_base - 1 in the caller's window. *)
+          let result_slot = finished.locals_base - 1 in
+          t.stack.(result_slot) <- result;
+          caller.sp <- result_slot + 1))
+  | CLOSURE ->
+    let pid = u16 frame in
+    push (Value.Func pid);
+    emit [ stk_write 0 ] Seq
+  | POP ->
+    ignore (pop ());
+    emit [] Seq
+  | DUP ->
+    let v = stack.(frame.sp - 1) in
+    push v;
+    emit [ stk_read 1; stk_write 0 ] Seq
+
+let run t =
+  push_frame t ~proto_id:0 ~locals_base:0 ~num_args:0;
+  let rec loop () =
+    match t.frames with
+    | [] -> ()
+    | frame :: _ ->
+      t.steps <- t.steps + 1;
+      if t.steps > t.max_steps then error "step limit exceeded";
+      step t frame;
+      loop ()
+  in
+  loop ()
+
+let run_string ?seed source =
+  let program = Compiler.compile_string source in
+  let ctx = Builtins.create_ctx ?seed () in
+  let vm = create ~ctx program in
+  run vm;
+  Builtins.output ctx

@@ -1,0 +1,27 @@
+(** Stack-based bytecode interpreter (the "SpiderMonkey" of this
+    reproduction).
+
+    Frames share one value stack: a frame's locals occupy
+    [locals_base .. locals_base + num_locals - 1] and its operand stack
+    grows above them. [CALL n] finds the callee below the [n] arguments,
+    turns the arguments into the callee's first locals, and on return
+    replaces callee-and-arguments with the single result.
+
+    The trace sink receives one {!Scd_runtime.Trace.t} per executed
+    bytecode, like the register VM, so the two interpreters are
+    interchangeable in the co-simulator. *)
+
+type t
+
+val create :
+  ?ctx:Scd_runtime.Builtins.ctx ->
+  ?trace:Scd_runtime.Trace.sink ->
+  ?max_steps:int ->
+  Bytecode.program ->
+  t
+
+val run : t -> unit
+val steps : t -> int
+val ctx : t -> Scd_runtime.Builtins.ctx
+val output : t -> string
+val run_string : ?seed:int64 -> string -> string

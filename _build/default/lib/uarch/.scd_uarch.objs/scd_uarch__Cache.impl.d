@@ -1,0 +1,1 @@
+lib/uarch/cache.ml: Array Bits Option Scd_util

@@ -1,0 +1,1 @@
+lib/uarch/config.ml: Btb Cache Direction Printf

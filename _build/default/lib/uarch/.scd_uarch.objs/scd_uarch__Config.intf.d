@@ -1,0 +1,1 @@
+lib/uarch/config.mli: Btb Cache Direction

@@ -1,0 +1,1 @@
+lib/uarch/direction.ml: Array Bits Printf Scd_util

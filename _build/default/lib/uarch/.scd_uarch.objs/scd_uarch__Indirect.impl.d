@@ -1,0 +1,1 @@
+lib/uarch/indirect.ml: Array Bits Btb Option Scd_util

@@ -1,0 +1,1 @@
+lib/uarch/pipeline.ml: Btb Cache Config Direction Event Indirect List Option Ras Scd_isa Stats Tlb

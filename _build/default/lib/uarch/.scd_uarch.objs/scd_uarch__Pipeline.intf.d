@@ -1,0 +1,1 @@
+lib/uarch/pipeline.mli: Btb Config Indirect Scd_isa Stats

@@ -1,0 +1,1 @@
+lib/uarch/stats.ml: Scd_util Summary

@@ -1,0 +1,211 @@
+open Scd_util
+
+type replacement = Round_robin | Lru
+
+type entry = {
+  mutable valid : bool;
+  mutable is_jte : bool;
+  mutable tag : int;
+  mutable target : int;
+  mutable stamp : int; (* LRU timestamp *)
+}
+
+type stats = {
+  mutable branch_lookups : int;
+  mutable branch_hits : int;
+  mutable jte_lookups : int;
+  mutable jte_hits : int;
+  mutable jte_inserts : int;
+  mutable branch_entries_evicted_by_jte : int;
+  mutable branch_insert_blocked_by_jte : int;
+  mutable jte_cap_replacements : int;
+  mutable jte_cap_rejects : int;
+}
+
+type t = {
+  sets : int;
+  ways : int;
+  table : entry array array;
+  replacement : replacement;
+  rr_pointers : int array;
+  jte_cap : int option;
+  mutable jte_population : int;
+  mutable tick : int;
+  stats : stats;
+}
+
+let fresh_stats () =
+  {
+    branch_lookups = 0;
+    branch_hits = 0;
+    jte_lookups = 0;
+    jte_hits = 0;
+    jte_inserts = 0;
+    branch_entries_evicted_by_jte = 0;
+    branch_insert_blocked_by_jte = 0;
+    jte_cap_replacements = 0;
+    jte_cap_rejects = 0;
+  }
+
+let create ~entries ~ways ~replacement ?jte_cap () =
+  if ways <= 0 || entries <= 0 || entries mod ways <> 0 then
+    invalid_arg "Btb.create: entries must be a positive multiple of ways";
+  let sets = entries / ways in
+  if not (Bits.is_power_of_two sets) then
+    invalid_arg "Btb.create: set count must be a power of two";
+  {
+    sets;
+    ways;
+    table =
+      Array.init sets (fun _ ->
+          Array.init ways (fun _ ->
+              { valid = false; is_jte = false; tag = 0; target = 0; stamp = 0 }));
+    replacement;
+    rr_pointers = Array.make sets 0;
+    jte_cap;
+    jte_population = 0;
+    tick = 0;
+    stats = fresh_stats ();
+  }
+
+let index_of t key = (key lsr 2) land (t.sets - 1)
+let tag_of t key = key lsr 2 lsr Bits.log2 t.sets
+
+let find_way t ~jte ~key =
+  let set = t.table.(index_of t key) in
+  let tag = tag_of t key in
+  let rec go i =
+    if i = t.ways then None
+    else
+      let e = set.(i) in
+      if e.valid && e.is_jte = jte && e.tag = tag then Some (set, e) else go (i + 1)
+  in
+  go 0
+
+let touch t e =
+  t.tick <- t.tick + 1;
+  e.stamp <- t.tick
+
+let probe t ~jte ~key =
+  match find_way t ~jte ~key with
+  | Some (_, e) -> Some e.target
+  | None -> None
+
+let lookup t ~jte ~key =
+  (if jte then t.stats.jte_lookups <- t.stats.jte_lookups + 1
+   else t.stats.branch_lookups <- t.stats.branch_lookups + 1);
+  match find_way t ~jte ~key with
+  | Some (_, e) ->
+    (if jte then t.stats.jte_hits <- t.stats.jte_hits + 1
+     else t.stats.branch_hits <- t.stats.branch_hits + 1);
+    touch t e;
+    Some e.target
+  | None -> None
+
+(* Pick a victim among the ways of [set] whose indices satisfy [eligible].
+   Returns [None] when no way is eligible. *)
+let pick_victim t set_index ~eligible =
+  let set = t.table.(set_index) in
+  (* Invalid entries are always the first choice. *)
+  let rec find_invalid i =
+    if i = t.ways then None
+    else if eligible set.(i) && not set.(i).valid then Some set.(i)
+    else find_invalid (i + 1)
+  in
+  match find_invalid 0 with
+  | Some e -> Some e
+  | None -> (
+    match t.replacement with
+    | Lru ->
+      Array.fold_left
+        (fun best e ->
+          if not (eligible e) then best
+          else
+            match best with
+            | None -> Some e
+            | Some b -> if e.stamp < b.stamp then Some e else best)
+        None set
+    | Round_robin ->
+      (* Advance the pointer until an eligible way is found (bounded scan). *)
+      let start = t.rr_pointers.(set_index) in
+      let rec scan n =
+        if n = t.ways then None
+        else
+          let i = (start + n) mod t.ways in
+          if eligible set.(i) then begin
+            t.rr_pointers.(set_index) <- (i + 1) mod t.ways;
+            Some set.(i)
+          end
+          else scan (n + 1)
+      in
+      scan 0)
+
+let overwrite t e ~jte ~key ~target =
+  (* Maintain the JTE population across state changes. *)
+  if e.valid && e.is_jte && not jte then t.jte_population <- t.jte_population - 1;
+  if jte && not (e.valid && e.is_jte) then t.jte_population <- t.jte_population + 1;
+  e.valid <- true;
+  e.is_jte <- jte;
+  e.tag <- tag_of t key;
+  e.target <- target;
+  touch t e
+
+let insert_jte t ~key ~target =
+  t.stats.jte_inserts <- t.stats.jte_inserts + 1;
+  let set_index = index_of t key in
+  match find_way t ~jte:true ~key with
+  | Some (_, e) ->
+    e.target <- target;
+    touch t e
+  | None ->
+    let at_cap =
+      match t.jte_cap with Some cap -> t.jte_population >= cap | None -> false
+    in
+    if at_cap then begin
+      (* Replace a resident JTE in the same set; if the set has none, the
+         insertion is dropped (the population never exceeds the cap). *)
+      match pick_victim t set_index ~eligible:(fun e -> e.valid && e.is_jte) with
+      | Some e ->
+        t.stats.jte_cap_replacements <- t.stats.jte_cap_replacements + 1;
+        overwrite t e ~jte:true ~key ~target
+      | None -> t.stats.jte_cap_rejects <- t.stats.jte_cap_rejects + 1
+    end
+    else begin
+      (* JTE priority: any way is eligible, branch entries included. *)
+      match pick_victim t set_index ~eligible:(fun _ -> true) with
+      | Some e ->
+        if e.valid && not e.is_jte then
+          t.stats.branch_entries_evicted_by_jte <-
+            t.stats.branch_entries_evicted_by_jte + 1;
+        overwrite t e ~jte:true ~key ~target
+      | None -> assert false (* every way is eligible *)
+    end
+
+let insert_branch t ~key ~target =
+  let set_index = index_of t key in
+  match find_way t ~jte:false ~key with
+  | Some (_, e) ->
+    e.target <- target;
+    touch t e
+  | None -> (
+    (* Branch entries may never evict a JTE. *)
+    match pick_victim t set_index ~eligible:(fun e -> not (e.valid && e.is_jte)) with
+    | Some e -> overwrite t e ~jte:false ~key ~target
+    | None ->
+      t.stats.branch_insert_blocked_by_jte <-
+        t.stats.branch_insert_blocked_by_jte + 1)
+
+let insert t ~jte ~key ~target =
+  if jte then insert_jte t ~key ~target else insert_branch t ~key ~target
+
+let flush_jtes t =
+  Array.iter
+    (fun set ->
+      Array.iter (fun e -> if e.valid && e.is_jte then e.valid <- false) set)
+    t.table;
+  t.jte_population <- 0
+
+let jte_population t = t.jte_population
+let stats t = t.stats
+let entries t = t.sets * t.ways
+let ways t = t.ways

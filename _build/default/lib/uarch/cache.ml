@@ -1,0 +1,97 @@
+open Scd_util
+
+type geometry = {
+  size_bytes : int;
+  ways : int;
+  block_bytes : int;
+  hit_latency : int;
+}
+
+type line = { mutable valid : bool; mutable tag : int; mutable stamp : int }
+
+type stats = { mutable accesses : int; mutable misses : int }
+
+type t = {
+  geometry : geometry;
+  sets : int;
+  table : line array array;
+  mutable tick : int;
+  stats : stats;
+}
+
+let create geometry =
+  let { size_bytes; ways; block_bytes; _ } = geometry in
+  if size_bytes <= 0 || ways <= 0 || block_bytes <= 0 then
+    invalid_arg "Cache.create: non-positive geometry";
+  let blocks = size_bytes / block_bytes in
+  if blocks mod ways <> 0 then
+    invalid_arg "Cache.create: block count not a multiple of ways";
+  let sets = blocks / ways in
+  if not (Bits.is_power_of_two sets) then
+    invalid_arg "Cache.create: set count must be a power of two";
+  if not (Bits.is_power_of_two block_bytes) then
+    invalid_arg "Cache.create: block size must be a power of two";
+  {
+    geometry;
+    sets;
+    table =
+      Array.init sets (fun _ ->
+          Array.init ways (fun _ -> { valid = false; tag = 0; stamp = 0 }));
+    tick = 0;
+    stats = { accesses = 0; misses = 0 };
+  }
+
+let split t addr =
+  let block = addr lsr Bits.log2 t.geometry.block_bytes in
+  (block land (t.sets - 1), block lsr Bits.log2 t.sets)
+
+let find t addr =
+  let index, tag = split t addr in
+  let set = t.table.(index) in
+  let rec go i =
+    if i = t.geometry.ways then None
+    else if set.(i).valid && set.(i).tag = tag then Some set.(i)
+    else go (i + 1)
+  in
+  (set, tag, go 0)
+
+let contains t ~addr =
+  let _, _, hit = find t addr in
+  Option.is_some hit
+
+let access t ~addr =
+  t.stats.accesses <- t.stats.accesses + 1;
+  t.tick <- t.tick + 1;
+  let set, tag, hit = find t addr in
+  match hit with
+  | Some line ->
+    line.stamp <- t.tick;
+    `Hit
+  | None ->
+    t.stats.misses <- t.stats.misses + 1;
+    (* LRU victim (invalid lines first). *)
+    let victim =
+      Array.fold_left
+        (fun best line ->
+          match best with
+          | Some b when not b.valid -> best
+          | _ ->
+            if not line.valid then Some line
+            else (
+              match best with
+              | None -> Some line
+              | Some b -> if line.stamp < b.stamp then Some line else best))
+        None set
+    in
+    let line = Option.get victim in
+    line.valid <- true;
+    line.tag <- tag;
+    line.stamp <- t.tick;
+    `Miss
+
+let stats t = t.stats
+let geometry t = t.geometry
+
+let reset_stats t =
+  t.stats.accesses <- 0;
+  t.stats.misses <- 0

@@ -1,0 +1,31 @@
+(** Conditional-branch direction predictors.
+
+    The paper's two machine configurations use a tournament predictor
+    (512-entry global, 128-entry local — the gem5 MinorCPU setup) and a
+    128-entry gshare (the Rocket FPGA setup). All tables hold 2-bit
+    saturating counters. *)
+
+type kind =
+  | Static_taken  (** Ablation baseline: always predict taken. *)
+  | Bimodal of { entries : int }
+  | Gshare of { entries : int; history_bits : int }
+  | Local of { history_entries : int; pattern_entries : int }
+  | Tournament of {
+      global_entries : int;
+      local_history_entries : int;
+      local_pattern_entries : int;
+      chooser_entries : int;
+    }
+
+type t
+
+val create : kind -> t
+
+val predict : t -> pc:int -> bool
+(** Predicted direction. No state change. *)
+
+val update : t -> pc:int -> taken:bool -> unit
+(** Train with the resolved outcome; also advances history registers. Call
+    after {!predict} for the same branch. *)
+
+val kind : t -> kind

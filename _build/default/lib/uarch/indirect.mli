@@ -1,0 +1,32 @@
+(** Indirect-jump target prediction schemes.
+
+    [Pc_btb] is the conventional PC-indexed BTB lookup (the baseline).
+    [Vbbi] is Value-Based BTB Indexing (Farooq et al., HPCA 2010), the
+    state-of-the-art hardware comparison point in the paper: the BTB is
+    indexed with a hash of the PC and a compiler-identified hint value (the
+    opcode for a dispatch jump), so each bytecode gets its own entry.
+    [Ttc] is a history-based Tagged Target Cache (Chang et al., ISCA 1997)
+    and [Ittage] an ITTAGE-style predictor (Seznec & Michaud) with
+    geometric-history tagged tables over a BTB base component; both are
+    provided as related-work ablations.
+
+    All schemes store their targets as ordinary (non-JTE) entries in the
+    shared {!Btb}, except TTC and ITTAGE which own private tagged tables. *)
+
+type scheme =
+  | Pc_btb
+  | Vbbi
+  | Ttc of { entries : int }
+  | Ittage of { table_entries : int; tables : int }
+
+type t
+
+val create : scheme -> Btb.t -> t
+
+val predict : t -> pc:int -> hint:int option -> int option
+(** Predicted target, if any. Counts as a BTB lookup where applicable. *)
+
+val update : t -> pc:int -> hint:int option -> target:int -> unit
+(** Train with the resolved target (also advances TTC path history). *)
+
+val scheme : t -> scheme

@@ -1,0 +1,226 @@
+open Scd_isa
+
+type t = {
+  config : Config.t;
+  btb : Btb.t;
+  direction : Direction.t;
+  indirect : Indirect.t;
+  ras : Ras.t;
+  icache : Cache.t;
+  dcache : Cache.t;
+  l2 : Cache.t option;
+  itlb : Tlb.t;
+  dtlb : Tlb.t;
+  stats : Stats.t;
+  mutable last_fetch_block : int;
+  mutable pair_open : bool; (* a second issue slot remains this cycle *)
+  mutable group_has_mem : bool;
+  mutable last_rop_index : int; (* instruction index of last .op producer *)
+}
+
+let create ?btb ?(indirect = Indirect.Pc_btb) (config : Config.t) =
+  let btb =
+    match btb with
+    | Some b -> b
+    | None ->
+      Btb.create ~entries:config.btb_entries ~ways:config.btb_ways
+        ~replacement:config.btb_replacement ?jte_cap:config.jte_cap ()
+  in
+  {
+    config;
+    btb;
+    direction = Direction.create config.direction;
+    indirect = Indirect.create indirect btb;
+    ras = Ras.create ~depth:config.ras_depth;
+    icache = Cache.create config.icache;
+    dcache = Cache.create config.dcache;
+    l2 = Option.map Cache.create config.l2;
+    itlb = Tlb.create ~entries:config.itlb_entries;
+    dtlb = Tlb.create ~entries:config.dtlb_entries;
+    stats = Stats.create ();
+    last_fetch_block = -1;
+    pair_open = false;
+    group_has_mem = false;
+    last_rop_index = min_int;
+  }
+
+let config t = t.config
+let btb t = t.btb
+let stats t = t.stats
+
+let is_mem (ev : Event.t) =
+  match ev.kind with Mem_read _ | Mem_write _ -> true | _ -> false
+
+let stall t cycles = t.stats.cycles <- t.stats.cycles + cycles
+
+(* Charge a miss that goes to L2 (if present) and possibly DRAM. *)
+let miss_below t ~addr =
+  match t.l2 with
+  | None ->
+    t.stats.cycles <- t.stats.cycles + t.config.mem_latency
+  | Some l2 -> (
+    match Cache.access l2 ~addr with
+    | `Hit -> t.stats.cycles <- t.stats.cycles + t.config.l2_latency
+    | `Miss ->
+      t.stats.l2_misses <- t.stats.l2_misses + 1;
+      t.stats.cycles <-
+        t.stats.cycles + t.config.l2_latency + t.config.mem_latency)
+
+let fetch t pc =
+  let block = pc / t.config.icache.block_bytes in
+  if block <> t.last_fetch_block then begin
+    t.last_fetch_block <- block;
+    (match Tlb.access t.itlb ~addr:pc with
+     | `Hit -> ()
+     | `Miss ->
+       t.stats.itlb_misses <- t.stats.itlb_misses + 1;
+       stall t t.config.tlb_penalty);
+    t.stats.icache_accesses <- t.stats.icache_accesses + 1;
+    match Cache.access t.icache ~addr:pc with
+    | `Hit -> ()
+    | `Miss ->
+      t.stats.icache_misses <- t.stats.icache_misses + 1;
+      miss_below t ~addr:pc
+  end
+
+let data_access t addr =
+  (match Tlb.access t.dtlb ~addr with
+   | `Hit -> ()
+   | `Miss ->
+     t.stats.dtlb_misses <- t.stats.dtlb_misses + 1;
+     stall t t.config.tlb_penalty);
+  t.stats.dcache_accesses <- t.stats.dcache_accesses + 1;
+  match Cache.access t.dcache ~addr with
+  | `Hit -> ()
+  | `Miss ->
+    t.stats.dcache_misses <- t.stats.dcache_misses + 1;
+    miss_below t ~addr
+
+(* Issue-slot accounting: single issue charges a cycle per instruction;
+   dual issue pairs the current instruction into the open slot when legal. *)
+let issue t ev =
+  let pairable =
+    t.pair_open && not (is_mem ev && t.group_has_mem)
+  in
+  if pairable then begin
+    t.pair_open <- false;
+    if is_mem ev then t.group_has_mem <- true
+  end
+  else begin
+    t.stats.cycles <- t.stats.cycles + 1;
+    t.pair_open <- t.config.issue_width > 1;
+    t.group_has_mem <- is_mem ev
+  end;
+  (* A control instruction always closes its issue group. *)
+  if Event.is_control ev then t.pair_open <- false
+
+let mispredict t (ev : Event.t) =
+  stall t t.config.branch_penalty;
+  t.pair_open <- false;
+  if ev.dispatch then
+    t.stats.mispredicts_dispatch <- t.stats.mispredicts_dispatch + 1
+
+let consume t (ev : Event.t) =
+  let s = t.stats in
+  s.instructions <- s.instructions + 1;
+  if ev.dispatch then s.dispatch_instructions <- s.dispatch_instructions + 1;
+  if ev.sets_rop then t.last_rop_index <- s.instructions;
+  fetch t ev.pc;
+  issue t ev;
+  match ev.kind with
+  | Plain | Jte_flush -> ()
+  | Mem_read { addr } | Mem_write { addr } -> data_access t addr
+  | Cond_branch { taken; target } ->
+    s.cond_branches <- s.cond_branches + 1;
+    let predicted_taken = Direction.predict t.direction ~pc:ev.pc in
+    let predicted_target =
+      if predicted_taken then Btb.lookup t.btb ~jte:false ~key:ev.pc else None
+    in
+    if predicted_taken <> taken then begin
+      s.cond_mispredicts <- s.cond_mispredicts + 1;
+      mispredict t ev
+    end
+    else if taken && predicted_target = None then begin
+      (* Direction was right but fetch could not redirect: the target is
+         computed at decode (direct branch), costing a shorter bubble. *)
+      s.direct_target_misses <- s.direct_target_misses + 1;
+      stall t t.config.direct_bubble
+    end;
+    Direction.update t.direction ~pc:ev.pc ~taken;
+    if taken then Btb.insert t.btb ~jte:false ~key:ev.pc ~target
+  | Jump { target } ->
+    s.direct_jumps <- s.direct_jumps + 1;
+    (match Btb.lookup t.btb ~jte:false ~key:ev.pc with
+     | Some _ -> ()
+     | None ->
+       s.direct_target_misses <- s.direct_target_misses + 1;
+       stall t t.config.direct_bubble;
+       Btb.insert t.btb ~jte:false ~key:ev.pc ~target)
+  | Call { target; indirect } ->
+    Ras.push t.ras (ev.pc + 4);
+    if indirect then begin
+      s.indirect_jumps <- s.indirect_jumps + 1;
+      let predicted = Indirect.predict t.indirect ~pc:ev.pc ~hint:None in
+      if predicted <> Some target then begin
+        s.indirect_mispredicts <- s.indirect_mispredicts + 1;
+        mispredict t ev
+      end;
+      Indirect.update t.indirect ~pc:ev.pc ~hint:None ~target
+    end
+    else begin
+      s.direct_jumps <- s.direct_jumps + 1;
+      match Btb.lookup t.btb ~jte:false ~key:ev.pc with
+      | Some _ -> ()
+      | None ->
+        s.direct_target_misses <- s.direct_target_misses + 1;
+        stall t t.config.direct_bubble;
+        Btb.insert t.btb ~jte:false ~key:ev.pc ~target
+    end
+  | Return { target } ->
+    s.returns <- s.returns + 1;
+    (match Ras.pop t.ras with
+     | Some predicted when predicted = target -> ()
+     | Some _ | None ->
+       s.return_mispredicts <- s.return_mispredicts + 1;
+       mispredict t ev)
+  | Ind_jump { target; hint } ->
+    s.indirect_jumps <- s.indirect_jumps + 1;
+    let predicted = Indirect.predict t.indirect ~pc:ev.pc ~hint in
+    if predicted <> Some target then begin
+      s.indirect_mispredicts <- s.indirect_mispredicts + 1;
+      mispredict t ev
+    end;
+    Indirect.update t.indirect ~pc:ev.pc ~hint ~target
+  | Jru { target; _ } ->
+    (* Times exactly like a plain indirect jump; the JTE insertion has been
+       done by the SCD engine against the shared BTB. *)
+    s.jru_count <- s.jru_count + 1;
+    s.indirect_jumps <- s.indirect_jumps + 1;
+    let predicted = Indirect.predict t.indirect ~pc:ev.pc ~hint:None in
+    if predicted <> Some target then begin
+      s.indirect_mispredicts <- s.indirect_mispredicts + 1;
+      mispredict t ev
+    end;
+    Indirect.update t.indirect ~pc:ev.pc ~hint:None ~target
+  | Bop { hit; _ } ->
+    s.bop_count <- s.bop_count + 1;
+    (* Rop-not-ready stall: the paper's default (stalling) scheme inserts
+       bubbles until the .op producer has reached Execute; under the
+       fall-through policy the driver already turned an unready bop into an
+       architectural miss, so no bubbles are charged here. *)
+    (match t.config.bop_policy with
+     | `Stall ->
+       let distance = s.instructions - t.last_rop_index in
+       let bubbles = max 0 (t.config.rop_gap - distance) in
+       if bubbles > 0 then begin
+         s.bop_stall_cycles <- s.bop_stall_cycles + bubbles;
+         stall t bubbles
+       end
+     | `Fall_through -> ());
+    if hit then begin
+      s.bop_hits <- s.bop_hits + 1;
+      stall t t.config.bop_hit_bubble;
+      t.pair_open <- false
+    end
+
+let consume_all t events = List.iter (consume t) events

@@ -1,0 +1,45 @@
+(** In-order pipeline timing model.
+
+    The pipeline consumes a program-order stream of {!Scd_isa.Event.t} and
+    accumulates cycles and statistics. It does not model wrong-path
+    execution; a misprediction charges the configured flush penalty, which is
+    the dominant cost on the shallow in-order cores the paper targets.
+
+    Cost model per event:
+    - one issue slot (dual-issue pairs two consecutive instructions unless
+      either is a memory operation following another memory operation in the
+      same cycle, or the first is a control instruction);
+    - an I-cache + I-TLB access per fetched block (sequential fetches within
+      one block are free);
+    - D-cache + D-TLB access for loads/stores; misses charge L2/DRAM latency;
+    - conditional branches consult the direction predictor; mispredictions
+      flush; taken branches with a BTB target miss redirect at decode
+      ([direct_bubble]);
+    - direct jumps/calls charge [direct_bubble] on a BTB target miss;
+    - indirect jumps/calls consult the configured indirect scheme
+      (PC-indexed BTB, VBBI, or TTC); returns use the RAS;
+    - [bop] charges Rop-not-ready stall bubbles (the paper's stalling
+      scheme) and [bop_hit_bubble] on a hit; a miss falls through for free;
+    - [jru] times like an indirect jump (its JTE insertion is performed by
+      the SCD engine, not here).
+
+    The BTB is injected at construction so that the SCD engine
+    ({!Scd_core.Engine}) and the pipeline share one physical table — JTE
+    insertions evict branch entries and vice versa, which is the paper's
+    central contention effect. *)
+
+type t
+
+val create :
+  ?btb:Btb.t -> ?indirect:Indirect.scheme -> Config.t -> t
+(** [btb] defaults to a fresh table built from the config (including its JTE
+    cap). [indirect] defaults to [Pc_btb]. *)
+
+val config : t -> Config.t
+val btb : t -> Btb.t
+val stats : t -> Stats.t
+
+val consume : t -> Scd_isa.Event.t -> unit
+(** Account one retired instruction. *)
+
+val consume_all : t -> Scd_isa.Event.t list -> unit

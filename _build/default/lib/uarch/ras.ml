@@ -1,0 +1,25 @@
+type t = {
+  slots : int array;
+  mutable top : int; (* index of next free slot *)
+  mutable count : int;
+}
+
+let create ~depth =
+  if depth <= 0 then invalid_arg "Ras.create: depth must be positive";
+  { slots = Array.make depth 0; top = 0; count = 0 }
+
+let push t v =
+  t.slots.(t.top) <- v;
+  t.top <- (t.top + 1) mod Array.length t.slots;
+  t.count <- min (t.count + 1) (Array.length t.slots)
+
+let pop t =
+  if t.count = 0 then None
+  else begin
+    t.top <- (t.top - 1 + Array.length t.slots) mod Array.length t.slots;
+    t.count <- t.count - 1;
+    Some t.slots.(t.top)
+  end
+
+let depth t = Array.length t.slots
+let occupancy t = t.count

@@ -1,0 +1,13 @@
+(** Return address stack. Fixed depth, wrap-around overwrite on overflow (as
+    in real hardware: deep call chains silently lose the oldest entries). *)
+
+type t
+
+val create : depth:int -> t
+val push : t -> int -> unit
+
+val pop : t -> int option
+(** Predicted return address; [None] when empty (predict fall-through). *)
+
+val depth : t -> int
+val occupancy : t -> int

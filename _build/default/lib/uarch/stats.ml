@@ -1,0 +1,77 @@
+open Scd_util
+
+type t = {
+  mutable instructions : int;
+  mutable dispatch_instructions : int;
+  mutable cycles : int;
+  mutable cond_branches : int;
+  mutable cond_mispredicts : int;
+  mutable direct_jumps : int;
+  mutable direct_target_misses : int;
+  mutable indirect_jumps : int;
+  mutable indirect_mispredicts : int;
+  mutable returns : int;
+  mutable return_mispredicts : int;
+  mutable mispredicts_dispatch : int;
+  mutable bop_count : int;
+  mutable bop_hits : int;
+  mutable bop_stall_cycles : int;
+  mutable jru_count : int;
+  mutable icache_accesses : int;
+  mutable icache_misses : int;
+  mutable dcache_accesses : int;
+  mutable dcache_misses : int;
+  mutable itlb_misses : int;
+  mutable dtlb_misses : int;
+  mutable l2_misses : int;
+}
+
+let create () =
+  {
+    instructions = 0;
+    dispatch_instructions = 0;
+    cycles = 0;
+    cond_branches = 0;
+    cond_mispredicts = 0;
+    direct_jumps = 0;
+    direct_target_misses = 0;
+    indirect_jumps = 0;
+    indirect_mispredicts = 0;
+    returns = 0;
+    return_mispredicts = 0;
+    mispredicts_dispatch = 0;
+    bop_count = 0;
+    bop_hits = 0;
+    bop_stall_cycles = 0;
+    jru_count = 0;
+    icache_accesses = 0;
+    icache_misses = 0;
+    dcache_accesses = 0;
+    dcache_misses = 0;
+    itlb_misses = 0;
+    dtlb_misses = 0;
+    l2_misses = 0;
+  }
+
+let total_mispredicts t =
+  t.cond_mispredicts + t.indirect_mispredicts + t.return_mispredicts
+  + t.direct_target_misses
+
+let branch_mpki t = Summary.per_kilo ~count:(total_mispredicts t) ~total:t.instructions
+let dispatch_mpki t = Summary.per_kilo ~count:t.mispredicts_dispatch ~total:t.instructions
+let icache_mpki t = Summary.per_kilo ~count:t.icache_misses ~total:t.instructions
+let dcache_mpki t = Summary.per_kilo ~count:t.dcache_misses ~total:t.instructions
+
+let cpi t =
+  if t.instructions = 0 then 0.0
+  else float_of_int t.cycles /. float_of_int t.instructions
+
+let ipc t = if t.cycles = 0 then 0.0 else float_of_int t.instructions /. float_of_int t.cycles
+
+let dispatch_fraction t =
+  if t.instructions = 0 then 0.0
+  else float_of_int t.dispatch_instructions /. float_of_int t.instructions
+
+let bop_hit_rate t =
+  if t.bop_count = 0 then 0.0
+  else float_of_int t.bop_hits /. float_of_int t.bop_count

@@ -1,0 +1,58 @@
+(** Run statistics collected by the pipeline timing model. Every counter the
+    paper's figures need is here: dynamic instruction counts split into
+    dispatcher and handler code (Figures 3 and 8), branch mispredictions
+    split by category and by dispatch attribution (Figures 2 and 9), cache
+    miss counts (Figure 10), and SCD fast-path counters. *)
+
+type t = {
+  mutable instructions : int;
+  mutable dispatch_instructions : int;
+  mutable cycles : int;
+  (* control flow *)
+  mutable cond_branches : int;
+  mutable cond_mispredicts : int;
+  mutable direct_jumps : int;
+  mutable direct_target_misses : int;
+  mutable indirect_jumps : int;
+  mutable indirect_mispredicts : int;
+  mutable returns : int;
+  mutable return_mispredicts : int;
+  mutable mispredicts_dispatch : int;
+      (** Mispredictions (of any category) at instructions flagged as
+          dispatcher code. *)
+  (* SCD *)
+  mutable bop_count : int;
+  mutable bop_hits : int;
+  mutable bop_stall_cycles : int;
+  mutable jru_count : int;
+  (* memory hierarchy *)
+  mutable icache_accesses : int;
+  mutable icache_misses : int;
+  mutable dcache_accesses : int;
+  mutable dcache_misses : int;
+  mutable itlb_misses : int;
+  mutable dtlb_misses : int;
+  mutable l2_misses : int;
+}
+
+val create : unit -> t
+
+val total_mispredicts : t -> int
+(** Conditional + indirect + return mispredictions plus direct-jump target
+    misses. *)
+
+val branch_mpki : t -> float
+(** {!total_mispredicts} per kilo-instruction. *)
+
+val dispatch_mpki : t -> float
+(** Mispredictions attributed to dispatcher code, per kilo-instruction. *)
+
+val icache_mpki : t -> float
+val dcache_mpki : t -> float
+val cpi : t -> float
+val ipc : t -> float
+
+val dispatch_fraction : t -> float
+(** Fraction (0-1) of dynamic instructions spent in dispatcher code. *)
+
+val bop_hit_rate : t -> float

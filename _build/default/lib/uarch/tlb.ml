@@ -1,0 +1,54 @@
+type slot = { mutable valid : bool; mutable vpn : int; mutable stamp : int }
+
+type stats = { mutable accesses : int; mutable misses : int }
+
+type t = { slots : slot array; mutable tick : int; stats : stats }
+
+let page_shift = 12
+
+let create ~entries =
+  if entries <= 0 then invalid_arg "Tlb.create: entries must be positive";
+  {
+    slots = Array.init entries (fun _ -> { valid = false; vpn = 0; stamp = 0 });
+    tick = 0;
+    stats = { accesses = 0; misses = 0 };
+  }
+
+let access t ~addr =
+  let vpn = addr lsr page_shift in
+  t.stats.accesses <- t.stats.accesses + 1;
+  t.tick <- t.tick + 1;
+  let hit =
+    Array.fold_left
+      (fun acc slot ->
+        match acc with
+        | Some _ -> acc
+        | None -> if slot.valid && slot.vpn = vpn then Some slot else None)
+      None t.slots
+  in
+  match hit with
+  | Some slot ->
+    slot.stamp <- t.tick;
+    `Hit
+  | None ->
+    t.stats.misses <- t.stats.misses + 1;
+    let victim =
+      Array.fold_left
+        (fun best slot ->
+          match best with
+          | Some b when not b.valid -> best
+          | _ ->
+            if not slot.valid then Some slot
+            else (
+              match best with
+              | None -> Some slot
+              | Some b -> if slot.stamp < b.stamp then Some slot else best))
+        None t.slots
+    in
+    let slot = Option.get victim in
+    slot.valid <- true;
+    slot.vpn <- vpn;
+    slot.stamp <- t.tick;
+    `Miss
+
+let stats t = t.stats

@@ -1,0 +1,13 @@
+(** Small fully-associative TLB (4 KiB pages, LRU). The paper's cores carry
+    8-10 entry I- and D-TLBs; misses charge a fixed walk penalty in the
+    pipeline. *)
+
+type t
+
+type stats = { mutable accesses : int; mutable misses : int }
+
+val create : entries:int -> t
+
+val access : t -> addr:int -> [ `Hit | `Miss ]
+
+val stats : t -> stats

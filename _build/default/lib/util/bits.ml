@@ -1,0 +1,29 @@
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let log2 n =
+  if not (is_power_of_two n) then invalid_arg "Bits.log2: not a power of two";
+  let rec go acc n = if n = 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
+let mask n =
+  if n < 0 || n > 62 then invalid_arg "Bits.mask";
+  (1 lsl n) - 1
+
+let extract v ~lo ~width = (v lsr lo) land mask width
+
+let deposit v ~lo ~width ~field =
+  let cleared = v land lnot (mask width lsl lo) in
+  cleared lor ((field land mask width) lsl lo)
+
+let sign_extend v ~width =
+  let v = v land mask width in
+  if v land (1 lsl (width - 1)) <> 0 then v - (1 lsl width) else v
+
+let splitmix x =
+  (* SplitMix64 finaliser, truncated to OCaml's 63-bit int domain. *)
+  let open Int64 in
+  let z = of_int x in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  let z = logxor z (shift_right_logical z 31) in
+  to_int (shift_right_logical z 2)

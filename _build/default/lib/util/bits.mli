@@ -1,0 +1,28 @@
+(** Small bit-manipulation helpers shared by the ISA and microarchitecture
+    models. All values are plain OCaml [int]s treated as 32- or 64-bit
+    unsigned quantities by the callers. *)
+
+val is_power_of_two : int -> bool
+(** True for 1, 2, 4, ... False for 0 and negatives. *)
+
+val log2 : int -> int
+(** [log2 n] for a positive power of two [n]. Raises [Invalid_argument]
+    otherwise. *)
+
+val mask : int -> int
+(** [mask n] is a value with the low [n] bits set ([0 <= n <= 62]). *)
+
+val extract : int -> lo:int -> width:int -> int
+(** [extract v ~lo ~width] pulls [width] bits starting at bit [lo]. *)
+
+val deposit : int -> lo:int -> width:int -> field:int -> int
+(** [deposit v ~lo ~width ~field] writes [field] (truncated to [width] bits)
+    into [v] at bit [lo]. *)
+
+val sign_extend : int -> width:int -> int
+(** Interpret the low [width] bits of the argument as a two's-complement
+    value. *)
+
+val splitmix : int -> int
+(** A strong 62-bit integer mixer, used to build hash-based indexing schemes
+    (e.g. VBBI's PC+value hash). *)

@@ -1,0 +1,26 @@
+type t = { mutable state : int64 }
+
+let create seed =
+  let seed = if Int64.equal seed 0L then 0x9E3779B97F4A7C15L else seed in
+  { state = seed }
+
+let copy t = { state = t.state }
+
+let next t =
+  let x = t.state in
+  let x = Int64.logxor x (Int64.shift_right_logical x 12) in
+  let x = Int64.logxor x (Int64.shift_left x 25) in
+  let x = Int64.logxor x (Int64.shift_right_logical x 27) in
+  t.state <- x;
+  Int64.mul x 0x2545F4914F6CDD1DL
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  let v = Int64.to_int (Int64.shift_right_logical (next t) 2) in
+  v mod bound
+
+let float t =
+  let v = Int64.to_int (Int64.shift_right_logical (next t) 11) in
+  float_of_int v /. 9007199254740992.0 (* 2^53 *)
+
+let bool t = Int64.logand (next t) 1L = 1L

@@ -1,0 +1,25 @@
+(** Deterministic pseudo-random number generator (xorshift64-star).
+
+    All stochastic behaviour in the simulator and the workloads flows through
+    this module so that every run is reproducible bit-for-bit. *)
+
+type t
+
+val create : int64 -> t
+(** [create seed] makes a fresh generator. A zero seed is remapped to a fixed
+    non-zero constant (xorshift must not be seeded with 0). *)
+
+val copy : t -> t
+(** Independent copy with identical future output. *)
+
+val next : t -> int64
+(** Next raw 64-bit value. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. Raises [Invalid_argument] if
+    [bound <= 0]. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val bool : t -> bool

@@ -1,0 +1,83 @@
+type line =
+  | Row of string list
+  | Separator
+
+type t = {
+  title : string;
+  headers : string list;
+  mutable lines : line list; (* reversed *)
+}
+
+let make ~title ~headers = { title; headers; lines = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.headers then
+    invalid_arg
+      (Printf.sprintf "Table.add_row (%s): expected %d cells, got %d" t.title
+         (List.length t.headers) (List.length row));
+  t.lines <- Row row :: t.lines
+
+let add_separator t = t.lines <- Separator :: t.lines
+
+let title t = t.title
+let headers t = t.headers
+
+let rows t =
+  List.rev t.lines
+  |> List.filter_map (function Row r -> Some r | Separator -> None)
+
+let column_widths t =
+  let update widths row =
+    List.map2 (fun w cell -> max w (String.length cell)) widths row
+  in
+  let init = List.map String.length t.headers in
+  List.fold_left
+    (fun widths -> function Row r -> update widths r | Separator -> widths)
+    init (List.rev t.lines)
+
+let render t =
+  let widths = column_widths t in
+  let buf = Buffer.create 1024 in
+  let pad width cell =
+    let n = width - String.length cell in
+    if n <= 0 then cell else cell ^ String.make n ' '
+  in
+  let emit_cells cells =
+    let padded = List.map2 pad widths cells in
+    Buffer.add_string buf (String.concat "  " padded);
+    (* trim trailing spaces introduced by padding the last column *)
+    let len = Buffer.length buf in
+    let rec trim i = if i > 0 && Buffer.nth buf (i - 1) = ' ' then trim (i - 1) else i in
+    let keep = trim len in
+    let s = Buffer.sub buf 0 keep in
+    Buffer.clear buf;
+    Buffer.add_string buf s;
+    Buffer.add_char buf '\n'
+  in
+  let total_width =
+    List.fold_left ( + ) 0 widths + (2 * (List.length widths - 1))
+  in
+  Buffer.add_string buf ("== " ^ t.title ^ " ==\n");
+  emit_cells t.headers;
+  Buffer.add_string buf (String.make total_width '-');
+  Buffer.add_char buf '\n';
+  List.iter
+    (function
+      | Row r -> emit_cells r
+      | Separator ->
+        Buffer.add_string buf (String.make total_width '-');
+        Buffer.add_char buf '\n')
+    (List.rev t.lines);
+  Buffer.contents buf
+
+let csv_escape cell =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+  else cell
+
+let to_csv t =
+  let line cells = String.concat "," (List.map csv_escape cells) in
+  String.concat "\n" (line t.headers :: List.map line (rows t)) ^ "\n"
+
+let cell_float f = Printf.sprintf "%.2f" f
+let cell_percent f = Printf.sprintf "%.2f%%" f

@@ -1,0 +1,34 @@
+(** Aligned text tables for experiment output.
+
+    Every experiment in the harness produces one of these; [render] prints the
+    same rows/series the paper's figures and tables report. *)
+
+type t
+
+val make : title:string -> headers:string list -> t
+(** A fresh table. [headers] fixes the column count. *)
+
+val add_row : t -> string list -> unit
+(** Append a row. Raises [Invalid_argument] if the arity differs from the
+    header. *)
+
+val add_separator : t -> unit
+(** Append a horizontal rule between row groups. *)
+
+val title : t -> string
+val headers : t -> string list
+
+val rows : t -> string list list
+(** Data rows in insertion order (separators excluded). *)
+
+val render : t -> string
+(** Human-readable aligned rendering, title included. *)
+
+val to_csv : t -> string
+(** Machine-readable CSV (header row first). *)
+
+val cell_float : float -> string
+(** Standard float formatting used across experiments (2 decimal places). *)
+
+val cell_percent : float -> string
+(** Float with a [%] suffix. *)

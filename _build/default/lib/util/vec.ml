@@ -1,0 +1,29 @@
+type 'a t = { mutable data : 'a array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+
+let length t = t.len
+
+let grow t element =
+  let cap = max 8 (2 * Array.length t.data) in
+  let fresh = Array.make cap element in
+  Array.blit t.data 0 fresh 0 t.len;
+  t.data <- fresh
+
+let push t x =
+  if t.len = Array.length t.data then grow t x;
+  t.data.(t.len) <- x;
+  t.len <- t.len + 1;
+  t.len - 1
+
+let check t i =
+  if i < 0 || i >= t.len then invalid_arg (Printf.sprintf "Vec: index %d out of %d" i t.len)
+
+let get t i = check t i; t.data.(i)
+let set t i x = check t i; t.data.(i) <- x
+let to_array t = Array.sub t.data 0 t.len
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.data.(i)
+  done

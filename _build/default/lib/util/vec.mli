@@ -1,0 +1,14 @@
+(** Minimal growable array (OCaml 5.1 predates [Dynarray]). Used by the
+    bytecode compilers for code buffers that need in-place jump patching. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val push : 'a t -> 'a -> int
+(** Append; returns the index of the new element. *)
+
+val get : 'a t -> int -> 'a
+val set : 'a t -> int -> 'a -> unit
+val to_array : 'a t -> 'a array
+val iter : ('a -> unit) -> 'a t -> unit

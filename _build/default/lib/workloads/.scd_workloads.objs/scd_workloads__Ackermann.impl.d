@@ -1,0 +1,1 @@
+lib/workloads/ackermann.ml: Printf Workload

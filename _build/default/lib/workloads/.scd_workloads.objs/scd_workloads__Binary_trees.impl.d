@@ -1,0 +1,1 @@
+lib/workloads/binary_trees.ml: Printf Workload

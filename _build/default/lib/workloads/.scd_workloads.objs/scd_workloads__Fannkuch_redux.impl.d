@@ -1,0 +1,1 @@
+lib/workloads/fannkuch_redux.ml: Printf Workload

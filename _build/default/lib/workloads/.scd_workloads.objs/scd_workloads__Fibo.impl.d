@@ -1,0 +1,1 @@
+lib/workloads/fibo.ml: Printf Workload

@@ -1,0 +1,1 @@
+lib/workloads/k_nucleotide.ml: Printf Workload

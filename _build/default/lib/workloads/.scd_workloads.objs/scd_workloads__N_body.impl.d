@@ -1,0 +1,1 @@
+lib/workloads/n_body.ml: Printf Workload

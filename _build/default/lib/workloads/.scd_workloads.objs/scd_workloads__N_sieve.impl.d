@@ -1,0 +1,1 @@
+lib/workloads/n_sieve.ml: Printf Workload

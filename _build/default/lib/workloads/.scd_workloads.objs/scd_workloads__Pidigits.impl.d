@@ -1,0 +1,1 @@
+lib/workloads/pidigits.ml: Printf Workload

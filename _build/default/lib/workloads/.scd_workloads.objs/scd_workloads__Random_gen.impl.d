@@ -1,0 +1,1 @@
+lib/workloads/random_gen.ml: Printf Workload

@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: Ackermann Binary_trees Fannkuch_redux Fibo K_nucleotide List Mandelbrot N_body N_sieve Pidigits Random_gen Spectral_norm String Workload

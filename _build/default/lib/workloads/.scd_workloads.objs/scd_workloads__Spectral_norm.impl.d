@@ -1,0 +1,1 @@
+lib/workloads/spectral_norm.ml: Printf Workload

@@ -1,0 +1,22 @@
+(** ackermann: Ack(3, n) (Table III). Extremely deep recursion; stresses the
+    call/return handlers and the return-address stack model. *)
+
+let source n =
+  Printf.sprintf
+    {|
+function ack(m, n)
+  if m == 0 then return n + 1 end
+  if n == 0 then return ack(m - 1, 1) end
+  return ack(m - 1, ack(m, n - 1))
+end
+print("ack(3," .. %d .. ") = " .. ack(3, %d))
+|}
+    n n
+
+let workload =
+  {
+    Workload.name = "ackermann";
+    description = "Ackermann function benchmark";
+    params = (2, 3, 4, 4);
+    source;
+  }

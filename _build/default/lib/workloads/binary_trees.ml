@@ -1,0 +1,43 @@
+(** binary-trees: allocate and walk many binary trees (Table III). Exercises
+    NEWTABLE/SETTABLE/GETTABLE and deep recursion. *)
+
+let source n =
+  Printf.sprintf
+    {|
+function make_tree(depth)
+  if depth > 0 then
+    return { left = make_tree(depth - 1), right = make_tree(depth - 1) }
+  end
+  return { leaf = true }
+end
+
+function check_tree(t)
+  if t.leaf then return 1 end
+  return 1 + check_tree(t.left) + check_tree(t.right)
+end
+
+local n = %d
+local stretch = n + 1
+print("stretch tree of depth " .. stretch .. " check: " .. check_tree(make_tree(stretch)))
+local long_lived = make_tree(n)
+local depth = 4
+while depth <= n do
+  local iterations = floor(pow(2, n - depth + 4))
+  local check = 0
+  for i = 1, iterations do
+    check = check + check_tree(make_tree(depth))
+  end
+  print(iterations .. " trees of depth " .. depth .. " check: " .. check)
+  depth = depth + 2
+end
+print("long lived tree of depth " .. n .. " check: " .. check_tree(long_lived))
+|}
+    n
+
+let workload =
+  {
+    Workload.name = "binary-trees";
+    description = "Allocate and deallocate many binary trees";
+    params = (4, 5, 7, 8);
+    source;
+  }

@@ -1,0 +1,85 @@
+(** fannkuch-redux: indexed access to tiny integer sequences (Table III).
+    Pure table/integer manipulation; the hottest workload for dispatch. *)
+
+let source n =
+  Printf.sprintf
+    {|
+function fannkuch(n)
+  local p = {}
+  local q = {}
+  local s = {}
+  for i = 1, n do p[i] = i q[i] = i s[i] = i end
+  local sign = 1
+  local maxflips = 0
+  local sum = 0
+  local done = false
+  while not done do
+    local q1 = p[1]
+    if q1 ~= 1 then
+      for i = 2, n do q[i] = p[i] end
+      local flips = 1
+      local flipping = true
+      while flipping do
+        local qq = q[q1]
+        if qq == 1 then
+          sum = sum + sign * flips
+          if flips > maxflips then maxflips = flips end
+          flipping = false
+        else
+          q[q1] = q1
+          if q1 >= 4 then
+            local i = 2
+            local j = q1 - 1
+            while i < j do
+              local t = q[i] q[i] = q[j] q[j] = t
+              i = i + 1
+              j = j - 1
+            end
+          end
+          q1 = qq
+          flips = flips + 1
+        end
+      end
+    end
+    if sign == 1 then
+      local t = p[2] p[2] = p[1] p[1] = t
+      sign = -1
+    else
+      local t = p[2] p[2] = p[3] p[3] = t
+      sign = 1
+      local i = 3
+      local rotating = true
+      while rotating and i <= n do
+        local sx = s[i]
+        if sx ~= 1 then
+          s[i] = sx - 1
+          rotating = false
+        else
+          if i == n then
+            done = true
+            rotating = false
+          else
+            s[i] = i
+            local t1 = p[1]
+            for j = 1, i do p[j] = p[j + 1] end
+            p[i + 1] = t1
+            i = i + 1
+          end
+        end
+      end
+    end
+  end
+  print(sum)
+  print("Pfannkuchen(" .. n .. ") = " .. maxflips)
+end
+fannkuch(%d)
+|}
+    n
+
+let workload =
+  {
+    Workload.name = "fannkuch-redux";
+    description = "Indexed-access to tiny integer-sequence";
+    params = (5, 6, 7, 7);
+    source;
+  }

@@ -1,0 +1,20 @@
+(** fibo: naive recursive Fibonacci (Table III). Call/return dominated. *)
+
+let source n =
+  Printf.sprintf
+    {|
+function fib(n)
+  if n < 2 then return n end
+  return fib(n - 1) + fib(n - 2)
+end
+print("fib(" .. %d .. ") = " .. fib(%d))
+|}
+    n n
+
+let workload =
+  {
+    Workload.name = "fibo";
+    description = "Calculate Fibonacci number";
+    params = (10, 14, 19, 21);
+    source;
+  }

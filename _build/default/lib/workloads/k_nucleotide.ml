@@ -1,0 +1,71 @@
+(** k-nucleotide: repeatedly update hash tables keyed by DNA fragments
+    (Table III). Exercises string builtins and string-keyed tables. *)
+
+let source n =
+  Printf.sprintf
+    {|
+-- deterministic pseudo-DNA sequence
+randomseed(42)
+local letters = { "a", "c", "g", "t" }
+local n = %d
+local parts = {}
+for i = 1, n do parts[i] = letters[random(4)] end
+
+function join(t, lo, hi)
+  if lo == hi then return t[lo] end
+  local mid = (lo + hi) // 2
+  return join(t, lo, mid) .. join(t, mid + 1, hi)
+end
+local seq = join(parts, 1, n)
+
+function count_kmers(seq, k)
+  local counts = {}
+  local keys = {}
+  local nk = 0
+  local limit = strlen(seq) - k + 1
+  for i = 1, limit do
+    local frag = sub(seq, i, i + k - 1)
+    local c = counts[frag]
+    if c == nil then
+      counts[frag] = 1
+      nk = nk + 1
+      keys[nk] = frag
+    else
+      counts[frag] = c + 1
+    end
+  end
+  local best = keys[1]
+  for i = 2, nk do
+    local ki = keys[i]
+    local better = false
+    if counts[ki] > counts[best] then better = true end
+    if counts[ki] == counts[best] and ki < best then better = true end
+    if better then best = ki end
+  end
+  print(k .. "-mer " .. best .. " " .. counts[best] .. " of " .. limit)
+end
+
+function count_pattern(seq, frag)
+  local k = strlen(frag)
+  local c = 0
+  for i = 1, strlen(seq) - k + 1 do
+    if sub(seq, i, i + k - 1) == frag then c = c + 1 end
+  end
+  print(c .. " " .. frag)
+end
+
+count_kmers(seq, 1)
+count_kmers(seq, 2)
+count_pattern(seq, "ggt")
+count_pattern(seq, "ggta")
+count_pattern(seq, "ggtatt")
+|}
+    n
+
+let workload =
+  {
+    Workload.name = "k-nucleotide";
+    description = "Repeatedly update hashtables and k-nucleotide strings";
+    params = (300, 800, 2500, 6000);
+    source;
+  }

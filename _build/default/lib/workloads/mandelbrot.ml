@@ -1,0 +1,54 @@
+(** mandelbrot: generate the Mandelbrot set bitmap (Table III). Pure float
+    arithmetic in a tight loop — the paper's best case for SCD on Lua. *)
+
+let source n =
+  Printf.sprintf
+    {|
+local n = %d
+local checksum = 0
+local bits = 0
+local nbits = 0
+for y = 0, n - 1 do
+  local ci = 2.0 * y / n - 1.0
+  for x = 0, n - 1 do
+    local cr = 2.0 * x / n - 1.5
+    local zr = 0.0
+    local zi = 0.0
+    local inside = 1
+    local i = 0
+    while i < 50 do
+      local zr2 = zr * zr
+      local zi2 = zi * zi
+      if zr2 + zi2 > 4.0 then
+        inside = 0
+        break
+      end
+      zi = 2.0 * zr * zi + ci
+      zr = zr2 - zi2 + cr
+      i = i + 1
+    end
+    bits = bits * 2 + inside
+    nbits = nbits + 1
+    if nbits == 8 then
+      checksum = (checksum * 31 + bits) %% 1000000007
+      bits = 0
+      nbits = 0
+    end
+  end
+  if nbits > 0 then
+    checksum = (checksum * 31 + bits) %% 1000000007
+    bits = 0
+    nbits = 0
+  end
+end
+print("P4 " .. n .. " " .. n .. " checksum " .. checksum)
+|}
+    n
+
+let workload =
+  {
+    Workload.name = "mandelbrot";
+    description = "Generate Mandelbrot set portable bitmap file";
+    params = (16, 24, 40, 64);
+    source;
+  }

@@ -1,0 +1,124 @@
+(** n-body: double-precision N-body simulation of the Jovian planets
+    (Table III). Float arithmetic, sqrt, and table field accesses. *)
+
+let source n =
+  Printf.sprintf
+    {|
+PI = 3.141592653589793
+SOLAR_MASS = 4.0 * PI * PI
+DAYS_PER_YEAR = 365.24
+
+x = {}
+y = {}
+z = {}
+vx = {}
+vy = {}
+vz = {}
+mass = {}
+
+-- sun
+x[1] = 0.0 y[1] = 0.0 z[1] = 0.0
+vx[1] = 0.0 vy[1] = 0.0 vz[1] = 0.0
+mass[1] = SOLAR_MASS
+-- jupiter
+x[2] = 4.84143144246472090
+y[2] = -1.16032004402742839
+z[2] = -0.103622044471123109
+vx[2] = 0.00166007664274403694 * DAYS_PER_YEAR
+vy[2] = 0.00769901118419740425 * DAYS_PER_YEAR
+vz[2] = -0.0000690460016972063023 * DAYS_PER_YEAR
+mass[2] = 0.000954791938424326609 * SOLAR_MASS
+-- saturn
+x[3] = 8.34336671824457987
+y[3] = 4.12479856412430479
+z[3] = -0.403523417114321381
+vx[3] = -0.00276742510726862411 * DAYS_PER_YEAR
+vy[3] = 0.00499852801234917238 * DAYS_PER_YEAR
+vz[3] = 0.0000230417297573763929 * DAYS_PER_YEAR
+mass[3] = 0.000285885980666130812 * SOLAR_MASS
+-- uranus
+x[4] = 12.8943695621391310
+y[4] = -15.1111514016986312
+z[4] = -0.223307578892655734
+vx[4] = 0.00296460137564761618 * DAYS_PER_YEAR
+vy[4] = 0.00237847173959480950 * DAYS_PER_YEAR
+vz[4] = -0.0000296589568540237556 * DAYS_PER_YEAR
+mass[4] = 0.0000436624404335156298 * SOLAR_MASS
+-- neptune
+x[5] = 15.3796971148509165
+y[5] = -25.9193146099879641
+z[5] = 0.179258772950371181
+vx[5] = 0.00268067772490389322 * DAYS_PER_YEAR
+vy[5] = 0.00162824170038242295 * DAYS_PER_YEAR
+vz[5] = -0.0000951592254519715870 * DAYS_PER_YEAR
+mass[5] = 0.0000515138902046611451 * SOLAR_MASS
+
+N = 5
+
+-- offset sun's momentum
+local px = 0.0
+local py = 0.0
+local pz = 0.0
+for i = 1, N do
+  px = px + vx[i] * mass[i]
+  py = py + vy[i] * mass[i]
+  pz = pz + vz[i] * mass[i]
+end
+vx[1] = -px / SOLAR_MASS
+vy[1] = -py / SOLAR_MASS
+vz[1] = -pz / SOLAR_MASS
+
+function energy()
+  local e = 0.0
+  for i = 1, N do
+    e = e + 0.5 * mass[i] * (vx[i] * vx[i] + vy[i] * vy[i] + vz[i] * vz[i])
+    for j = i + 1, N do
+      local dx = x[i] - x[j]
+      local dy = y[i] - y[j]
+      local dz = z[i] - z[j]
+      e = e - mass[i] * mass[j] / sqrt(dx * dx + dy * dy + dz * dz)
+    end
+  end
+  return e
+end
+
+function advance(dt)
+  for i = 1, N do
+    for j = i + 1, N do
+      local dx = x[i] - x[j]
+      local dy = y[i] - y[j]
+      local dz = z[i] - z[j]
+      local d2 = dx * dx + dy * dy + dz * dz
+      local mag = dt / (d2 * sqrt(d2))
+      local mj = mass[j] * mag
+      local mi = mass[i] * mag
+      vx[i] = vx[i] - dx * mj
+      vy[i] = vy[i] - dy * mj
+      vz[i] = vz[i] - dz * mj
+      vx[j] = vx[j] + dx * mi
+      vy[j] = vy[j] + dy * mi
+      vz[j] = vz[j] + dz * mi
+    end
+  end
+  for i = 1, N do
+    x[i] = x[i] + dt * vx[i]
+    y[i] = y[i] + dt * vy[i]
+    z[i] = z[i] + dt * vz[i]
+  end
+end
+
+print(energy())
+for step = 1, %d do
+  advance(0.01)
+end
+print(energy())
+|}
+    n
+
+let workload =
+  {
+    Workload.name = "n-body";
+    description = "Double-precision N-body simulation";
+    params = (50, 120, 400, 1200);
+    source;
+  }

@@ -1,0 +1,38 @@
+(** n-sieve: count primes with the Sieve of Eratosthenes (Table III). Large
+    boolean tables; the paper's poster child for jump-threading I-cache
+    slowdowns and for JTE capping gains (Figure 11(c)). *)
+
+let source n =
+  Printf.sprintf
+    {|
+function nsieve(m)
+  local flags = {}
+  for i = 2, m do flags[i] = true end
+  local count = 0
+  for i = 2, m do
+    if flags[i] then
+      count = count + 1
+      local k = i + i
+      while k <= m do
+        flags[k] = false
+        k = k + i
+      end
+    end
+  end
+  print("Primes up to " .. m .. " " .. count)
+end
+
+local base = %d
+nsieve(base)
+nsieve(base // 2)
+nsieve(base // 4)
+|}
+    n
+
+let workload =
+  {
+    Workload.name = "n-sieve";
+    description = "Count the prime numbers from 2 to M (Sieve of Eratosthenes)";
+    params = (400, 2000, 8000, 20000);
+    source;
+  }

@@ -1,0 +1,54 @@
+(** pidigits: streaming arbitrary-precision arithmetic (Table III). The
+    paper's version uses a bignum spigot; here the Rabinowitz-Wagon spigot
+    runs over an in-script digit array, keeping the arbitrary-precision
+    arithmetic inside the VM. *)
+
+let source n =
+  Printf.sprintf
+    {|
+local ndigits = %d
+local len = 10 * ndigits // 3 + 1
+local a = {}
+for i = 1, len do a[i] = 2 end
+local nines = 0
+local predigit = 0
+local first = true
+for j = 1, ndigits do
+  local q = 0
+  for i = len, 1, -1 do
+    local x = 10 * a[i] + q * i
+    a[i] = x %% (2 * i - 1)
+    q = x // (2 * i - 1)
+  end
+  a[1] = q %% 10
+  q = q // 10
+  if q == 9 then
+    nines = nines + 1
+  elseif q == 10 then
+    write(predigit + 1)
+    for k = 1, nines do write(0) end
+    predigit = 0
+    nines = 0
+  else
+    if first then
+      first = false
+    else
+      write(predigit)
+    end
+    predigit = q
+    for k = 1, nines do write(9) end
+    nines = 0
+  end
+end
+write(predigit)
+print("")
+|}
+    n
+
+let workload =
+  {
+    Workload.name = "pidigits";
+    description = "Streaming arbitrary-precision arithmetic";
+    params = (12, 24, 60, 110);
+    source;
+  }

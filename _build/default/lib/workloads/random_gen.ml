@@ -1,0 +1,32 @@
+(** random: generate pseudo-random numbers with the Benchmarks Game linear
+    congruential generator (Table III). *)
+
+let source n =
+  Printf.sprintf
+    {|
+IM = 139968
+IA = 3877
+IC = 29573
+seed = 42
+
+function gen_random(maxv)
+  seed = (seed * IA + IC) %% IM
+  return maxv * seed / IM
+end
+
+local n = %d
+local result = 0.0
+for i = 1, n do
+  result = gen_random(100.0)
+end
+print(result)
+|}
+    n
+
+let workload =
+  {
+    Workload.name = "random";
+    description = "Generate random numbers";
+    params = (1000, 4000, 18000, 50000);
+    source;
+  }

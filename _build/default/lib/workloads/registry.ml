@@ -1,0 +1,21 @@
+(** The 11 benchmark workloads of the paper's Table III, in its order. *)
+
+let all : Workload.t list =
+  [
+    Binary_trees.workload;
+    Fannkuch_redux.workload;
+    K_nucleotide.workload;
+    Mandelbrot.workload;
+    N_body.workload;
+    Spectral_norm.workload;
+    N_sieve.workload;
+    Random_gen.workload;
+    Fibo.workload;
+    Ackermann.workload;
+    Pidigits.workload;
+  ]
+
+let find name =
+  List.find_opt (fun (w : Workload.t) -> String.equal w.name name) all
+
+let names = List.map (fun (w : Workload.t) -> w.name) all

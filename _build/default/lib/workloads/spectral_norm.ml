@@ -1,0 +1,63 @@
+(** spectral-norm: largest eigenvalue via the power method (Table III).
+    Nested float loops over implicit matrix entries. *)
+
+let source n =
+  Printf.sprintf
+    {|
+n = %d
+
+function A(i, j)
+  local ij = i + j
+  return 1.0 / (ij * (ij + 1) / 2 + i + 1)
+end
+
+function Av(x, y)
+  for i = 0, n - 1 do
+    local a = 0.0
+    for j = 0, n - 1 do
+      a = a + x[j + 1] * A(i, j)
+    end
+    y[i + 1] = a
+  end
+end
+
+function Atv(x, y)
+  for i = 0, n - 1 do
+    local a = 0.0
+    for j = 0, n - 1 do
+      a = a + x[j + 1] * A(j, i)
+    end
+    y[i + 1] = a
+  end
+end
+
+function AtAv(x, y, t)
+  Av(x, t)
+  Atv(t, y)
+end
+
+local u = {}
+local v = {}
+local t = {}
+for i = 1, n do u[i] = 1.0 v[i] = 0.0 t[i] = 0.0 end
+for i = 1, 10 do
+  AtAv(u, v, t)
+  AtAv(v, u, t)
+end
+local vBv = 0.0
+local vv = 0.0
+for i = 1, n do
+  vBv = vBv + u[i] * v[i]
+  vv = vv + v[i] * v[i]
+end
+print(sqrt(vBv / vv))
+|}
+    n
+
+let workload =
+  {
+    Workload.name = "spectral-norm";
+    description = "Eigenvalue using the power method";
+    params = (8, 12, 20, 36);
+    source;
+  }

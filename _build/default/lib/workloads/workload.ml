@@ -1,0 +1,36 @@
+(** Benchmark workload descriptors.
+
+    The paper evaluates 11 scripts from the Computer Language Benchmarks
+    Game (Table III). Each is rewritten here in Mina with four input scales:
+
+    - [Test]: seconds-long unit-test inputs with golden outputs;
+    - [Small]: sensitivity-sweep inputs (Figure 11);
+    - [Sim]: the main-evaluation inputs (Figures 2-10), scaled down from the
+      paper's simulator column so a co-simulated run finishes in seconds;
+    - [Fpga]: the larger inputs of the FPGA experiments (Table IV), scaled
+      down proportionally.
+
+    All workloads are deterministic (random numbers come from in-script
+    generators or the seeded [randomseed] builtin) and print a final value
+    that acts as an output checksum. *)
+
+type scale = Test | Small | Sim | Fpga
+
+let scale_name = function
+  | Test -> "test"
+  | Small -> "small"
+  | Sim -> "sim"
+  | Fpga -> "fpga"
+
+type t = {
+  name : string;
+  description : string;  (** Table III's description column. *)
+  params : int * int * int * int;  (** Input parameter per scale. *)
+  source : int -> string;  (** Script text for a given input parameter. *)
+}
+
+let param w scale =
+  let test, small, sim, fpga = w.params in
+  match scale with Test -> test | Small -> small | Sim -> sim | Fpga -> fpga
+
+let source w scale = w.source (param w scale)

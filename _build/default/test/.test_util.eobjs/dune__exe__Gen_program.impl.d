@@ -1,0 +1,1 @@
+test/gen_program.ml: Array Printf QCheck Scd_runtime Scd_rvm Scd_svm String

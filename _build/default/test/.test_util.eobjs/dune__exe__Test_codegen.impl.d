@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Array Hashtbl Layout List QCheck QCheck_alcotest Scd_codegen Scd_core Scd_runtime Scheme Spec String

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Engine Hashtbl List QCheck QCheck_alcotest Scd_core Scd_uarch Scheme

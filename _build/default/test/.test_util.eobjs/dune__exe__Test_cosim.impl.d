@@ -1,0 +1,1 @@
+test/test_cosim.ml: Alcotest Driver Engine Gen_program List QCheck QCheck_alcotest Scd_core Scd_cosim Scd_uarch Scheme String

@@ -1,0 +1,1 @@
+test/test_energy.ml: Alcotest Float List Model Scd_energy

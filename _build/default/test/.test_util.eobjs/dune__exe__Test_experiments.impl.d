@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Char List Option Scd_experiments Scd_util Scd_workloads String

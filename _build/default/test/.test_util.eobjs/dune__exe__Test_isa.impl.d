@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Array Asm Disasm Encode Exec Format Image Instr List Option QCheck QCheck_alcotest Result Scd_core Scd_isa Scd_uarch Scd_util String

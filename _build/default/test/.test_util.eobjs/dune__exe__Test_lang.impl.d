@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Ast Lexer List Parser QCheck QCheck_alcotest Scd_lang Token

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Builtins Float Format Fun Hashtbl List Option QCheck QCheck_alcotest Scd_runtime Value

@@ -1,0 +1,1 @@
+test/test_rvm.ml: Alcotest Array Bytecode Compiler Gen_program Hashtbl List Peephole QCheck QCheck_alcotest Scd_runtime Scd_rvm String Vm Vm_corpus

@@ -1,0 +1,1 @@
+test/test_svm.ml: Alcotest Array Bytecode Compiler Gen_program List QCheck QCheck_alcotest Scd_runtime Scd_rvm Scd_svm String Vm Vm_corpus

@@ -1,0 +1,1 @@
+test/test_uarch.ml: Alcotest Btb Cache Config Direction Event Indirect List Pipeline QCheck QCheck_alcotest Ras Scd_isa Scd_uarch Tlb

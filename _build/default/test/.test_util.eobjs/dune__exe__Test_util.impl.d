@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bits Int64 List QCheck QCheck_alcotest Rng Scd_util String Summary Table Vec

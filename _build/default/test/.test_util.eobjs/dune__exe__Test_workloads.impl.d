@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Float List Option Registry Scd_rvm Scd_svm Scd_workloads String Workload

@@ -1,0 +1,1 @@
+test/vm_corpus.ml:

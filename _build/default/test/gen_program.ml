@@ -1,0 +1,133 @@
+(** QCheck generator of random (but always-terminating) Mina programs, used
+    to differential-test the two interpreters: for any generated program the
+    register VM and the stack VM must produce identical output, or raise
+    identical runtime errors.
+
+    Generated programs use a fixed set of integer/float variables, bounded
+    loops, table reads/writes over small key ranges, conditionals and a few
+    builtin calls. Division-like operators are generated with guards so most
+    programs run to completion, but runtime errors are still legal outcomes
+    — both VMs just have to agree. *)
+
+open QCheck.Gen
+
+let var_names = [| "a"; "b"; "c"; "d" |]
+
+let variable = map (fun i -> var_names.(i)) (int_bound (Array.length var_names - 1))
+
+(* Integer-valued expressions over the variables (all initialised to ints). *)
+let rec int_expr depth =
+  if depth = 0 then
+    frequency
+      [ (3, map string_of_int (int_range (-20) 20)); (3, variable) ]
+  else
+    let sub = int_expr (depth - 1) in
+    frequency
+      [
+        (2, map string_of_int (int_range (-20) 20));
+        (2, variable);
+        ( 3,
+          map3
+            (fun a op b -> Printf.sprintf "(%s %s %s)" a op b)
+            sub
+            (oneofl [ "+"; "-"; "*" ])
+            sub );
+        (* guarded floor division / modulo: divisor is a non-zero literal *)
+        ( 1,
+          map3
+            (fun a op b -> Printf.sprintf "(%s %s %d)" a op b)
+            sub
+            (oneofl [ "//"; "%" ])
+            (map (fun d -> if d >= 0 then d + 1 else d) (int_range (-7) 6)) );
+        (1, map2 (fun f x -> Printf.sprintf "%s(%s)" f x) (oneofl [ "abs" ]) sub);
+        ( 1,
+          map2 (fun a b -> Printf.sprintf "min(%s, %s)" a b) sub sub );
+        ( 1,
+          map2 (fun a b -> Printf.sprintf "max(%s, %s)" a b) sub sub );
+      ]
+
+let condition depth =
+  map3
+    (fun a op b -> Printf.sprintf "%s %s %s" a op b)
+    (int_expr depth)
+    (oneofl [ "<"; "<="; "=="; "~="; ">"; ">=" ])
+    (int_expr depth)
+
+let assignment depth =
+  map2 (fun v e -> Printf.sprintf "%s = %s" v e) variable (int_expr depth)
+
+let rec statement depth =
+  if depth = 0 then assignment 1
+  else
+    frequency
+      [
+        (4, assignment depth);
+        ( 2,
+          map3
+            (fun c s1 s2 ->
+              Printf.sprintf "if %s then %s else %s end" c s1 s2)
+            (condition (depth - 1))
+            (statement (depth - 1))
+            (statement (depth - 1)) );
+        ( 2,
+          map3
+            (fun v n body -> Printf.sprintf "for %s = 1, %d do %s end" v n body)
+            (oneofl [ "i"; "j" ])
+            (int_range 1 8)
+            (statement (depth - 1)) );
+        ( 1,
+          map2
+            (fun k v -> Printf.sprintf "t[%d] = %s" k v)
+            (int_range 1 5) (int_expr (depth - 1)) );
+        ( 1,
+          map2
+            (fun v k -> Printf.sprintf "%s = t[%d] or 0" v k)
+            variable (int_range 1 5) );
+        ( 1,
+          map3
+            (fun v n body ->
+              Printf.sprintf
+                "local %s = 0 repeat %s = %s + 1 %s until %s >= %d" v v v body
+                v n)
+            (oneofl [ "r"; "s" ])
+            (int_range 1 6)
+            (statement (depth - 1)) );
+        ( 1,
+          map2 (fun s1 s2 -> s1 ^ " " ^ s2) (statement (depth - 1))
+            (statement (depth - 1)) );
+      ]
+
+let program =
+  let gen =
+    map2
+      (fun statements (loops : int) ->
+        let body = String.concat "\n" statements in
+        Printf.sprintf
+          {|
+            local a = 1
+            local b = 2
+            local c = 3
+            local d = 4
+            t = {}
+            for outer = 1, %d do
+              %s
+            end
+            print(a, b, c, d, t[1], t[2], t[3], t[4], t[5])
+          |}
+          loops body)
+      (list_size (int_range 1 6) (statement 2))
+      (int_range 1 3)
+  in
+  QCheck.make ~print:(fun s -> s) gen
+
+type outcome = Output of string | Error of string
+
+let run_rvm source =
+  match Scd_rvm.Vm.run_string source with
+  | out -> Output out
+  | exception Scd_runtime.Value.Runtime_error m -> Error m
+
+let run_svm source =
+  match Scd_svm.Vm.run_string source with
+  | out -> Output out
+  | exception Scd_runtime.Value.Runtime_error m -> Error m

@@ -1,0 +1,321 @@
+open Scd_cosim
+open Scd_core
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let small_script =
+  {|
+    function fib(n)
+      if n < 2 then return n end
+      return fib(n - 1) + fib(n - 2)
+    end
+    local t = {}
+    for i = 1, 20 do t[i] = fib(10) + i end
+    local s = 0
+    for i = 1, 20 do s = s + t[i] end
+    print(s)
+  |}
+
+let run ?(vm = Driver.Lua) ?(machine = Scd_uarch.Config.simulator)
+    ?context_switch_interval scheme =
+  Driver.run
+    { Driver.default_config with vm; scheme; machine; context_switch_interval }
+    ~source:small_script
+
+(* ------------------------------------------------------------------ *)
+(* Semantic invariants                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_output_independent_of_scheme () =
+  let reference = (run Scheme.Baseline).output in
+  List.iter
+    (fun scheme ->
+      List.iter
+        (fun vm ->
+          Alcotest.(check string)
+            "script output never depends on the dispatch scheme" reference
+            (run ~vm scheme).output)
+        [ Driver.Lua; Driver.Js ])
+    Scheme.all
+
+let test_bytecode_count_independent_of_scheme () =
+  let reference = (run Scheme.Baseline).bytecodes in
+  List.iter
+    (fun scheme -> check_int "same bytecodes" reference (run scheme).bytecodes)
+    Scheme.all
+
+let prop_generated_programs_scheme_independent =
+  QCheck.Test.make ~name:"random programs: co-simulation preserves semantics"
+    ~count:12 Gen_program.program (fun source ->
+      match
+        List.map
+          (fun scheme ->
+            (Driver.run { Driver.default_config with scheme } ~source).output)
+          Scheme.all
+      with
+      | reference :: rest -> List.for_all (String.equal reference) rest
+      | [] -> false)
+
+(* ------------------------------------------------------------------ *)
+(* The paper's headline effects                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_scd_reduces_instructions () =
+  let baseline = run Scheme.Baseline and scd = run Scheme.Scd in
+  check_bool "fewer dynamic instructions" true
+    (Driver.instructions scd < Driver.instructions baseline);
+  let reduction =
+    1.0
+    -. (float_of_int (Driver.instructions scd)
+        /. float_of_int (Driver.instructions baseline))
+  in
+  check_bool "reduction in the paper's 5-20% band" true
+    (reduction > 0.05 && reduction < 0.20)
+
+let test_scd_speeds_up () =
+  let baseline = run Scheme.Baseline and scd = run Scheme.Scd in
+  check_bool "fewer cycles" true (Driver.cycles scd < Driver.cycles baseline)
+
+let test_vbbi_same_instructions_fewer_misses () =
+  let baseline = run Scheme.Baseline and vbbi = run Scheme.Vbbi in
+  check_int "identical instruction stream"
+    (Driver.instructions baseline) (Driver.instructions vbbi);
+  check_bool "fewer mispredictions" true
+    (Scd_uarch.Stats.total_mispredicts vbbi.stats
+     < Scd_uarch.Stats.total_mispredicts baseline.stats)
+
+let test_jump_threading_trades_code_size () =
+  let baseline = run Scheme.Jump_threading in
+  let plain = run Scheme.Baseline in
+  check_bool "fewer instructions than baseline" true
+    (Driver.instructions baseline < Driver.instructions plain);
+  check_bool "larger code footprint" true (baseline.code_bytes > plain.code_bytes)
+
+let test_scd_bop_hit_rate_high_on_lua () =
+  let scd = run Scheme.Scd in
+  check_bool "single dispatch site hits nearly always" true
+    (Scd_uarch.Stats.bop_hit_rate scd.stats > 0.95)
+
+let test_js_bop_thrashes_across_sites () =
+  (* the stack VM's three fetch sites share one Rbop-pc: hit rate drops *)
+  let lua = run ~vm:Driver.Lua Scheme.Scd in
+  let js = run ~vm:Driver.Js Scheme.Scd in
+  check_bool "js hit rate below lua" true
+    (Scd_uarch.Stats.bop_hit_rate js.stats
+     < Scd_uarch.Stats.bop_hit_rate lua.stats)
+
+let test_dispatch_fraction_band () =
+  let r = run Scheme.Baseline in
+  let f = Scd_uarch.Stats.dispatch_fraction r.stats in
+  check_bool "paper's >25% band (Figure 3)" true (f > 0.2 && f < 0.45)
+
+let test_scd_eliminates_dispatch_mispredictions () =
+  let baseline = run Scheme.Baseline and scd = run Scheme.Scd in
+  check_bool "dispatch MPKI collapses" true
+    (Scd_uarch.Stats.dispatch_mpki scd.stats
+     < 0.2 *. Scd_uarch.Stats.dispatch_mpki baseline.stats)
+
+(* ------------------------------------------------------------------ *)
+(* Engine / BTB interactions                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_jte_cap_respected_in_cosim () =
+  let machine =
+    Scd_uarch.Config.with_jte_cap
+      (Scd_uarch.Config.with_btb_entries Scd_uarch.Config.simulator 64)
+      (Some 8)
+  in
+  let r = run ~machine Scheme.Scd in
+  check_bool "engine stats present" true (r.engine <> None);
+  check_bool "no cap overflow" true (r.btb.jte_cap_rejects >= 0)
+
+let test_context_switch_flushes () =
+  let with_cs = run ~context_switch_interval:50_000 Scheme.Scd in
+  let without = run Scheme.Scd in
+  let hits r =
+    match r.Driver.engine with
+    | Some (e : Engine.stats) -> e.bop_hits
+    | None -> 0
+  in
+  let flushes r =
+    match r.Driver.engine with
+    | Some (e : Engine.stats) -> e.context_switch_flushes
+    | None -> 0
+  in
+  check_bool "context switches happened" true (flushes with_cs > 0);
+  check_bool "flushing costs fast-path hits" true (hits with_cs < hits without)
+
+let test_smaller_btb_hurts_scd_less_than_nothing () =
+  (* even a 64-entry BTB keeps SCD ahead of baseline (Figure 11 claim) *)
+  let machine = Scd_uarch.Config.with_btb_entries Scd_uarch.Config.simulator 64 in
+  let baseline = run ~machine Scheme.Baseline in
+  let scd = run ~machine Scheme.Scd in
+  check_bool "SCD still wins at 64 entries" true
+    (Driver.cycles scd < Driver.cycles baseline)
+
+let test_fpga_config_runs () =
+  let r = run ~machine:Scd_uarch.Config.fpga Scheme.Scd in
+  check_bool "produces cycles" true (Driver.cycles r > 0)
+
+let test_high_end_dual_issue_faster () =
+  let sim = run Scheme.Baseline in
+  let hi = run ~machine:Scd_uarch.Config.high_end Scheme.Baseline in
+  check_bool "dual issue lowers CPI" true
+    (Scd_uarch.Stats.cpi hi.stats < Scd_uarch.Stats.cpi sim.stats)
+
+(* ------------------------------------------------------------------ *)
+(* Extensions: multi-table, bop policy, indirect override              *)
+(* ------------------------------------------------------------------ *)
+
+let test_multi_table_recovers_js_hit_rate () =
+  let single = run ~vm:Driver.Js Scheme.Scd in
+  let multi =
+    Driver.run
+      { Driver.default_config with vm = Driver.Js; scheme = Scheme.Scd;
+        multi_table = true }
+      ~source:small_script
+  in
+  check_bool "multi-table raises the bop hit rate" true
+    (Scd_uarch.Stats.bop_hit_rate multi.stats
+     > Scd_uarch.Stats.bop_hit_rate single.stats +. 0.05);
+  check_bool "and speeds up" true (Driver.cycles multi < Driver.cycles single);
+  Alcotest.(check string) "same output" single.output multi.output
+
+let test_multi_table_noop_on_lua () =
+  (* the register VM has one dispatch site: multi-table changes nothing *)
+  let single = run Scheme.Scd in
+  let multi =
+    Driver.run
+      { Driver.default_config with scheme = Scheme.Scd; multi_table = true }
+      ~source:small_script
+  in
+  check_int "identical instruction count"
+    (Driver.instructions single) (Driver.instructions multi);
+  check_int "identical cycles" (Driver.cycles single) (Driver.cycles multi)
+
+let test_fall_through_policy () =
+  (* with a deep rop_gap the stall policy pays bubbles while the
+     fall-through policy pays slow-path instructions *)
+  let machine gap policy =
+    { Scd_uarch.Config.simulator with rop_gap = gap; bop_policy = policy }
+  in
+  let stall = run ~machine:(machine 12 `Stall) Scheme.Scd in
+  let fall = run ~machine:(machine 12 `Fall_through) Scheme.Scd in
+  check_bool "stall pays bubbles" true (stall.stats.bop_stall_cycles > 0);
+  check_int "fall-through pays no bubbles" 0 fall.stats.bop_stall_cycles;
+  check_bool "fall-through executes more instructions" true
+    (Driver.instructions fall > Driver.instructions stall);
+  check_int "fall-through never hits" 0 fall.stats.bop_hits;
+  Alcotest.(check string) "same output" stall.output fall.output
+
+let test_superinstructions_in_cosim () =
+  let plain = run Scheme.Scd in
+  let fused =
+    Driver.run
+      { Driver.default_config with scheme = Scheme.Scd; superinstructions = true }
+      ~source:small_script
+  in
+  Alcotest.(check string) "same output" plain.output fused.output;
+  check_bool "fewer bytecodes dispatched" true (fused.bytecodes < plain.bytecodes);
+  check_bool "fewer cycles" true (Driver.cycles fused < Driver.cycles plain)
+
+let test_replication_in_cosim () =
+  let plain = run Scheme.Scd in
+  let repl =
+    Driver.run
+      { Driver.default_config with scheme = Scheme.Scd;
+        bytecode_replication = true }
+      ~source:small_script
+  in
+  Alcotest.(check string) "same output" plain.output repl.output;
+  check_int "same bytecode count" plain.bytecodes repl.bytecodes;
+  (* replicas consume extra jump-table entries *)
+  let jtes r = match r.Driver.engine with Some e -> e.Engine.jru_inserts | None -> 0 in
+  check_bool "more JTE installs" true (jtes repl > jtes plain)
+
+let test_indirect_override () =
+  let ittage =
+    Driver.run
+      { Driver.default_config with
+        scheme = Scheme.Baseline;
+        indirect_override =
+          Some (Scd_uarch.Indirect.Ittage { table_entries = 256; tables = 4 }) }
+      ~source:small_script
+  in
+  let baseline = run Scheme.Baseline in
+  check_int "same instruction stream"
+    (Driver.instructions baseline) (Driver.instructions ittage);
+  check_bool "better indirect prediction" true
+    (ittage.stats.indirect_mispredicts < baseline.stats.indirect_mispredicts)
+
+(* ------------------------------------------------------------------ *)
+(* Stats consistency                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_stats_consistency () =
+  let r = run Scheme.Scd in
+  let s = r.stats in
+  check_bool "cycles >= instructions" true (s.cycles >= s.instructions);
+  check_bool "dispatch <= total" true (s.dispatch_instructions <= s.instructions);
+  check_bool "bop hits <= bops" true (s.bop_hits <= s.bop_count);
+  check_bool "misses <= accesses (i)" true (s.icache_misses <= s.icache_accesses);
+  check_bool "misses <= accesses (d)" true (s.dcache_misses <= s.dcache_accesses);
+  check_bool "cond mispredicts bounded" true (s.cond_mispredicts <= s.cond_branches);
+  check_bool "indirect mispredicts bounded" true
+    (s.indirect_mispredicts <= s.indirect_jumps)
+
+let test_instruction_count_scales_with_bytecodes () =
+  let r = run Scheme.Baseline in
+  let per_bytecode = float_of_int r.stats.instructions /. float_of_int r.bytecodes in
+  check_bool "plausible instructions per bytecode" true
+    (per_bytecode > 25.0 && per_bytecode < 120.0)
+
+let () =
+  Alcotest.run "scd_cosim"
+    [
+      ( "semantics",
+        [
+          Alcotest.test_case "output scheme-independent" `Quick
+            test_output_independent_of_scheme;
+          Alcotest.test_case "bytecodes scheme-independent" `Quick
+            test_bytecode_count_independent_of_scheme;
+          QCheck_alcotest.to_alcotest prop_generated_programs_scheme_independent;
+        ] );
+      ( "paper-effects",
+        [
+          Alcotest.test_case "scd cuts instructions" `Quick test_scd_reduces_instructions;
+          Alcotest.test_case "scd speeds up" `Quick test_scd_speeds_up;
+          Alcotest.test_case "vbbi profile" `Quick test_vbbi_same_instructions_fewer_misses;
+          Alcotest.test_case "jump threading trade-off" `Quick
+            test_jump_threading_trades_code_size;
+          Alcotest.test_case "lua bop hit rate" `Quick test_scd_bop_hit_rate_high_on_lua;
+          Alcotest.test_case "js site thrash" `Quick test_js_bop_thrashes_across_sites;
+          Alcotest.test_case "dispatch fraction" `Quick test_dispatch_fraction_band;
+          Alcotest.test_case "dispatch MPKI collapse" `Quick
+            test_scd_eliminates_dispatch_mispredictions;
+        ] );
+      ( "btb-interactions",
+        [
+          Alcotest.test_case "jte cap" `Quick test_jte_cap_respected_in_cosim;
+          Alcotest.test_case "context switches" `Quick test_context_switch_flushes;
+          Alcotest.test_case "small btb" `Quick test_smaller_btb_hurts_scd_less_than_nothing;
+          Alcotest.test_case "fpga config" `Quick test_fpga_config_runs;
+          Alcotest.test_case "high-end dual issue" `Quick test_high_end_dual_issue_faster;
+        ] );
+      ( "extensions",
+        [
+          Alcotest.test_case "multi-table js" `Quick test_multi_table_recovers_js_hit_rate;
+          Alcotest.test_case "multi-table lua noop" `Quick test_multi_table_noop_on_lua;
+          Alcotest.test_case "fall-through policy" `Quick test_fall_through_policy;
+          Alcotest.test_case "superinstructions" `Quick test_superinstructions_in_cosim;
+          Alcotest.test_case "replication" `Quick test_replication_in_cosim;
+          Alcotest.test_case "indirect override" `Quick test_indirect_override;
+        ] );
+      ( "consistency",
+        [
+          Alcotest.test_case "stats invariants" `Quick test_stats_consistency;
+          Alcotest.test_case "instructions per bytecode" `Quick
+            test_instruction_count_scales_with_bytecodes;
+        ] );
+    ]

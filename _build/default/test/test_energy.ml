@@ -1,0 +1,83 @@
+open Scd_energy
+
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-6))
+
+let rocket = 62 (* Table V's BTB size *)
+
+let test_baseline_matches_table5 () =
+  check_float "top area" 0.690 (Model.total_area Model.baseline);
+  check_float "top power" 18.46 (Model.total_power Model.baseline);
+  let btb = List.find (fun c -> c.Model.name = "BTB") Model.baseline in
+  check_float "btb area" 0.019 btb.area_mm2;
+  check_float "btb power" 1.40 btb.power_mw
+
+let test_hierarchy_sums () =
+  (* depth-1 components must sum to the Top row (within rounding slack, as
+     in the published table) *)
+  let level1 =
+    List.filter (fun c -> c.Model.depth = 1) Model.baseline
+    |> List.fold_left (fun acc c -> acc +. c.Model.area_mm2) 0.0
+  in
+  check_bool "children sum to parent" true
+    (Float.abs (level1 -. Model.total_area Model.baseline) < 0.01)
+
+let test_scd_delta_direction () =
+  let cost = Model.scd_btb_cost ~btb_entries:rocket in
+  check_bool "area factor in paper's neighbourhood (1.15-1.30)" true
+    (cost.btb_area_factor > 1.15 && cost.btb_area_factor < 1.30);
+  check_bool "power factor below area factor" true
+    (cost.btb_power_factor < cost.btb_area_factor);
+  check_bool "power factor above 1" true (cost.btb_power_factor > 1.0);
+  check_bool "hundreds of added bits" true
+    (cost.added_bits > 300 && cost.added_bits < 1500)
+
+let test_chip_level_increase_small () =
+  let area = Model.area_increase_percent ~btb_entries:rocket in
+  let power = Model.power_increase_percent ~btb_entries:rocket in
+  (* paper: +0.72% area, +1.09% power *)
+  check_bool "area under 1.5%" true (area > 0.2 && area < 1.5);
+  check_bool "power under 2%" true (power > 0.2 && power < 2.0)
+
+let test_scd_breakdown_propagates () =
+  let scd = Model.scd ~btb_entries:rocket in
+  let get name components = List.find (fun c -> c.Model.name = name) components in
+  let b_btb = get "BTB" Model.baseline and s_btb = get "BTB" scd in
+  check_bool "btb grew" true (s_btb.area_mm2 > b_btb.area_mm2);
+  let b_ic = get "ICache" Model.baseline and s_ic = get "ICache" scd in
+  check_float "enclosing absorbs the same delta"
+    (s_btb.area_mm2 -. b_btb.area_mm2)
+    (s_ic.area_mm2 -. b_ic.area_mm2);
+  let b_d = get "DCache" Model.baseline and s_d = get "DCache" scd in
+  check_float "unrelated unchanged" b_d.area_mm2 s_d.area_mm2
+
+let test_edp_improvement () =
+  (* with the paper's 12.04% Table IV speedup, EDP improves by ~15-25% *)
+  let edp = Model.edp_improvement_percent ~btb_entries:rocket ~speedup_percent:12.04 in
+  check_bool "positive" true (edp > 0.0);
+  check_bool "in the paper's neighbourhood" true (edp > 12.0 && edp < 26.0);
+  (* no speedup means the extra power makes EDP slightly worse *)
+  let flat = Model.edp_improvement_percent ~btb_entries:rocket ~speedup_percent:0.0 in
+  check_bool "no speedup -> negative improvement" true (flat < 0.0)
+
+let test_larger_btb_cheaper_relative_extension () =
+  (* per-entry J/B bits scale with entries, but the three registers amortise *)
+  let small = Model.scd_btb_cost ~btb_entries:32 in
+  let large = Model.scd_btb_cost ~btb_entries:512 in
+  check_bool "relative area overhead shrinks with size" true
+    (large.btb_area_factor < small.btb_area_factor)
+
+let () =
+  Alcotest.run "scd_energy"
+    [
+      ( "model",
+        [
+          Alcotest.test_case "baseline = Table V" `Quick test_baseline_matches_table5;
+          Alcotest.test_case "hierarchy sums" `Quick test_hierarchy_sums;
+          Alcotest.test_case "delta direction" `Quick test_scd_delta_direction;
+          Alcotest.test_case "chip-level increase" `Quick test_chip_level_increase_small;
+          Alcotest.test_case "breakdown propagation" `Quick test_scd_breakdown_propagates;
+          Alcotest.test_case "edp" `Quick test_edp_improvement;
+          Alcotest.test_case "size scaling" `Quick test_larger_btb_cheaper_relative_extension;
+        ] );
+    ]

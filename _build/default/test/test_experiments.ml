@@ -1,0 +1,105 @@
+(* Quick-mode smoke tests: every experiment must produce well-formed tables
+   with one row per benchmark (plus the summary row) and parseable cells.
+   These run at Test scale; the full-scale numbers are exercised by the
+   bench harness. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let workload_count = List.length Scd_workloads.Registry.all
+
+let rows_of table = Scd_util.Table.rows table
+
+let expect_benchmark_rows table =
+  (* data rows = 11 benchmarks + 1 summary *)
+  check_int
+    ("row count of " ^ Scd_util.Table.title table)
+    (workload_count + 1)
+    (List.length (rows_of table))
+
+let percent_cell_parses cell =
+  String.length cell > 1
+  && Char.equal cell.[String.length cell - 1] '%'
+  && Option.is_some (float_of_string_opt (String.sub cell 0 (String.length cell - 1)))
+
+let smoke_case (e : Scd_experiments.Experiment.t) =
+  Alcotest.test_case e.id `Slow (fun () ->
+      let tables = e.run ~quick:true in
+      check_bool (e.id ^ " produces tables") true (tables <> []);
+      List.iter
+        (fun t ->
+          check_bool "has headers" true (List.length (Scd_util.Table.headers t) >= 2);
+          check_bool "has rows" true (rows_of t <> []);
+          List.iter
+            (fun row ->
+              check_int "row arity"
+                (List.length (Scd_util.Table.headers t))
+                (List.length row))
+            (rows_of t))
+        tables)
+
+(* Deeper checks on the structure of the central figures. *)
+
+let test_fig7_shape () =
+  Scd_experiments.Sweep.clear ();
+  match Scd_experiments.Fig7.run ~quick:true with
+  | [ lua; js ] ->
+    expect_benchmark_rows lua;
+    expect_benchmark_rows js;
+    Alcotest.(check (list string))
+      "columns"
+      [ "benchmark"; "jump-threading"; "vbbi"; "scd" ]
+      (Scd_util.Table.headers lua);
+    (* every speedup cell parses as a percentage *)
+    List.iter
+      (fun row ->
+        List.iteri
+          (fun i cell -> if i > 0 then check_bool "percent" true (percent_cell_parses cell))
+          row)
+      (rows_of js)
+  | _ -> Alcotest.fail "fig7 must produce two tables"
+
+let test_fig7_scd_wins_geomean () =
+  match Scd_experiments.Fig7.run ~quick:true with
+  | [ lua; _ ] ->
+    let geomean_row = List.nth (rows_of lua) workload_count in
+    (match geomean_row with
+     | [ label; _jt; vbbi; scd ] ->
+       Alcotest.(check string) "label" "GEOMEAN" label;
+       let pct s = float_of_string (String.sub s 0 (String.length s - 1)) in
+       check_bool "SCD beats VBBI on Lua (the paper's headline)" true
+         (pct scd > pct vbbi);
+       check_bool "SCD geomean positive" true (pct scd > 5.0)
+     | _ -> Alcotest.fail "geomean row shape")
+  | _ -> Alcotest.fail "fig7 must produce two tables"
+
+let test_tab5_summary_values () =
+  match Scd_experiments.Tab5.run ~quick:true with
+  | [ breakdown; summary ] ->
+    check_int "Table V rows" 15 (List.length (rows_of breakdown));
+    check_bool "summary has EDP row" true
+      (List.exists (fun row -> List.hd row = "EDP improvement") (rows_of summary))
+  | _ -> Alcotest.fail "tab5 must produce two tables"
+
+let test_registry () =
+  check_int "13 published + 7 ablation experiments" 20
+    (List.length Scd_experiments.Registry.all);
+  check_bool "find" true (Scd_experiments.Registry.find "fig7" <> None);
+  check_bool "unknown" true (Scd_experiments.Registry.find "fig99" = None);
+  (* ids are unique *)
+  let ids = Scd_experiments.Registry.ids in
+  check_int "unique ids" (List.length ids)
+    (List.length (List.sort_uniq String.compare ids))
+
+let () =
+  Alcotest.run "scd_experiments"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "fig7 shape" `Slow test_fig7_shape;
+          Alcotest.test_case "fig7 geomean" `Slow test_fig7_scd_wins_geomean;
+          Alcotest.test_case "tab5 summary" `Slow test_tab5_summary_values;
+          Alcotest.test_case "registry" `Quick test_registry;
+        ] );
+      ("smoke", List.map smoke_case Scd_experiments.Registry.all);
+    ]

@@ -1,0 +1,191 @@
+open Scd_lang
+
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let tokens source = List.map fst (Lexer.tokenize source)
+
+let test_lexer_numbers () =
+  Alcotest.(check bool) "int" true (tokens "42" = [ Int_lit 42; Eof ]);
+  Alcotest.(check bool) "hex" true (tokens "0x2A" = [ Int_lit 42; Eof ]);
+  Alcotest.(check bool) "float" true (tokens "1.5" = [ Float_lit 1.5; Eof ]);
+  Alcotest.(check bool) "exponent" true (tokens "2e3" = [ Float_lit 2000.0; Eof ]);
+  Alcotest.(check bool) "neg exponent" true
+    (tokens "25e-1" = [ Float_lit 2.5; Eof ])
+
+let test_lexer_strings () =
+  Alcotest.(check bool) "plain" true (tokens {|"hi"|} = [ Str_lit "hi"; Eof ]);
+  Alcotest.(check bool) "escapes" true
+    (tokens {|"a\n\t\\\""|} = [ Str_lit "a\n\t\\\""; Eof ])
+
+let test_lexer_operators () =
+  Alcotest.(check bool) "two-char ops" true
+    (tokens "== ~= <= >= // .." = Token.[ Eq; Ne; Le; Ge; Dslash; Dotdot; Eof ])
+
+let test_lexer_keywords_vs_names () =
+  Alcotest.(check bool) "keyword" true (tokens "while" = [ Kw_while; Eof ]);
+  Alcotest.(check bool) "name" true (tokens "whilex" = [ Name "whilex"; Eof ])
+
+let test_lexer_comments () =
+  Alcotest.(check bool) "comment elided" true
+    (tokens "1 -- a comment\n2" = [ Int_lit 1; Int_lit 2; Eof ])
+
+let test_lexer_line_numbers () =
+  let toks = Lexer.tokenize "1\n2\n3" in
+  Alcotest.(check (list int)) "lines" [ 1; 2; 3; 3 ] (List.map snd toks)
+
+let test_lexer_errors () =
+  let fails s =
+    match Lexer.tokenize s with
+    | exception Lexer.Error _ -> ()
+    | _ -> Alcotest.fail ("should not lex: " ^ s)
+  in
+  fails {|"unterminated|};
+  fails {|"bad \q escape"|};
+  fails "@";
+  fails "~"
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_parser_precedence () =
+  (* 1 + 2 * 3 parses as 1 + (2 * 3) *)
+  (match Parser.parse_expr "1 + 2 * 3" with
+   | Ast.Binop (Add, Int 1, Binop (Mul, Int 2, Int 3)) -> ()
+   | _ -> Alcotest.fail "mul binds tighter than add");
+  (* comparison binds looser than arithmetic *)
+  (match Parser.parse_expr "1 + 2 < 3" with
+   | Ast.Binop (Lt, Binop (Add, _, _), Int 3) -> ()
+   | _ -> Alcotest.fail "comparison looser than add");
+  (* and/or are loosest, or looser than and *)
+  match Parser.parse_expr "1 and 2 or 3" with
+  | Ast.Or (Ast.And (_, _), Int 3) -> ()
+  | _ -> Alcotest.fail "or loosest"
+
+let test_parser_concat_right_assoc () =
+  match Parser.parse_expr {|"a" .. "b" .. "c"|} with
+  | Ast.Binop (Concat, Str "a", Binop (Concat, Str "b", Str "c")) -> ()
+  | _ -> Alcotest.fail "concat is right-associative"
+
+let test_parser_unary () =
+  (match Parser.parse_expr "-x + 1" with
+   | Ast.Binop (Add, Unop (Neg, Var "x"), Int 1) -> ()
+   | _ -> Alcotest.fail "unary binds tighter");
+  match Parser.parse_expr "not a == b" with
+  (* Lua: not binds tighter than == *)
+  | Ast.Binop (Eq, Unop (Not, Var "a"), Var "b") -> ()
+  | _ -> Alcotest.fail "not tighter than =="
+
+let test_parser_postfix_chain () =
+  match Parser.parse_expr "t.a[1](2).b" with
+  | Ast.Index (Call (Index (Index (Var "t", Str "a"), Int 1), [ Int 2 ]), Str "b")
+    -> ()
+  | _ -> Alcotest.fail "postfix chain"
+
+let test_parser_table_constructors () =
+  match Parser.parse_expr {|{1, x = 2, [3] = 4}|} with
+  | Ast.Table [ Positional (Int 1); Named ("x", Int 2); Keyed (Int 3, Int 4) ] -> ()
+  | _ -> Alcotest.fail "table fields"
+
+let test_parser_statements () =
+  let program =
+    Parser.parse
+      {|
+        local a = 1
+        a = a + 1
+        t[1] = 2
+        if a then b = 1 elseif c then b = 2 else b = 3 end
+        while a do break end
+        for i = 1, 10, 2 do print(i) end
+        function f(x, y) return x end
+        return f(a)
+      |}
+  in
+  check_int "statement count" 8 (List.length program)
+
+let test_parser_if_elseif_shape () =
+  match Parser.parse "if a then x = 1 elseif b then x = 2 else x = 3 end" with
+  | [ Ast.If ([ (Ast.Var "a", _); (Ast.Var "b", _) ], Some _) ] -> ()
+  | _ -> Alcotest.fail "if/elseif/else shape"
+
+let test_parser_numeric_for_defaults () =
+  match Parser.parse "for i = 1, 5 do end" with
+  | [ Ast.Numeric_for { step = None; _ } ] -> ()
+  | _ -> Alcotest.fail "default step"
+
+let test_parser_errors () =
+  let fails s =
+    match Parser.parse s with
+    | exception Parser.Error _ -> ()
+    | _ -> Alcotest.fail ("should not parse: " ^ s)
+  in
+  fails "if a then";
+  fails "1 + 2"; (* expression is not a statement *)
+  fails "x = ";
+  fails "local = 3";
+  fails "f(1,)";
+  fails "1 = 2"
+
+let test_parser_call_statement_only () =
+  (match Parser.parse "f(1)" with
+   | [ Ast.Expr_stmt (Ast.Call _) ] -> ()
+   | _ -> Alcotest.fail "call statement");
+  match Parser.parse "x + 1" with
+  | exception Parser.Error _ -> ()
+  | _ -> Alcotest.fail "non-call expression statement rejected"
+
+let test_parser_repeat_until () =
+  (match Parser.parse "repeat x = x + 1 until x > 5" with
+   | [ Ast.Repeat ([ Ast.Assign _ ], Ast.Binop (Gt, _, _)) ] -> ()
+   | _ -> Alcotest.fail "repeat/until shape");
+  match Parser.parse "repeat until true" with
+  | [ Ast.Repeat ([], Ast.True) ] -> ()
+  | _ -> Alcotest.fail "empty repeat body"
+
+let test_parser_return_ends_block () =
+  match Parser.parse "return 1" with
+  | [ Ast.Return (Some (Ast.Int 1)) ] -> ()
+  | _ -> Alcotest.fail "return"
+
+let prop_lexer_never_crashes_on_printable =
+  QCheck.Test.make ~name:"lexer totality on printable strings" ~count:500
+    QCheck.(string_gen_of_size (QCheck.Gen.int_bound 30) QCheck.Gen.printable)
+    (fun s ->
+      match Lexer.tokenize s with
+      | _ -> true
+      | exception Lexer.Error _ -> true)
+
+let () =
+  Alcotest.run "scd_lang"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "numbers" `Quick test_lexer_numbers;
+          Alcotest.test_case "strings" `Quick test_lexer_strings;
+          Alcotest.test_case "operators" `Quick test_lexer_operators;
+          Alcotest.test_case "keywords" `Quick test_lexer_keywords_vs_names;
+          Alcotest.test_case "comments" `Quick test_lexer_comments;
+          Alcotest.test_case "line numbers" `Quick test_lexer_line_numbers;
+          Alcotest.test_case "errors" `Quick test_lexer_errors;
+          QCheck_alcotest.to_alcotest prop_lexer_never_crashes_on_printable;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "precedence" `Quick test_parser_precedence;
+          Alcotest.test_case "concat assoc" `Quick test_parser_concat_right_assoc;
+          Alcotest.test_case "unary" `Quick test_parser_unary;
+          Alcotest.test_case "postfix" `Quick test_parser_postfix_chain;
+          Alcotest.test_case "tables" `Quick test_parser_table_constructors;
+          Alcotest.test_case "statements" `Quick test_parser_statements;
+          Alcotest.test_case "if shape" `Quick test_parser_if_elseif_shape;
+          Alcotest.test_case "for defaults" `Quick test_parser_numeric_for_defaults;
+          Alcotest.test_case "errors" `Quick test_parser_errors;
+          Alcotest.test_case "call statements" `Quick test_parser_call_statement_only;
+          Alcotest.test_case "repeat/until" `Quick test_parser_repeat_until;
+          Alcotest.test_case "return" `Quick test_parser_return_ends_block;
+        ] );
+    ]

@@ -1,0 +1,284 @@
+open Scd_runtime
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let value : Value.t Alcotest.testable =
+  Alcotest.testable
+    (fun fmt v -> Format.pp_print_string fmt (Value.to_display_string v))
+    Value.equal
+
+(* ------------------------------------------------------------------ *)
+(* Arithmetic semantics (Lua 5.3 rules)                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_int_arith () =
+  Alcotest.check value "add" (Value.Int 7) (Value.arith `Add (Int 3) (Int 4));
+  Alcotest.check value "mul" (Value.Int 12) (Value.arith `Mul (Int 3) (Int 4));
+  Alcotest.check value "idiv floor" (Value.Int (-4))
+    (Value.arith `Idiv (Int (-7)) (Int 2));
+  Alcotest.check value "mod sign of divisor" (Value.Int 2)
+    (Value.arith `Mod (Int (-7)) (Int 3));
+  Alcotest.check value "mod negative divisor" (Value.Int (-2))
+    (Value.arith `Mod (Int 7) (Int (-3)))
+
+let test_div_always_float () =
+  Alcotest.check value "int/int is float" (Value.Float 3.5)
+    (Value.arith `Div (Int 7) (Int 2))
+
+let test_float_promotion () =
+  Alcotest.check value "int + float" (Value.Float 4.5)
+    (Value.arith `Add (Int 3) (Float 1.5));
+  Alcotest.check value "float idiv floors" (Value.Float 3.0)
+    (Value.arith `Idiv (Float 7.5) (Int 2))
+
+let test_arith_errors () =
+  let raises f =
+    match f () with
+    | exception Value.Runtime_error _ -> ()
+    | _ -> Alcotest.fail "expected a runtime error"
+  in
+  raises (fun () -> Value.arith `Add (Str "x") (Int 1));
+  raises (fun () -> Value.arith `Idiv (Int 1) (Int 0));
+  raises (fun () -> Value.arith `Mod (Int 1) (Int 0));
+  raises (fun () -> Value.neg Value.Nil)
+
+let test_neg () =
+  Alcotest.check value "int" (Value.Int (-3)) (Value.neg (Int 3));
+  Alcotest.check value "float" (Value.Float (-2.5)) (Value.neg (Float 2.5))
+
+(* ------------------------------------------------------------------ *)
+(* Comparison and equality                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_compare () =
+  check_bool "int lt" true (Value.compare_lt (Int 1) (Int 2));
+  check_bool "mixed" true (Value.compare_lt (Int 1) (Float 1.5));
+  check_bool "strings" true (Value.compare_lt (Str "abc") (Str "abd"));
+  check_bool "le equal" true (Value.compare_le (Int 2) (Float 2.0));
+  match Value.compare_lt (Int 1) (Str "2") with
+  | exception Value.Runtime_error _ -> ()
+  | _ -> Alcotest.fail "cross-type comparison must raise"
+
+let test_equal () =
+  check_bool "int/float" true (Value.equal (Int 2) (Float 2.0));
+  check_bool "nil" true (Value.equal Nil Nil);
+  check_bool "string" true (Value.equal (Str "a") (Str "a"));
+  check_bool "cross-type is false not error" false (Value.equal (Int 1) (Str "1"));
+  let t1 = Value.new_table () and t2 = Value.new_table () in
+  check_bool "table identity" true (Value.equal t1 t1);
+  check_bool "distinct tables differ" false (Value.equal t1 t2)
+
+let test_truthy () =
+  check_bool "nil falsy" false (Value.truthy Nil);
+  check_bool "false falsy" false (Value.truthy (Bool false));
+  check_bool "zero truthy" true (Value.truthy (Int 0));
+  check_bool "empty string truthy" true (Value.truthy (Str ""))
+
+(* ------------------------------------------------------------------ *)
+(* Strings                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_concat () =
+  Alcotest.check value "strings" (Value.Str "ab") (Value.concat (Str "a") (Str "b"));
+  Alcotest.check value "number coercion" (Value.Str "x3")
+    (Value.concat (Str "x") (Int 3));
+  Alcotest.check value "float formatting" (Value.Str "1.5")
+    (Value.concat (Str "") (Float 1.5))
+
+let test_display () =
+  check_string "int" "42" (Value.to_display_string (Int 42));
+  check_string "integral float keeps .0" "2.0" (Value.to_display_string (Float 2.0));
+  check_string "bool" "true" (Value.to_display_string (Bool true));
+  check_string "nil" "nil" (Value.to_display_string Nil)
+
+(* ------------------------------------------------------------------ *)
+(* Tables                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_table_array_part () =
+  let t = Value.table_of (Value.new_table ()) in
+  for i = 1 to 10 do
+    Value.table_set t (Int i) (Int (i * i))
+  done;
+  check_int "border" 10 (Value.table_len t);
+  Alcotest.check value "get" (Value.Int 49) (Value.table_get t (Int 7))
+
+let test_table_absent_is_nil () =
+  let t = Value.table_of (Value.new_table ()) in
+  Alcotest.check value "absent" Value.Nil (Value.table_get t (Str "missing"))
+
+let test_table_hash_keys () =
+  let t = Value.table_of (Value.new_table ()) in
+  Value.table_set t (Str "k") (Int 1);
+  Value.table_set t (Bool true) (Int 2);
+  Value.table_set t (Float 2.5) (Int 3);
+  Alcotest.check value "string key" (Value.Int 1) (Value.table_get t (Str "k"));
+  Alcotest.check value "bool key" (Value.Int 2) (Value.table_get t (Bool true));
+  Alcotest.check value "float key" (Value.Int 3) (Value.table_get t (Float 2.5))
+
+let test_table_integral_float_key_unifies () =
+  let t = Value.table_of (Value.new_table ()) in
+  Value.table_set t (Float 2.0) (Str "two");
+  Alcotest.check value "t[2] = t[2.0]" (Value.Str "two") (Value.table_get t (Int 2))
+
+let test_table_nil_deletion_shrinks_border () =
+  let t = Value.table_of (Value.new_table ()) in
+  for i = 1 to 5 do Value.table_set t (Int i) (Int i) done;
+  Value.table_set t (Int 3) Value.Nil;
+  check_int "border shrinks to 2" 2 (Value.table_len t);
+  Alcotest.check value "key above erased hole survives" (Value.Int 4)
+    (Value.table_get t (Int 4))
+
+let test_table_border_absorbs_hash_part () =
+  let t = Value.table_of (Value.new_table ()) in
+  Value.table_set t (Int 2) (Int 20); (* goes to hash: border is 0 *)
+  check_int "no border yet" 0 (Value.table_len t);
+  Value.table_set t (Int 1) (Int 10);
+  check_int "border absorbs 2" 2 (Value.table_len t)
+
+let test_table_bad_keys () =
+  let t = Value.table_of (Value.new_table ()) in
+  (match Value.table_set t Value.Nil (Int 1) with
+   | exception Value.Runtime_error _ -> ()
+   | _ -> Alcotest.fail "nil key");
+  match Value.table_set t (Float Float.nan) (Int 1) with
+  | exception Value.Runtime_error _ -> ()
+  | _ -> Alcotest.fail "NaN key"
+
+let test_table_tables_as_keys () =
+  let outer = Value.table_of (Value.new_table ()) in
+  let k1 = Value.new_table () and k2 = Value.new_table () in
+  Value.table_set outer k1 (Int 1);
+  Value.table_set outer k2 (Int 2);
+  Alcotest.check value "identity keyed" (Value.Int 1) (Value.table_get outer k1);
+  Alcotest.check value "other identity" (Value.Int 2) (Value.table_get outer k2)
+
+let test_length_operator () =
+  Alcotest.check value "string length" (Value.Int 3) (Value.length (Str "abc"));
+  let t = Value.table_of (Value.new_table ()) in
+  Value.table_set t (Int 1) (Int 1);
+  Alcotest.check value "table border" (Value.Int 1) (Value.length (Value.Table t))
+
+(* Model-based property: table with random int ops behaves like a map. *)
+let prop_table_model =
+  QCheck.Test.make ~name:"table matches a reference map under int keys" ~count:300
+    QCheck.(small_list (pair (int_range 1 20) (int_range 0 5)))
+    (fun operations ->
+      let t = Value.table_of (Value.new_table ()) in
+      let reference = Hashtbl.create 16 in
+      List.iter
+        (fun (k, v) ->
+          let v = if v = 0 then Value.Nil else Value.Int v in
+          Value.table_set t (Int k) v;
+          if v = Value.Nil then Hashtbl.remove reference k
+          else Hashtbl.replace reference k v)
+        operations;
+      List.for_all
+        (fun k ->
+          let expected = Option.value ~default:Value.Nil (Hashtbl.find_opt reference k) in
+          Value.equal (Value.table_get t (Int k)) expected)
+        (List.init 20 (fun i -> i + 1)))
+
+(* ------------------------------------------------------------------ *)
+(* Builtins                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let call name args =
+  let ctx = Builtins.create_ctx () in
+  match Builtins.find name with
+  | Some (_, b) -> (ctx, b.fn ctx args)
+  | None -> Alcotest.fail ("missing builtin " ^ name)
+
+let test_builtin_print_output () =
+  let ctx, _ = call "print" [ Value.Int 1; Value.Str "x" ] in
+  check_string "tab separated + newline" "1\tx\n" (Builtins.output ctx)
+
+let test_builtin_math () =
+  let _, v = call "sqrt" [ Value.Float 9.0 ] in
+  Alcotest.check value "sqrt" (Value.Float 3.0) v;
+  let _, v = call "floor" [ Value.Float 2.7 ] in
+  Alcotest.check value "floor" (Value.Int 2) v;
+  let _, v = call "floor" [ Value.Float (-2.7) ] in
+  Alcotest.check value "floor negative" (Value.Int (-3)) v;
+  let _, v = call "abs" [ Value.Int (-5) ] in
+  Alcotest.check value "abs" (Value.Int 5) v;
+  let _, v = call "pow" [ Value.Int 2; Value.Int 10 ] in
+  Alcotest.check value "pow" (Value.Float 1024.0) v
+
+let test_builtin_strings () =
+  let _, v = call "sub" [ Value.Str "hello"; Value.Int 2; Value.Int 4 ] in
+  Alcotest.check value "sub" (Value.Str "ell") v;
+  let _, v = call "sub" [ Value.Str "hello"; Value.Int (-3); Value.Int (-1) ] in
+  Alcotest.check value "negative indices" (Value.Str "llo") v;
+  let _, v = call "byte" [ Value.Str "A"; Value.Int 1 ] in
+  Alcotest.check value "byte" (Value.Int 65) v;
+  let _, v = call "char" [ Value.Int 104; Value.Int 105 ] in
+  Alcotest.check value "char" (Value.Str "hi") v
+
+let test_builtin_random_deterministic () =
+  let ctx = Builtins.create_ctx ~seed:42L () in
+  let _, b = Option.get (Builtins.find "random") in
+  let a1 = b.fn ctx [ Value.Int 100 ] in
+  let ctx2 = Builtins.create_ctx ~seed:42L () in
+  let a2 = b.fn ctx2 [ Value.Int 100 ] in
+  Alcotest.check value "same seed, same draw" a1 a2;
+  match a1 with
+  | Value.Int v -> check_bool "in range" true (v >= 1 && v <= 100)
+  | _ -> Alcotest.fail "random m returns an int"
+
+let test_builtin_ids_stable () =
+  (* compilers bake builtin ids into bytecode; slot order must be stable *)
+  check_int "print is id 0" 0 (fst (Option.get (Builtins.find "print")));
+  check_bool "by_id total" true
+    (List.for_all
+       (fun i -> (Builtins.by_id i).name <> "")
+       (List.init Builtins.count Fun.id));
+  Alcotest.check_raises "unknown id" (Invalid_argument "Builtins.by_id: unknown id 999")
+    (fun () -> ignore (Builtins.by_id 999))
+
+let () =
+  Alcotest.run "scd_runtime"
+    [
+      ( "arith",
+        [
+          Alcotest.test_case "int ops" `Quick test_int_arith;
+          Alcotest.test_case "div is float" `Quick test_div_always_float;
+          Alcotest.test_case "promotion" `Quick test_float_promotion;
+          Alcotest.test_case "errors" `Quick test_arith_errors;
+          Alcotest.test_case "neg" `Quick test_neg;
+        ] );
+      ( "compare",
+        [
+          Alcotest.test_case "ordering" `Quick test_compare;
+          Alcotest.test_case "equality" `Quick test_equal;
+          Alcotest.test_case "truthiness" `Quick test_truthy;
+        ] );
+      ( "strings",
+        [
+          Alcotest.test_case "concat" `Quick test_concat;
+          Alcotest.test_case "display" `Quick test_display;
+        ] );
+      ( "tables",
+        [
+          Alcotest.test_case "array part" `Quick test_table_array_part;
+          Alcotest.test_case "absent" `Quick test_table_absent_is_nil;
+          Alcotest.test_case "hash keys" `Quick test_table_hash_keys;
+          Alcotest.test_case "float key unification" `Quick test_table_integral_float_key_unifies;
+          Alcotest.test_case "nil deletion" `Quick test_table_nil_deletion_shrinks_border;
+          Alcotest.test_case "border absorption" `Quick test_table_border_absorbs_hash_part;
+          Alcotest.test_case "bad keys" `Quick test_table_bad_keys;
+          Alcotest.test_case "table keys" `Quick test_table_tables_as_keys;
+          Alcotest.test_case "length" `Quick test_length_operator;
+          QCheck_alcotest.to_alcotest prop_table_model;
+        ] );
+      ( "builtins",
+        [
+          Alcotest.test_case "print output" `Quick test_builtin_print_output;
+          Alcotest.test_case "math" `Quick test_builtin_math;
+          Alcotest.test_case "strings" `Quick test_builtin_strings;
+          Alcotest.test_case "random determinism" `Quick test_builtin_random_deterministic;
+          Alcotest.test_case "stable ids" `Quick test_builtin_ids_stable;
+        ] );
+    ]

@@ -1,0 +1,296 @@
+open Scd_rvm
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let corpus_case (name, source, expected) =
+  Alcotest.test_case name `Quick (fun () ->
+      Alcotest.(check string) name expected (Vm.run_string source))
+
+let compile_error_case (name, source) =
+  Alcotest.test_case name `Quick (fun () ->
+      match Compiler.compile_string source with
+      | exception Compiler.Error _ -> ()
+      | _ -> Alcotest.fail "expected a compile error")
+
+let runtime_error_case (name, source) =
+  Alcotest.test_case name `Quick (fun () ->
+      match Vm.run_string source with
+      | exception Scd_runtime.Value.Runtime_error _ -> ()
+      | _ -> Alcotest.fail "expected a runtime error")
+
+(* ------------------------------------------------------------------ *)
+(* Compiler-specific behaviour                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_constants_deduplicated () =
+  let program = Compiler.compile_string {|print("x" .. "x" .. "x")|} in
+  let consts = program.protos.(0).consts in
+  let occurrences =
+    Array.to_list consts
+    |> List.filter (fun v -> Scd_runtime.Value.equal v (Str "x"))
+    |> List.length
+  in
+  check_int "one pooled copy" 1 occurrences
+
+let test_small_int_uses_loadint () =
+  let program = Compiler.compile_string "local a = 7" in
+  let has_loadint =
+    Array.exists
+      (function Bytecode.LOADINT (_, 7) -> true | _ -> false)
+      program.protos.(0).code
+  in
+  check_bool "LOADINT emitted" true has_loadint
+
+let test_large_int_uses_constant_pool () =
+  let program = Compiler.compile_string "local a = 123456789" in
+  let has_loadk =
+    Array.exists (function Bytecode.LOADK _ -> true | _ -> false)
+      program.protos.(0).code
+  in
+  check_bool "LOADK emitted" true has_loadk
+
+let test_literal_operands_become_rk () =
+  let program = Compiler.compile_string {|local a = 1 local b = a + 2.5|} in
+  let has_const_operand =
+    Array.exists
+      (function Bytecode.ARITH (_, _, _, K _) -> true | _ -> false)
+      program.protos.(0).code
+  in
+  check_bool "K operand" true has_const_operand
+
+let test_protos_and_main () =
+  let program = Compiler.compile_string {|
+    function a() return 1 end
+    function b() return 2 end
+  |} in
+  check_int "main + two functions" 3 (Array.length program.protos);
+  Alcotest.(check string) "main name" "<main>" program.protos.(0).name
+
+let test_frame_sizes_cover_locals () =
+  let program =
+    Compiler.compile_string
+      {|
+        function f(a, b)
+          local c = a + b
+          local d = c * 2
+          return d
+        end
+        print(f(1, 2))
+      |}
+  in
+  let f = program.protos.(1) in
+  check_int "params" 2 f.num_params;
+  check_bool "frame covers params and locals" true (f.num_regs >= 4)
+
+let test_opcode_ids_are_dense () =
+  check_int "34 opcodes (30 base + 4 fused)" 34 Bytecode.num_opcodes;
+  (* ids must be stable and dense: the jump table is indexed by them *)
+  check_int "MOVE id" 0 (Bytecode.opcode_of_instr (MOVE (0, 0)));
+  check_int "FORLOOP id" 29 (Bytecode.opcode_of_instr (FORLOOP (0, 0)));
+  check_int "TESTJMP id" 33 (Bytecode.opcode_of_instr (TESTJMP (0, true, 0)))
+
+(* ------------------------------------------------------------------ *)
+(* Superinstruction peephole pass                                      *)
+(* ------------------------------------------------------------------ *)
+
+let run_program program =
+  let ctx = Scd_runtime.Builtins.create_ctx () in
+  let vm = Vm.create ~ctx program in
+  Vm.run vm;
+  (Scd_runtime.Builtins.output ctx, Vm.steps vm)
+
+let peephole_corpus_case (name, source, expected) =
+  Alcotest.test_case name `Quick (fun () ->
+      let optimized = Peephole.optimize (Compiler.compile_string source) in
+      let out, _ = run_program optimized in
+      Alcotest.(check string) "optimized output unchanged" expected out)
+
+let test_peephole_fuses_comparisons () =
+  let source =
+    "local n = 0 local i = 0 while i < 100 do i = i + 1 \
+     if i % 3 == 0 then n = n + 1 end end print(n)"
+  in
+  let plain = Compiler.compile_string source in
+  let opt = Peephole.optimize plain in
+  check_bool "some fusions happened" true (Peephole.fused_count opt > 0);
+  let out_a, steps_a = run_program plain in
+  let out_b, steps_b = run_program opt in
+  Alcotest.(check string) "same output" out_a out_b;
+  check_bool "fewer bytecodes executed" true (steps_b < steps_a)
+
+let test_peephole_respects_jump_targets () =
+  (* 'and' chains jump directly to the JMP after a comparison; such pairs
+     must not be fused, and behaviour must be identical *)
+  let source =
+    {|
+      local hits = 0
+      for i = 1, 50 do
+        if i > 10 and i < 20 or i == 42 then hits = hits + 1 end
+      end
+      print(hits)
+    |}
+  in
+  let plain = Compiler.compile_string source in
+  let opt = Peephole.optimize plain in
+  let out_a, _ = run_program plain in
+  let out_b, _ = run_program opt in
+  Alcotest.(check string) "same output" out_a out_b
+
+let test_peephole_idempotent_on_fused () =
+  let source = "local i = 0 while i < 10 do i = i + 1 end print(i)" in
+  let once = Peephole.optimize (Compiler.compile_string source) in
+  let twice = Peephole.optimize once in
+  Alcotest.(check int) "second pass finds nothing new"
+    (Peephole.fused_count once) (Peephole.fused_count twice);
+  let out_a, _ = run_program once in
+  let out_b, _ = run_program twice in
+  Alcotest.(check string) "same output" out_a out_b
+
+let prop_peephole_preserves_semantics =
+  QCheck.Test.make ~name:"peephole preserves random-program semantics"
+    ~count:200 Gen_program.program (fun source ->
+      let plain = Compiler.compile_string source in
+      let opt = Peephole.optimize plain in
+      let outcome p =
+        match run_program p with
+        | out, _ -> Ok out
+        | exception Scd_runtime.Value.Runtime_error m -> Error m
+      in
+      outcome plain = outcome opt)
+
+(* ------------------------------------------------------------------ *)
+(* VM-specific behaviour                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_step_counter () =
+  let program = Compiler.compile_string "local a = 1 local b = 2 local c = a + b" in
+  let vm = Vm.create program in
+  Vm.run vm;
+  check_bool "steps counted" true (Vm.steps vm >= 4)
+
+let test_step_limit () =
+  let program = Compiler.compile_string "while true do end" in
+  let vm = Vm.create ~max_steps:1000 program in
+  match Vm.run vm with
+  | exception Scd_runtime.Value.Runtime_error m ->
+    check_bool "mentions limit" true (String.length m > 0)
+  | _ -> Alcotest.fail "expected a step-limit error"
+
+let test_wrong_arity_rejected () =
+  let program = Compiler.compile_string {|
+    function f(a, b) return a end
+    f(1)
+  |} in
+  let vm = Vm.create program in
+  match Vm.run vm with
+  | exception Scd_runtime.Value.Runtime_error _ -> ()
+  | _ -> Alcotest.fail "expected an arity error"
+
+let test_trace_events_cover_all_steps () =
+  let program =
+    Compiler.compile_string "local s = 0 for i = 1, 10 do s = s + i end print(s)"
+  in
+  let events = ref 0 in
+  let opcodes = Hashtbl.create 8 in
+  let vm =
+    Vm.create
+      ~trace:(fun tr ->
+        incr events;
+        Hashtbl.replace opcodes tr.Scd_runtime.Trace.opcode ())
+      program
+  in
+  Vm.run vm;
+  check_int "one event per step" (Vm.steps vm) !events;
+  check_bool "FORLOOP traced" true
+    (Hashtbl.mem opcodes (Bytecode.opcode_of_instr (FORLOOP (0, 0))));
+  check_bool "opcodes in range" true
+    (Hashtbl.fold (fun op () acc -> acc && op >= 0 && op < Bytecode.num_opcodes)
+       opcodes true)
+
+let test_trace_branch_outcomes () =
+  let program =
+    Compiler.compile_string
+      "local n = 0 for i = 1, 3 do n = n + 1 end print(n)"
+  in
+  let taken = ref 0 and not_taken = ref 0 in
+  let forloop_op = Bytecode.opcode_of_instr (FORLOOP (0, 0)) in
+  let vm =
+    Vm.create
+      ~trace:(fun tr ->
+        if tr.Scd_runtime.Trace.opcode = forloop_op then
+          match tr.ctrl with
+          | Scd_runtime.Trace.Branch { taken = t; _ } ->
+            if t then incr taken else incr not_taken
+          | _ -> Alcotest.fail "FORLOOP must report a branch outcome")
+      program
+  in
+  Vm.run vm;
+  check_int "loop continues 3 times" 3 !taken;
+  check_int "exits once" 1 !not_taken
+
+let test_trace_register_slots_absolute () =
+  (* Register accesses must be absolute stack slots: a callee's slots sit
+     above the caller's. *)
+  let program =
+    Compiler.compile_string
+      {|
+        function f(a) return a + 1 end
+        local x = f(1)
+      |}
+  in
+  let max_slot = ref 0 in
+  let vm =
+    Vm.create
+      ~trace:(fun tr ->
+        List.iter
+          (function
+            | Scd_runtime.Trace.Reg { slot; _ } -> max_slot := max !max_slot slot
+            | _ -> ())
+          tr.accesses)
+      program
+  in
+  Vm.run vm;
+  check_bool "callee slots above frame 0" true (!max_slot >= 2)
+
+let test_output_capture_is_isolated () =
+  let a = Vm.run_string "print(1)" in
+  let b = Vm.run_string "print(2)" in
+  Alcotest.(check string) "first" "1\n" a;
+  Alcotest.(check string) "second" "2\n" b
+
+let () =
+  Alcotest.run "scd_rvm"
+    [
+      ("corpus", List.map corpus_case Vm_corpus.programs);
+      ("compile-errors", List.map compile_error_case Vm_corpus.compile_errors);
+      ("runtime-errors", List.map runtime_error_case Vm_corpus.runtime_errors);
+      ( "compiler",
+        [
+          Alcotest.test_case "constant dedup" `Quick test_constants_deduplicated;
+          Alcotest.test_case "loadint" `Quick test_small_int_uses_loadint;
+          Alcotest.test_case "loadk for large ints" `Quick test_large_int_uses_constant_pool;
+          Alcotest.test_case "rk operands" `Quick test_literal_operands_become_rk;
+          Alcotest.test_case "protos" `Quick test_protos_and_main;
+          Alcotest.test_case "frame sizes" `Quick test_frame_sizes_cover_locals;
+          Alcotest.test_case "opcode ids" `Quick test_opcode_ids_are_dense;
+        ] );
+      ( "peephole",
+        List.map peephole_corpus_case Vm_corpus.programs
+        @ [
+            Alcotest.test_case "fuses comparisons" `Quick test_peephole_fuses_comparisons;
+            Alcotest.test_case "jump targets" `Quick test_peephole_respects_jump_targets;
+            Alcotest.test_case "idempotent" `Quick test_peephole_idempotent_on_fused;
+            QCheck_alcotest.to_alcotest prop_peephole_preserves_semantics;
+          ] );
+      ( "vm",
+        [
+          Alcotest.test_case "step counter" `Quick test_step_counter;
+          Alcotest.test_case "step limit" `Quick test_step_limit;
+          Alcotest.test_case "arity check" `Quick test_wrong_arity_rejected;
+          Alcotest.test_case "trace coverage" `Quick test_trace_events_cover_all_steps;
+          Alcotest.test_case "trace branch outcomes" `Quick test_trace_branch_outcomes;
+          Alcotest.test_case "trace slots" `Quick test_trace_register_slots_absolute;
+          Alcotest.test_case "output isolation" `Quick test_output_capture_is_isolated;
+        ] );
+    ]

@@ -1,0 +1,172 @@
+open Scd_svm
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let corpus_case (name, source, expected) =
+  Alcotest.test_case name `Quick (fun () ->
+      Alcotest.(check string) name expected (Vm.run_string source))
+
+let compile_error_case (name, source) =
+  Alcotest.test_case name `Quick (fun () ->
+      match Compiler.compile_string source with
+      | exception Compiler.Error _ -> ()
+      | _ -> Alcotest.fail "expected a compile error")
+
+let runtime_error_case (name, source) =
+  Alcotest.test_case name `Quick (fun () ->
+      match Vm.run_string source with
+      | exception Scd_runtime.Value.Runtime_error _ -> ()
+      (* the stack compiler rejects some of these statically (e.g. a literal
+         zero 'for' step), which is equally acceptable *)
+      | exception Compiler.Error _ -> ()
+      | _ -> Alcotest.fail "expected an error")
+
+let prop_generated_programs_agree =
+  QCheck.Test.make ~name:"random programs: register VM = stack VM" ~count:250
+    Gen_program.program (fun source ->
+      match (Gen_program.run_rvm source, Gen_program.run_svm source) with
+      | Gen_program.Output a, Gen_program.Output b -> String.equal a b
+      | Gen_program.Error a, Gen_program.Error b -> String.equal a b
+      | _ -> false)
+
+(* Differential: both interpreters must agree on every corpus program. *)
+let differential_case (name, source, _) =
+  Alcotest.test_case name `Quick (fun () ->
+      Alcotest.(check string)
+        "rvm and svm agree"
+        (Scd_rvm.Vm.run_string source)
+        (Vm.run_string source))
+
+(* ------------------------------------------------------------------ *)
+(* Bytecode encoding specifics                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_opcode_table_roundtrip () =
+  for i = 0 to Bytecode.num_opcodes - 1 do
+    check_int "op_of_opcode/opcode_of_op" i
+      (Bytecode.opcode_of_op (Bytecode.op_of_opcode i))
+  done
+
+let test_immediate_sizes () =
+  check_int "PUSH_INT8" 1 (Bytecode.immediate_bytes PUSH_INT8);
+  check_int "PUSH_INT32" 4 (Bytecode.immediate_bytes PUSH_INT32);
+  check_int "JUMP" 2 (Bytecode.immediate_bytes JUMP);
+  check_int "ADD" 0 (Bytecode.immediate_bytes ADD)
+
+let test_dispatch_sites () =
+  check_bool "CALL has its own fetch site" true
+    (Bytecode.dispatch_site_of CALL = Bytecode.Call_tail);
+  check_bool "JUMP_IF_FALSE is a branch tail" true
+    (Bytecode.dispatch_site_of JUMP_IF_FALSE = Bytecode.Branch_tail);
+  check_bool "ADD is common" true (Bytecode.dispatch_site_of ADD = Bytecode.Common)
+
+let test_variable_length_code () =
+  let program = Compiler.compile_string "local a = 5 local b = 1000000" in
+  (* code is a byte stream: int8 push = 2 bytes, int32 push = 5 bytes *)
+  let code = program.protos.(0).code in
+  check_bool "byte-granular code" true (Array.length code > 0);
+  Array.iter (fun b -> check_bool "byte range" true (b >= 0 && b < 256)) code
+
+let test_small_int_encoding_choice () =
+  let count_op program op =
+    let target = Bytecode.opcode_of_op op in
+    let count = ref 0 in
+    let code = program.Bytecode.protos.(0).code in
+    (* walk the variable-length stream *)
+    let pc = ref 0 in
+    while !pc < Array.length code do
+      let o = Bytecode.op_of_opcode code.(!pc) in
+      if code.(!pc) = target then incr count;
+      pc := !pc + 1 + Bytecode.immediate_bytes o
+    done;
+    !count
+  in
+  let small = Compiler.compile_string "local a = 100" in
+  check_int "int8 for small" 1 (count_op small PUSH_INT8);
+  let big = Compiler.compile_string "local a = 100000" in
+  check_int "int32 for big" 1 (count_op big PUSH_INT32)
+
+(* ------------------------------------------------------------------ *)
+(* VM specifics                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_more_bytecodes_than_rvm () =
+  (* a stack machine executes more, smaller bytecodes for the same program *)
+  let source = "local s = 0 for i = 1, 50 do s = s + i * 2 end print(s)" in
+  let rvm = Scd_rvm.Vm.create (Scd_rvm.Compiler.compile_string source) in
+  Scd_rvm.Vm.run rvm;
+  let svm = Vm.create (Compiler.compile_string source) in
+  Vm.run svm;
+  check_bool "stack VM executes more bytecodes" true
+    (Vm.steps svm > Scd_rvm.Vm.steps rvm)
+
+let test_trace_pc_is_byte_offset () =
+  let program = Compiler.compile_string "local a = 1 local b = 2" in
+  let pcs = ref [] in
+  let vm = Vm.create ~trace:(fun tr -> pcs := tr.Scd_runtime.Trace.pc :: !pcs) program in
+  Vm.run vm;
+  let pcs = List.rev !pcs in
+  (match pcs with
+   | first :: second :: _ ->
+     check_int "starts at 0" 0 first;
+     (* PUSH_INT8 is 2 bytes, so the second opcode sits at byte 2 *)
+     check_int "second opcode at byte offset" 2 second
+   | _ -> Alcotest.fail "expected events");
+  check_bool "monotone within straight-line code" true
+    (List.for_all2 (fun a b -> a < b)
+       (List.filteri (fun i _ -> i < List.length pcs - 1) pcs)
+       (List.tl pcs))
+
+let test_operand_stack_balance () =
+  (* after any statement the operand stack must return to its floor;
+     we detect leaks by watching the max slot drift over iterations *)
+  let program =
+    Compiler.compile_string
+      "local s = 0 for i = 1, 100 do s = s + i local t = {i} s = s + t[1] end print(s)"
+  in
+  let max_slot = ref 0 in
+  let vm =
+    Vm.create
+      ~trace:(fun tr ->
+        List.iter
+          (function
+            | Scd_runtime.Trace.Reg { slot; _ } -> max_slot := max !max_slot slot
+            | _ -> ())
+          tr.accesses)
+      program
+  in
+  Vm.run vm;
+  check_bool "stack bounded across 100 iterations" true (!max_slot < 40)
+
+let test_step_limit () =
+  let program = Compiler.compile_string "while true do end" in
+  let vm = Vm.create ~max_steps:1000 program in
+  match Vm.run vm with
+  | exception Scd_runtime.Value.Runtime_error _ -> ()
+  | _ -> Alcotest.fail "expected a step-limit error"
+
+let () =
+  Alcotest.run "scd_svm"
+    [
+      ("corpus", List.map corpus_case Vm_corpus.programs);
+      ("compile-errors", List.map compile_error_case Vm_corpus.compile_errors);
+      ("runtime-errors", List.map runtime_error_case Vm_corpus.runtime_errors);
+      ("differential", List.map differential_case Vm_corpus.programs);
+      ("generated", [ QCheck_alcotest.to_alcotest prop_generated_programs_agree ]);
+      ( "bytecode",
+        [
+          Alcotest.test_case "opcode table" `Quick test_opcode_table_roundtrip;
+          Alcotest.test_case "immediates" `Quick test_immediate_sizes;
+          Alcotest.test_case "dispatch sites" `Quick test_dispatch_sites;
+          Alcotest.test_case "variable length" `Quick test_variable_length_code;
+          Alcotest.test_case "int encoding" `Quick test_small_int_encoding_choice;
+        ] );
+      ( "vm",
+        [
+          Alcotest.test_case "bytecode granularity" `Quick test_more_bytecodes_than_rvm;
+          Alcotest.test_case "trace pc offsets" `Quick test_trace_pc_is_byte_offset;
+          Alcotest.test_case "stack balance" `Quick test_operand_stack_balance;
+          Alcotest.test_case "step limit" `Quick test_step_limit;
+        ] );
+    ]

@@ -1,0 +1,472 @@
+open Scd_uarch
+open Scd_isa
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* BTB                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_btb_hit_miss () =
+  let b = Btb.create ~entries:16 ~ways:2 ~replacement:Lru () in
+  check_bool "cold miss" true (Btb.lookup b ~jte:false ~key:0x1000 = None);
+  Btb.insert b ~jte:false ~key:0x1000 ~target:0x2000;
+  Alcotest.(check (option int)) "hit" (Some 0x2000) (Btb.lookup b ~jte:false ~key:0x1000)
+
+let test_btb_namespaces_disjoint () =
+  let b = Btb.create ~entries:16 ~ways:2 ~replacement:Lru () in
+  Btb.insert b ~jte:false ~key:0x40 ~target:1;
+  Btb.insert b ~jte:true ~key:0x40 ~target:2;
+  Alcotest.(check (option int)) "branch entry" (Some 1) (Btb.lookup b ~jte:false ~key:0x40);
+  Alcotest.(check (option int)) "jte entry" (Some 2) (Btb.lookup b ~jte:true ~key:0x40)
+
+let test_btb_jte_priority () =
+  (* a 1-set 2-way table: JTEs may evict branch entries, not vice versa *)
+  let b = Btb.create ~entries:2 ~ways:2 ~replacement:Lru () in
+  Btb.insert b ~jte:false ~key:0x10 ~target:1;
+  Btb.insert b ~jte:false ~key:0x20 ~target:2;
+  Btb.insert b ~jte:true ~key:0x30 ~target:3;
+  Btb.insert b ~jte:true ~key:0x40 ~target:4;
+  check_int "both JTEs resident" 2 (Btb.jte_population b);
+  Btb.insert b ~jte:false ~key:0x50 ~target:5;
+  check_int "branch insert cannot evict a JTE" 2 (Btb.jte_population b);
+  check_int "blocked insert recorded" 1 (Btb.stats b).branch_insert_blocked_by_jte
+
+let test_btb_jte_cap () =
+  let b = Btb.create ~entries:64 ~ways:2 ~replacement:Lru ~jte_cap:4 () in
+  for opcode = 0 to 15 do
+    Btb.insert b ~jte:true ~key:(opcode lsl 2) ~target:(0x100 + opcode)
+  done;
+  check_bool "population bounded by cap" true (Btb.jte_population b <= 4)
+
+let test_btb_flush_jtes () =
+  let b = Btb.create ~entries:16 ~ways:2 ~replacement:Lru () in
+  Btb.insert b ~jte:true ~key:0x8 ~target:1;
+  Btb.insert b ~jte:false ~key:0x100 ~target:2;
+  Btb.flush_jtes b;
+  check_int "no jtes" 0 (Btb.jte_population b);
+  Alcotest.(check (option int)) "jte gone" None (Btb.probe b ~jte:true ~key:0x8);
+  Alcotest.(check (option int)) "branch survives" (Some 2)
+    (Btb.probe b ~jte:false ~key:0x100)
+
+let test_btb_lru_replacement () =
+  let b = Btb.create ~entries:2 ~ways:2 ~replacement:Lru () in
+  Btb.insert b ~jte:false ~key:0x10 ~target:1;
+  Btb.insert b ~jte:false ~key:0x20 ~target:2;
+  ignore (Btb.lookup b ~jte:false ~key:0x10); (* refresh first entry *)
+  Btb.insert b ~jte:false ~key:0x30 ~target:3; (* evicts 0x20 *)
+  check_bool "refreshed survives" true (Btb.probe b ~jte:false ~key:0x10 <> None);
+  check_bool "lru victim gone" true (Btb.probe b ~jte:false ~key:0x20 = None)
+
+let test_btb_update_existing () =
+  let b = Btb.create ~entries:16 ~ways:2 ~replacement:Round_robin () in
+  Btb.insert b ~jte:false ~key:0x10 ~target:1;
+  Btb.insert b ~jte:false ~key:0x10 ~target:9;
+  Alcotest.(check (option int)) "target updated" (Some 9)
+    (Btb.probe b ~jte:false ~key:0x10)
+
+let test_btb_bad_geometry () =
+  Alcotest.check_raises "non-multiple"
+    (Invalid_argument "Btb.create: entries must be a positive multiple of ways")
+    (fun () -> ignore (Btb.create ~entries:10 ~ways:4 ~replacement:Lru ()))
+
+let prop_btb_population_invariant =
+  QCheck.Test.make ~name:"jte_population matches resident JTEs" ~count:200
+    QCheck.(small_list (pair bool (int_bound 255)))
+    (fun operations ->
+      let b = Btb.create ~entries:16 ~ways:4 ~replacement:Lru () in
+      List.iter
+        (fun (jte, k) -> Btb.insert b ~jte ~key:(k lsl 2) ~target:k)
+        operations;
+      let resident = ref 0 in
+      for k = 0 to 255 do
+        if Btb.probe b ~jte:true ~key:(k lsl 2) <> None then incr resident
+      done;
+      Btb.jte_population b = !resident && Btb.jte_population b <= 16)
+
+(* ------------------------------------------------------------------ *)
+(* Direction predictors                                                *)
+(* ------------------------------------------------------------------ *)
+
+let train_and_predict kind ~pattern ~rounds =
+  let p = Direction.create kind in
+  let pc = 0x4000 in
+  for _ = 1 to rounds do
+    List.iter
+      (fun taken ->
+        ignore (Direction.predict p ~pc);
+        Direction.update p ~pc ~taken)
+      pattern
+  done;
+  p
+
+let test_bimodal_learns_bias () =
+  let p = train_and_predict (Bimodal { entries = 64 }) ~pattern:[ true ] ~rounds:10 in
+  check_bool "predicts taken" true (Direction.predict p ~pc:0x4000)
+
+let test_gshare_learns_alternation () =
+  (* a strict T/N alternation is history-predictable *)
+  let p = Direction.create (Gshare { entries = 256; history_bits = 8 }) in
+  let pc = 0x4000 in
+  let correct = ref 0 in
+  for i = 1 to 200 do
+    let taken = i mod 2 = 0 in
+    if Direction.predict p ~pc = taken && i > 100 then incr correct;
+    Direction.update p ~pc ~taken
+  done;
+  check_bool "near-perfect on alternation" true (!correct >= 95)
+
+let test_local_learns_short_loop () =
+  (* pattern TTTN repeating: local history catches it *)
+  let p = Direction.create (Local { history_entries = 64; pattern_entries = 1024 }) in
+  let pc = 0x4000 in
+  let correct = ref 0 in
+  for i = 0 to 399 do
+    let taken = i mod 4 <> 3 in
+    if Direction.predict p ~pc = taken && i > 200 then incr correct;
+    Direction.update p ~pc ~taken
+  done;
+  check_bool "learns the loop" true (!correct >= 180)
+
+let test_tournament_beats_components_weakness () =
+  let kind =
+    Direction.Tournament
+      { global_entries = 512; local_history_entries = 128;
+        local_pattern_entries = 512; chooser_entries = 512 }
+  in
+  let p = Direction.create kind in
+  let pc = 0x4000 in
+  let correct = ref 0 in
+  for i = 0 to 399 do
+    let taken = i mod 4 <> 3 in
+    if Direction.predict p ~pc = taken && i > 200 then incr correct;
+    Direction.update p ~pc ~taken
+  done;
+  check_bool "tournament adapts" true (!correct >= 170)
+
+let test_static_taken () =
+  let p = Direction.create Static_taken in
+  check_bool "always taken" true (Direction.predict p ~pc:0);
+  Direction.update p ~pc:0 ~taken:false;
+  check_bool "still taken" true (Direction.predict p ~pc:0)
+
+(* ------------------------------------------------------------------ *)
+(* RAS                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_ras_lifo () =
+  let r = Ras.create ~depth:4 in
+  Ras.push r 1;
+  Ras.push r 2;
+  Alcotest.(check (option int)) "pop 2" (Some 2) (Ras.pop r);
+  Alcotest.(check (option int)) "pop 1" (Some 1) (Ras.pop r);
+  Alcotest.(check (option int)) "empty" None (Ras.pop r)
+
+let test_ras_overflow_wraps () =
+  let r = Ras.create ~depth:2 in
+  Ras.push r 1;
+  Ras.push r 2;
+  Ras.push r 3; (* overwrites 1 *)
+  Alcotest.(check (option int)) "top" (Some 3) (Ras.pop r);
+  Alcotest.(check (option int)) "next" (Some 2) (Ras.pop r);
+  Alcotest.(check (option int)) "oldest lost" None (Ras.pop r)
+
+(* ------------------------------------------------------------------ *)
+(* Cache and TLB                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let small_geometry = { Cache.size_bytes = 256; ways = 2; block_bytes = 64; hit_latency = 1 }
+
+let test_cache_hit_after_miss () =
+  let c = Cache.create small_geometry in
+  Alcotest.(check bool) "miss" true (Cache.access c ~addr:0x100 = `Miss);
+  Alcotest.(check bool) "hit same block" true (Cache.access c ~addr:0x13F = `Hit);
+  Alcotest.(check bool) "miss next block" true (Cache.access c ~addr:0x140 = `Miss)
+
+let test_cache_lru_eviction () =
+  (* 256B / 64B blocks / 2-way = 2 sets; addresses 0, 128, 256 share set 0 *)
+  let c = Cache.create small_geometry in
+  ignore (Cache.access c ~addr:0);
+  ignore (Cache.access c ~addr:128);
+  ignore (Cache.access c ~addr:0); (* refresh *)
+  ignore (Cache.access c ~addr:256); (* evicts 128 *)
+  check_bool "refreshed stays" true (Cache.contains c ~addr:0);
+  check_bool "victim gone" false (Cache.contains c ~addr:128)
+
+let test_cache_stats () =
+  let c = Cache.create small_geometry in
+  ignore (Cache.access c ~addr:0);
+  ignore (Cache.access c ~addr:4);
+  let s = Cache.stats c in
+  check_int "accesses" 2 s.accesses;
+  check_int "misses" 1 s.misses;
+  Cache.reset_stats c;
+  check_int "reset" 0 (Cache.stats c).accesses
+
+let test_cache_bad_geometry () =
+  Alcotest.check_raises "block size"
+    (Invalid_argument "Cache.create: block size must be a power of two")
+    (fun () ->
+      ignore (Cache.create { small_geometry with size_bytes = 240; block_bytes = 60; ways = 1 }))
+
+let prop_cache_never_exceeds_capacity =
+  QCheck.Test.make ~name:"resident blocks bounded by capacity" ~count:100
+    QCheck.(small_list (int_bound 0xFFFF))
+    (fun addrs ->
+      let c = Cache.create small_geometry in
+      List.iter (fun a -> ignore (Cache.access c ~addr:a)) addrs;
+      let resident = ref 0 in
+      for block = 0 to 0xFFFF / 64 do
+        if Cache.contains c ~addr:(block * 64) then incr resident
+      done;
+      !resident <= 4)
+
+let test_tlb () =
+  let t = Tlb.create ~entries:2 in
+  Alcotest.(check bool) "miss" true (Tlb.access t ~addr:0x1000 = `Miss);
+  Alcotest.(check bool) "hit same page" true (Tlb.access t ~addr:0x1FFF = `Hit);
+  ignore (Tlb.access t ~addr:0x2000);
+  ignore (Tlb.access t ~addr:0x1000); (* refresh *)
+  ignore (Tlb.access t ~addr:0x5000); (* evicts 0x2000 *)
+  Alcotest.(check bool) "lru evicted" true (Tlb.access t ~addr:0x2000 = `Miss)
+
+(* ------------------------------------------------------------------ *)
+(* Indirect prediction                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_vbbi_separates_hints () =
+  let btb = Btb.create ~entries:256 ~ways:2 ~replacement:Lru () in
+  let vbbi = Indirect.create Vbbi btb in
+  let pc = 0x4000 in
+  Indirect.update vbbi ~pc ~hint:(Some 1) ~target:0x100;
+  Indirect.update vbbi ~pc ~hint:(Some 2) ~target:0x200;
+  Alcotest.(check (option int)) "hint 1" (Some 0x100)
+    (Indirect.predict vbbi ~pc ~hint:(Some 1));
+  Alcotest.(check (option int)) "hint 2" (Some 0x200)
+    (Indirect.predict vbbi ~pc ~hint:(Some 2))
+
+let test_pc_btb_conflates_targets () =
+  let btb = Btb.create ~entries:256 ~ways:2 ~replacement:Lru () in
+  let p = Indirect.create Pc_btb btb in
+  let pc = 0x4000 in
+  Indirect.update p ~pc ~hint:(Some 1) ~target:0x100;
+  Indirect.update p ~pc ~hint:(Some 2) ~target:0x200;
+  Alcotest.(check (option int)) "last target wins regardless of hint"
+    (Some 0x200)
+    (Indirect.predict p ~pc ~hint:(Some 1))
+
+let test_ttc_uses_history () =
+  (* in a steady loop the path history cycles, so after a training pass the
+     tagged target cache starts hitting *)
+  let btb = Btb.create ~entries:16 ~ways:2 ~replacement:Lru () in
+  let t = Indirect.create (Ttc { entries = 256 }) btb in
+  let pc = 0x4000 in
+  let hits = ref 0 in
+  for _ = 1 to 64 do
+    if Indirect.predict t ~pc ~hint:None = Some 0x100 then incr hits;
+    Indirect.update t ~pc ~hint:None ~target:0x100
+  done;
+  check_bool "hits once history repeats" true (!hits > 32)
+
+let test_ittage_monomorphic () =
+  let btb = Btb.create ~entries:64 ~ways:2 ~replacement:Lru () in
+  let p = Indirect.create (Ittage { table_entries = 256; tables = 4 }) btb in
+  let pc = 0x4000 in
+  let hits = ref 0 in
+  for _ = 1 to 50 do
+    if Indirect.predict p ~pc ~hint:None = Some 0x100 then incr hits;
+    Indirect.update p ~pc ~hint:None ~target:0x100
+  done;
+  check_bool "monomorphic target learned" true (!hits >= 45)
+
+let test_ittage_beats_btb_on_alternation () =
+  (* a strict two-target alternation at one PC: the PC-indexed BTB always
+     predicts the previous target (0% accuracy); history tables learn it *)
+  let accuracy scheme =
+    let btb = Btb.create ~entries:64 ~ways:2 ~replacement:Lru () in
+    let p = Indirect.create scheme btb in
+    let pc = 0x4000 in
+    let correct = ref 0 in
+    for i = 0 to 399 do
+      let target = if i land 1 = 0 then 0x100 else 0x200 in
+      if i >= 200 && Indirect.predict p ~pc ~hint:None = Some target then
+        incr correct;
+      Indirect.update p ~pc ~hint:None ~target
+    done;
+    !correct
+  in
+  let btb_correct = accuracy Pc_btb in
+  let ittage_correct = accuracy (Ittage { table_entries = 512; tables = 4 }) in
+  check_bool "BTB fails on alternation" true (btb_correct < 20);
+  check_bool "ITTAGE learns the pattern" true (ittage_correct > 150)
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let plain_events n = List.init n (fun i -> Event.plain (0x1000 + (4 * i)))
+
+let test_pipeline_counts_instructions () =
+  let p = Pipeline.create Config.simulator in
+  Pipeline.consume_all p (plain_events 100);
+  check_int "instructions" 100 (Pipeline.stats p).instructions;
+  check_bool "cycles >= instructions (single issue)" true
+    ((Pipeline.stats p).cycles >= 100)
+
+let test_pipeline_dual_issue () =
+  (* keep every fetch inside one block so cold I-cache misses do not mask
+     the issue-width effect *)
+  let same_block n = List.init n (fun _ -> Event.plain 0x1000) in
+  let p1 = Pipeline.create Config.simulator in
+  Pipeline.consume_all p1 (same_block 1000);
+  let p2 = Pipeline.create Config.high_end in
+  Pipeline.consume_all p2 (same_block 1000);
+  check_bool "dual issue is faster on plain code" true
+    ((Pipeline.stats p2).cycles < (Pipeline.stats p1).cycles);
+  check_bool "dual issue near half cycles" true
+    ((Pipeline.stats p2).cycles <= 700)
+
+let test_pipeline_branch_penalty () =
+  let p = Pipeline.create Config.simulator in
+  (* an unpredicted taken conditional branch must cost the flush penalty *)
+  let before = (Pipeline.stats p).cycles in
+  Pipeline.consume p
+    (Event.make 0x1000 (Cond_branch { taken = true; target = 0x2000 }));
+  let cost = (Pipeline.stats p).cycles - before in
+  check_bool "at least issue + penalty" true
+    (cost >= 1 + Config.simulator.branch_penalty)
+
+let test_pipeline_branch_learning () =
+  let p = Pipeline.create Config.simulator in
+  for _ = 1 to 50 do
+    Pipeline.consume p (Event.make 0x1000 (Cond_branch { taken = true; target = 0x2000 }))
+  done;
+  let s = Pipeline.stats p in
+  check_bool "mispredicts settle" true (s.cond_mispredicts < 10);
+  check_int "all counted" 50 s.cond_branches
+
+let test_pipeline_return_address_stack () =
+  let p = Pipeline.create Config.simulator in
+  Pipeline.consume p (Event.make 0x1000 (Call { target = 0x5000; indirect = false }));
+  Pipeline.consume p (Event.make 0x5000 (Return { target = 0x1004 }));
+  check_int "no return misprediction" 0 (Pipeline.stats p).return_mispredicts;
+  Pipeline.consume p (Event.make 0x5000 (Return { target = 0x9999 }));
+  check_int "empty RAS mispredicts" 1 (Pipeline.stats p).return_mispredicts
+
+let test_pipeline_bop_accounting () =
+  let p = Pipeline.create Config.simulator in
+  (* a .op producer directly followed by bop must stall *)
+  Pipeline.consume p (Event.plain ~sets_rop:true 0x1000);
+  Pipeline.consume p
+    (Event.make 0x1004 (Bop { opcode = 3; hit = true; target = 0x2000 }));
+  let s = Pipeline.stats p in
+  check_int "bop counted" 1 s.bop_count;
+  check_int "bop hit counted" 1 s.bop_hits;
+  check_bool "stall bubbles charged" true (s.bop_stall_cycles > 0)
+
+let test_pipeline_no_stall_with_distance () =
+  let p = Pipeline.create Config.simulator in
+  Pipeline.consume p (Event.plain ~sets_rop:true 0x1000);
+  Pipeline.consume_all p (plain_events 5);
+  Pipeline.consume p
+    (Event.make 0x2004 (Bop { opcode = 3; hit = false; target = 0x2008 }));
+  check_int "no stall at distance" 0 (Pipeline.stats p).bop_stall_cycles
+
+let test_pipeline_icache_per_block () =
+  let p = Pipeline.create Config.simulator in
+  Pipeline.consume_all p (plain_events 32); (* 32 instrs = 2 blocks *)
+  let s = Pipeline.stats p in
+  check_int "one access per fetched block" 2 s.icache_accesses
+
+let test_pipeline_dispatch_attribution () =
+  let p = Pipeline.create Config.simulator in
+  Pipeline.consume p (Event.plain ~dispatch:true 0x1000);
+  Pipeline.consume p (Event.plain 0x1004);
+  let s = Pipeline.stats p in
+  check_int "dispatch instructions" 1 s.dispatch_instructions;
+  check_int "total" 2 s.instructions
+
+(* ------------------------------------------------------------------ *)
+(* Config                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_config_with_btb_entries () =
+  let c = Config.with_btb_entries Config.simulator 64 in
+  check_int "entries" 64 c.btb_entries;
+  check_int "ways preserved" 2 c.btb_ways;
+  let fa = Config.with_btb_entries Config.fpga 32 in
+  check_int "fully associative stays fully associative" 32 fa.btb_ways
+
+let test_config_table2_parameters () =
+  check_int "sim BTB" 256 Config.simulator.btb_entries;
+  check_int "sim RAS" 8 Config.simulator.ras_depth;
+  check_int "fpga BTB" 62 Config.fpga.btb_entries;
+  check_int "fpga RAS" 2 Config.fpga.ras_depth;
+  check_int "sim icache" (16 * 1024) Config.simulator.icache.size_bytes;
+  check_int "sim dcache" (32 * 1024) Config.simulator.dcache.size_bytes;
+  check_int "high-end issue" 2 Config.high_end.issue_width
+
+let () =
+  Alcotest.run "scd_uarch"
+    [
+      ( "btb",
+        [
+          Alcotest.test_case "hit/miss" `Quick test_btb_hit_miss;
+          Alcotest.test_case "namespaces" `Quick test_btb_namespaces_disjoint;
+          Alcotest.test_case "jte priority" `Quick test_btb_jte_priority;
+          Alcotest.test_case "jte cap" `Quick test_btb_jte_cap;
+          Alcotest.test_case "flush" `Quick test_btb_flush_jtes;
+          Alcotest.test_case "lru" `Quick test_btb_lru_replacement;
+          Alcotest.test_case "update existing" `Quick test_btb_update_existing;
+          Alcotest.test_case "bad geometry" `Quick test_btb_bad_geometry;
+          QCheck_alcotest.to_alcotest prop_btb_population_invariant;
+        ] );
+      ( "direction",
+        [
+          Alcotest.test_case "bimodal" `Quick test_bimodal_learns_bias;
+          Alcotest.test_case "gshare" `Quick test_gshare_learns_alternation;
+          Alcotest.test_case "local" `Quick test_local_learns_short_loop;
+          Alcotest.test_case "tournament" `Quick test_tournament_beats_components_weakness;
+          Alcotest.test_case "static" `Quick test_static_taken;
+        ] );
+      ( "ras",
+        [
+          Alcotest.test_case "lifo" `Quick test_ras_lifo;
+          Alcotest.test_case "overflow" `Quick test_ras_overflow_wraps;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "hit after miss" `Quick test_cache_hit_after_miss;
+          Alcotest.test_case "lru" `Quick test_cache_lru_eviction;
+          Alcotest.test_case "stats" `Quick test_cache_stats;
+          Alcotest.test_case "bad geometry" `Quick test_cache_bad_geometry;
+          QCheck_alcotest.to_alcotest prop_cache_never_exceeds_capacity;
+          Alcotest.test_case "tlb" `Quick test_tlb;
+        ] );
+      ( "indirect",
+        [
+          Alcotest.test_case "vbbi hints" `Quick test_vbbi_separates_hints;
+          Alcotest.test_case "pc-btb conflates" `Quick test_pc_btb_conflates_targets;
+          Alcotest.test_case "ttc" `Quick test_ttc_uses_history;
+          Alcotest.test_case "ittage monomorphic" `Quick test_ittage_monomorphic;
+          Alcotest.test_case "ittage vs btb" `Quick test_ittage_beats_btb_on_alternation;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "instruction count" `Quick test_pipeline_counts_instructions;
+          Alcotest.test_case "dual issue" `Quick test_pipeline_dual_issue;
+          Alcotest.test_case "branch penalty" `Quick test_pipeline_branch_penalty;
+          Alcotest.test_case "branch learning" `Quick test_pipeline_branch_learning;
+          Alcotest.test_case "ras" `Quick test_pipeline_return_address_stack;
+          Alcotest.test_case "bop accounting" `Quick test_pipeline_bop_accounting;
+          Alcotest.test_case "bop distance" `Quick test_pipeline_no_stall_with_distance;
+          Alcotest.test_case "icache per block" `Quick test_pipeline_icache_per_block;
+          Alcotest.test_case "dispatch attribution" `Quick test_pipeline_dispatch_attribution;
+        ] );
+      ( "config",
+        [
+          Alcotest.test_case "with_btb_entries" `Quick test_config_with_btb_entries;
+          Alcotest.test_case "table II parameters" `Quick test_config_table2_parameters;
+        ] );
+    ]

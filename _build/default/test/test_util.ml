@@ -1,0 +1,211 @@
+open Scd_util
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 1234L and b = Rng.create 1234L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next a) (Rng.next b)
+  done
+
+let test_rng_zero_seed () =
+  let r = Rng.create 0L in
+  (* must not get stuck at zero *)
+  check_bool "non-zero output" true (not (Int64.equal (Rng.next r) 0L))
+
+let test_rng_copy_independent () =
+  let a = Rng.create 7L in
+  ignore (Rng.next a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Rng.next a) (Rng.next b);
+  ignore (Rng.next a);
+  (* advancing a does not advance b *)
+  Alcotest.(check bool) "streams diverge after independent draws" true
+    (not (Int64.equal (Rng.next a) (Rng.next b)))
+
+let test_rng_int_bounds () =
+  let r = Rng.create 99L in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 17 in
+    check_bool "in range" true (v >= 0 && v < 17)
+  done;
+  Alcotest.check_raises "zero bound rejected"
+    (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+      ignore (Rng.int r 0))
+
+let test_rng_float_range () =
+  let r = Rng.create 5L in
+  for _ = 1 to 1000 do
+    let v = Rng.float r in
+    check_bool "in [0,1)" true (v >= 0.0 && v < 1.0)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Bits                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_bits_pow2 () =
+  check_bool "1" true (Bits.is_power_of_two 1);
+  check_bool "64" true (Bits.is_power_of_two 64);
+  check_bool "0" false (Bits.is_power_of_two 0);
+  check_bool "-4" false (Bits.is_power_of_two (-4));
+  check_bool "12" false (Bits.is_power_of_two 12)
+
+let test_bits_log2 () =
+  check_int "log2 1" 0 (Bits.log2 1);
+  check_int "log2 256" 8 (Bits.log2 256);
+  Alcotest.check_raises "log2 of non-power"
+    (Invalid_argument "Bits.log2: not a power of two") (fun () ->
+      ignore (Bits.log2 3))
+
+let test_bits_mask () =
+  check_int "mask 0" 0 (Bits.mask 0);
+  check_int "mask 4" 15 (Bits.mask 4);
+  check_int "mask 20" 0xFFFFF (Bits.mask 20)
+
+let test_bits_extract_deposit () =
+  let v = Bits.deposit 0 ~lo:8 ~width:4 ~field:0xA in
+  check_int "deposit then extract" 0xA (Bits.extract v ~lo:8 ~width:4);
+  check_int "other bits clear" 0 (Bits.extract v ~lo:0 ~width:8)
+
+let test_bits_sign_extend () =
+  check_int "positive" 5 (Bits.sign_extend 5 ~width:8);
+  check_int "negative" (-1) (Bits.sign_extend 0xFF ~width:8);
+  check_int "min" (-128) (Bits.sign_extend 0x80 ~width:8)
+
+let prop_extract_roundtrip =
+  QCheck.Test.make ~name:"deposit/extract roundtrip" ~count:500
+    QCheck.(triple (int_bound 40) (int_range 1 16) (int_bound 0xFFFF))
+    (fun (lo, width, field) ->
+      let field = field land Bits.mask width in
+      Bits.extract (Bits.deposit 0 ~lo ~width ~field) ~lo ~width = field)
+
+let prop_sign_extend_involution =
+  QCheck.Test.make ~name:"sign_extend is idempotent on its range" ~count:500
+    QCheck.(pair (int_range 2 30) int)
+    (fun (width, v) ->
+      let once = Bits.sign_extend v ~width in
+      Bits.sign_extend (once land Bits.mask width) ~width = once)
+
+(* ------------------------------------------------------------------ *)
+(* Summary                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_geomean () =
+  check_float "geomean of equal" 2.0 (Summary.geomean [ 2.0; 2.0; 2.0 ]);
+  check_float "geomean 1,4" 2.0 (Summary.geomean [ 1.0; 4.0 ]);
+  Alcotest.check_raises "empty" (Invalid_argument "Summary.geomean: empty")
+    (fun () -> ignore (Summary.geomean []))
+
+let test_mean () = check_float "mean" 2.0 (Summary.mean [ 1.0; 2.0; 3.0 ])
+
+let test_speedup () =
+  check_float "25% faster" 25.0 (Summary.speedup_percent ~baseline:125.0 ~cycles:100.0);
+  check_float "no change" 0.0 (Summary.speedup_percent ~baseline:10.0 ~cycles:10.0)
+
+let test_per_kilo () =
+  check_float "mpki" 2.5 (Summary.per_kilo ~count:25 ~total:10000);
+  check_float "zero total" 0.0 (Summary.per_kilo ~count:25 ~total:0)
+
+(* ------------------------------------------------------------------ *)
+(* Table                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_table_basics () =
+  let t = Table.make ~title:"t" ~headers:[ "a"; "bb" ] in
+  Table.add_row t [ "1"; "2" ];
+  Table.add_separator t;
+  Table.add_row t [ "333"; "4" ];
+  Alcotest.(check (list (list string)))
+    "rows" [ [ "1"; "2" ]; [ "333"; "4" ] ] (Table.rows t);
+  let rendered = Table.render t in
+  check_bool "title present" true
+    (String.length rendered > 0 && String.sub rendered 0 6 = "== t =")
+
+let test_table_arity_check () =
+  let t = Table.make ~title:"t" ~headers:[ "a"; "b" ] in
+  Alcotest.check_raises "arity"
+    (Invalid_argument "Table.add_row (t): expected 2 cells, got 1") (fun () ->
+      Table.add_row t [ "only" ])
+
+let test_table_csv () =
+  let t = Table.make ~title:"t" ~headers:[ "a"; "b" ] in
+  Table.add_row t [ "x,y"; "plain" ];
+  Alcotest.(check string) "csv escaping" "a,b\n\"x,y\",plain\n" (Table.to_csv t)
+
+(* ------------------------------------------------------------------ *)
+(* Vec                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_vec_push_get () =
+  let v = Vec.create () in
+  for i = 0 to 99 do
+    check_int "index returned" i (Vec.push v (i * i))
+  done;
+  check_int "length" 100 (Vec.length v);
+  check_int "get" 49 (Vec.get v 7);
+  Vec.set v 7 0;
+  check_int "set" 0 (Vec.get v 7)
+
+let test_vec_bounds () =
+  let v = Vec.create () in
+  ignore (Vec.push v 1);
+  Alcotest.check_raises "out of bounds" (Invalid_argument "Vec: index 1 out of 1")
+    (fun () -> ignore (Vec.get v 1))
+
+let prop_vec_model =
+  QCheck.Test.make ~name:"vec behaves like a list" ~count:200
+    QCheck.(small_list int)
+    (fun xs ->
+      let v = Vec.create () in
+      List.iter (fun x -> ignore (Vec.push v x)) xs;
+      Array.to_list (Vec.to_array v) = xs && Vec.length v = List.length xs)
+
+let () =
+  Alcotest.run "scd_util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "zero seed" `Quick test_rng_zero_seed;
+          Alcotest.test_case "copy" `Quick test_rng_copy_independent;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "float range" `Quick test_rng_float_range;
+        ] );
+      ( "bits",
+        [
+          Alcotest.test_case "is_power_of_two" `Quick test_bits_pow2;
+          Alcotest.test_case "log2" `Quick test_bits_log2;
+          Alcotest.test_case "mask" `Quick test_bits_mask;
+          Alcotest.test_case "extract/deposit" `Quick test_bits_extract_deposit;
+          Alcotest.test_case "sign_extend" `Quick test_bits_sign_extend;
+          QCheck_alcotest.to_alcotest prop_extract_roundtrip;
+          QCheck_alcotest.to_alcotest prop_sign_extend_involution;
+        ] );
+      ( "summary",
+        [
+          Alcotest.test_case "geomean" `Quick test_geomean;
+          Alcotest.test_case "mean" `Quick test_mean;
+          Alcotest.test_case "speedup" `Quick test_speedup;
+          Alcotest.test_case "per_kilo" `Quick test_per_kilo;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "basics" `Quick test_table_basics;
+          Alcotest.test_case "arity" `Quick test_table_arity_check;
+          Alcotest.test_case "csv" `Quick test_table_csv;
+        ] );
+      ( "vec",
+        [
+          Alcotest.test_case "push/get/set" `Quick test_vec_push_get;
+          Alcotest.test_case "bounds" `Quick test_vec_bounds;
+          QCheck_alcotest.to_alcotest prop_vec_model;
+        ] );
+    ]

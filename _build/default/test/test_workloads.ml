@@ -1,0 +1,125 @@
+open Scd_workloads
+
+let check_bool = Alcotest.(check bool)
+
+(* Golden outputs at Test scale, checked against Lua 5.3 semantics / the
+   Benchmarks Game reference values. *)
+let golden =
+  [
+    ("fannkuch-redux", "11\nPfannkuchen(5) = 7\n");
+    ("fibo", "fib(10) = 55\n");
+    ("ackermann", "ack(3,2) = 29\n");
+    ("pidigits", "314159265358\n");
+    ( "n-sieve",
+      "Primes up to 400 78\nPrimes up to 200 46\nPrimes up to 100 25\n" );
+  ]
+
+let test_golden_output name expected () =
+  let w = Option.get (Registry.find name) in
+  Alcotest.(check string)
+    name expected
+    (Scd_rvm.Vm.run_string (Workload.source w Test))
+
+let test_nbody_energy_conservation () =
+  (* the paper's n-body check: energy changes only in the 4th decimal *)
+  let w = Option.get (Registry.find "n-body") in
+  let out = Scd_rvm.Vm.run_string (Workload.source w Test) in
+  match String.split_on_char '\n' (String.trim out) with
+  | [ before; after ] ->
+    let b = float_of_string before and a = float_of_string after in
+    check_bool "energy is negative" true (b < 0.0);
+    check_bool "nearly conserved" true (Float.abs (b -. a) < 1e-3);
+    check_bool "but advanced" true (b <> a)
+  | _ -> Alcotest.fail "expected two energy lines"
+
+let test_mandelbrot_deterministic () =
+  let w = Option.get (Registry.find "mandelbrot") in
+  let a = Scd_rvm.Vm.run_string (Workload.source w Test) in
+  let b = Scd_rvm.Vm.run_string (Workload.source w Test) in
+  Alcotest.(check string) "deterministic" a b;
+  check_bool "checksum line" true
+    (String.length a > 0 && String.sub a 0 2 = "P4")
+
+let test_spectral_norm_value () =
+  (* sqrt of the dominant eigenvalue approaches 1.274224... as n grows *)
+  let w = Option.get (Registry.find "spectral-norm") in
+  let out = String.trim (Scd_rvm.Vm.run_string (Workload.source w Test)) in
+  let v = float_of_string out in
+  check_bool "in the right neighbourhood" true (v > 1.25 && v < 1.30)
+
+let test_binary_trees_checks () =
+  let w = Option.get (Registry.find "binary-trees") in
+  let out = Scd_rvm.Vm.run_string (Workload.source w Test) in
+  check_bool "stretch line present" true
+    (String.length out > 0
+     && String.sub out 0 12 = "stretch tree");
+  (* a depth-d tree has 2^(d+1)-1 nodes: depth 5 stretch -> check 63 *)
+  let prefix = "stretch tree of depth 5 check: 63" in
+  check_bool "stretch check value" true
+    (String.length out >= String.length prefix
+     && String.sub out 0 (String.length prefix) = prefix)
+
+let test_knucleotide_counts_consistent () =
+  let w = Option.get (Registry.find "k-nucleotide") in
+  let out = Scd_rvm.Vm.run_string (Workload.source w Test) in
+  let lines = String.split_on_char '\n' (String.trim out) in
+  Alcotest.(check int) "five output lines" 5 (List.length lines)
+
+let vm_agreement_case (w : Workload.t) =
+  Alcotest.test_case w.name `Quick (fun () ->
+      let source = Workload.source w Test in
+      Alcotest.(check string)
+        "register and stack VMs agree"
+        (Scd_rvm.Vm.run_string source)
+        (Scd_svm.Vm.run_string source))
+
+let small_scale_agreement_case (w : Workload.t) =
+  Alcotest.test_case (w.name ^ "-small") `Slow (fun () ->
+      let source = Workload.source w Small in
+      Alcotest.(check string)
+        "VMs agree at sensitivity-sweep scale"
+        (Scd_rvm.Vm.run_string source)
+        (Scd_svm.Vm.run_string source))
+
+let test_registry_complete () =
+  Alcotest.(check int) "11 workloads (Table III)" 11 (List.length Registry.all);
+  check_bool "find works" true (Registry.find "mandelbrot" <> None);
+  check_bool "find rejects unknown" true (Registry.find "nope" = None)
+
+let test_scales_monotone () =
+  (* larger scales must run strictly more bytecodes *)
+  List.iter
+    (fun (w : Workload.t) ->
+      let steps scale =
+        let vm = Scd_rvm.Vm.create (Scd_rvm.Compiler.compile_string (Workload.source w scale)) in
+        Scd_rvm.Vm.run vm;
+        Scd_rvm.Vm.steps vm
+      in
+      let t = steps Test and s = steps Small in
+      check_bool (w.name ^ ": small > test") true (s > t))
+    Registry.all
+
+let () =
+  Alcotest.run "scd_workloads"
+    [
+      ( "golden",
+        List.map
+          (fun (name, expected) ->
+            Alcotest.test_case name `Quick (test_golden_output name expected))
+          golden );
+      ( "semantic",
+        [
+          Alcotest.test_case "n-body energy" `Quick test_nbody_energy_conservation;
+          Alcotest.test_case "mandelbrot" `Quick test_mandelbrot_deterministic;
+          Alcotest.test_case "spectral-norm" `Quick test_spectral_norm_value;
+          Alcotest.test_case "binary-trees" `Quick test_binary_trees_checks;
+          Alcotest.test_case "k-nucleotide" `Quick test_knucleotide_counts_consistent;
+        ] );
+      ("vm-agreement", List.map vm_agreement_case Registry.all);
+      ("vm-agreement-small", List.map small_scale_agreement_case Registry.all);
+      ( "registry",
+        [
+          Alcotest.test_case "complete" `Quick test_registry_complete;
+          Alcotest.test_case "scales monotone" `Slow test_scales_monotone;
+        ] );
+    ]

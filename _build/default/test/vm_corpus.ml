@@ -1,0 +1,303 @@
+(** Shared corpus of Mina programs with expected outputs, exercised by both
+    VM test suites and by the differential tests. Each entry is
+    (name, source, expected output). *)
+
+let programs =
+  [
+    ("arith-int", "print(1 + 2 * 3, 10 - 4, 7 // 2, 7 % 3)", "7\t6\t3\t1\n");
+    ("arith-float", "print(1.5 + 2.5, 7 / 2, 2 * 1.5)", "4.0\t3.5\t3.0\n");
+    ("negatives", "print(-7 // 2, -7 % 3, -(3 + 4))", "-4\t2\t-7\n");
+    ("comparison", "print(1 < 2, 2 <= 2, 3 > 4, 1 == 1.0, 1 ~= 2)",
+     "true\ttrue\tfalse\ttrue\ttrue\n");
+    ("string-compare", {|print("abc" < "abd", "b" > "a")|}, "true\ttrue\n");
+    ("concat", {|print("a" .. "b" .. 3 .. 1.5)|}, "ab31.5\n");
+    ("logic-values", {|print(nil or 5, false and 1, 3 and 4, nil and 1)|},
+     "5\tfalse\t4\tnil\n");
+    ("not", "print(not nil, not 0, not true)", "true\tfalse\tfalse\n");
+    ("locals-shadowing",
+     {|
+       local x = 1
+       local x = x + 10
+       print(x)
+     |},
+     "11\n");
+    ("globals",
+     {|
+       g = 5
+       function bump() g = g + 1 end
+       bump()
+       bump()
+       print(g)
+     |},
+     "7\n");
+    ("if-chain",
+     {|
+       local function_result = 0
+       local a = 15
+       if a < 10 then print("small")
+       elseif a < 20 then print("medium")
+       else print("large") end
+     |},
+     "medium\n");
+    ("while-break",
+     {|
+       local i = 0
+       while true do
+         i = i + 1
+         if i == 5 then break end
+       end
+       print(i)
+     |},
+     "5\n");
+    ("nested-loops",
+     {|
+       local total = 0
+       for i = 1, 3 do
+         for j = 1, 4 do
+           total = total + i * j
+         end
+       end
+       print(total)
+     |},
+     "60\n");
+    ("for-step",
+     {|
+       local acc = ""
+       for i = 10, 2, -3 do acc = acc .. i .. " " end
+       print(acc)
+     |},
+     "10 7 4 \n");
+    ("for-float",
+     {|
+       local n = 0
+       for x = 0.5, 2.5, 0.5 do n = n + 1 end
+       print(n)
+     |},
+     "5\n");
+    ("for-no-iterations",
+     {|
+       local hits = 0
+       for i = 5, 1 do hits = hits + 1 end
+       print(hits)
+     |},
+     "0\n");
+    ("break-inner-only",
+     {|
+       local log = ""
+       for i = 1, 3 do
+         for j = 1, 10 do
+           if j == 2 then break end
+           log = log .. i
+         end
+       end
+       print(log)
+     |},
+     "123\n");
+    ("recursion",
+     {|
+       function fact(n)
+         if n == 0 then return 1 end
+         return n * fact(n - 1)
+       end
+       print(fact(10))
+     |},
+     "3628800\n");
+    ("mutual-recursion",
+     {|
+       function is_even(n) if n == 0 then return true end return is_odd(n - 1) end
+       function is_odd(n) if n == 0 then return false end return is_even(n - 1) end
+       print(is_even(10), is_odd(7))
+     |},
+     "true\ttrue\n");
+    ("function-value",
+     {|
+       function apply(f, x) return f(x) end
+       function double(x) return x * 2 end
+       print(apply(double, 21))
+     |},
+     "42\n");
+    ("anonymous-function",
+     {|
+       local f = function(x) return x + 1 end
+       print(f(41))
+     |},
+     "42\n");
+    ("early-return",
+     {|
+       function first_over(t, limit)
+         for i = 1, #t do
+           if t[i] > limit then return t[i] end
+         end
+         return nil
+       end
+       print(first_over({1, 5, 9, 2}, 4))
+     |},
+     "5\n");
+    ("table-array",
+     {|
+       local t = {}
+       for i = 1, 5 do t[i] = i * i end
+       print(#t, t[3])
+     |},
+     "5\t9\n");
+    ("table-constructor",
+     {|
+       local t = {10, 20, x = "a", [99] = true}
+       print(t[1], t[2], t.x, t[99], #t)
+     |},
+     "10\t20\ta\ttrue\t2\n");
+    ("table-nested",
+     {|
+       local m = { inner = { value = 42 } }
+       print(m.inner.value)
+       m.inner.value = 7
+       print(m["inner"]["value"])
+     |},
+     "42\n7\n");
+    ("table-nil-removal",
+     {|
+       local t = {1, 2, 3}
+       t[3] = nil
+       print(#t, t[3])
+     |},
+     "2\tnil\n");
+    ("string-builtins",
+     {|print(strlen("hello"), sub("hello", 2, 3), byte("Z", 1), char(104, 105))|},
+     "5\tel\t90\thi\n");
+    ("math-builtins",
+     "print(sqrt(16.0), floor(3.9), ceil(3.1), abs(-2), min(3, 1), max(3, 1))",
+     "4.0\t3\t4\t2\t1\t3\n");
+    ("tostring", {|print(tostring(1) .. tostring(true) .. tostring(nil))|},
+     "1truenil\n");
+    ("len-operator", {|print(#"hello", #{"a", "b"})|}, "5\t2\n");
+    ("write-no-newline", {|write(1, "-", 2) print("")|}, "1-2\n");
+    ("deep-calls",
+     {|
+       function down(n)
+         if n == 0 then return 0 end
+         return down(n - 1) + 1
+       end
+       print(down(2000))
+     |},
+     "2000\n");
+    ("fib-check",
+     {|
+       function fib(n)
+         if n < 2 then return n end
+         return fib(n - 1) + fib(n - 2)
+       end
+       print(fib(16))
+     |},
+     "987\n");
+    ("integer-float-boundary", "print(1 == 1.0, 1 // 1, 1.0 // 1.0)",
+     "true\t1\t1.0\n");
+    ("repeat-until",
+     {|
+       local i = 0
+       repeat i = i + 1 until i >= 5
+       print(i)
+     |},
+     "5\n");
+    ("repeat-runs-once",
+     {|
+       local hits = 0
+       repeat hits = hits + 1 until true
+       print(hits)
+     |},
+     "1\n");
+    ("repeat-break",
+     {|
+       local n = 10
+       repeat
+         n = n - 1
+         if n == 7 then break end
+       until n == 0
+       print(n)
+     |},
+     "7\n");
+    ("nested-repeat-while",
+     {|
+       local total = 0
+       local i = 0
+       repeat
+         i = i + 1
+         local j = 0
+         while j < i do j = j + 1 total = total + 1 end
+       until i == 4
+       print(total)
+     |},
+     "10\n");
+    ("chained-comparisons-as-values",
+     {|
+       local a = (1 < 2) == (3 < 4)
+       local b = (1 > 2) ~= false
+       print(a, b)
+     |},
+     "true\tfalse\n");
+    ("float-int-table-keys",
+     {|
+       local t = {}
+       t[1.5] = "half"
+       t[2.0] = "two"
+       print(t[1.5], t[2], t[2.0])
+     |},
+     "half\ttwo\ttwo\n");
+    ("concat-number-formatting",
+     {|print(1 .. "," .. 1.0 .. "," .. 0.5 .. "," .. 1e20)|},
+     "1,1.0,0.5,1e+20\n");
+    ("unary-chains", "print(- - -3, not not nil, #\"ab\")",
+     "-3\tfalse\t2\n");
+    ("deep-table-chain",
+     {|
+       local t = { a = { b = { c = { d = 99 } } } }
+       print(t.a.b.c.d)
+     |},
+     "99\n");
+    ("global-function-shadow",
+     {|
+       x = 1
+       function get() return x end
+       x = 2
+       print(get())
+     |},
+     "2\n");
+    ("string-keys-survive",
+     {|
+       local counts = {}
+       local words = {"a", "b", "a", "c", "a", "b"}
+       for i = 1, #words do
+         local w = words[i]
+         if counts[w] == nil then counts[w] = 1 else counts[w] = counts[w] + 1 end
+       end
+       print(counts["a"], counts["b"], counts["c"])
+     |},
+     "3\t2\t1\n");
+  ]
+
+(** Programs that must fail to compile. *)
+let compile_errors =
+  [
+    ("upvalue-read",
+     {|
+       local x = 1
+       function f() return x end
+     |});
+    ("upvalue-write",
+     {|
+       local x = 1
+       function f() x = 2 end
+     |});
+    ("break-outside-loop", "break");
+  ]
+
+(** Programs that must raise a runtime error. *)
+let runtime_errors =
+  [
+    ("call-non-function", "local x = 5 x(1)");
+    ("index-non-table", "local x = 5 print(x[1])");
+    ("arith-on-string", {|local x = "a" + 1|});
+    ("compare-mixed", {|print(1 < "a")|});
+    ("nil-table-key", "local t = {} t[nil] = 1");
+    ("for-zero-step", "for i = 1, 10, 0 do end");
+    ("div-int-by-zero", "print(1 // 0)");
+  ]
