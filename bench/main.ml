@@ -5,59 +5,94 @@
      dune exec bench/main.exe                 # all experiments, full scale
      dune exec bench/main.exe -- --quick      # test-scale smoke
      dune exec bench/main.exe -- --only fig7,tab4
+     dune exec bench/main.exe -- --jobs 4     # pooled parallel regeneration
      dune exec bench/main.exe -- --micro      # kernel microbenchmarks only
-     dune exec bench/main.exe -- --csv        # machine-readable output *)
+     dune exec bench/main.exe -- --csv        # machine-readable output
+     dune exec bench/main.exe -- --json BENCH_2026-08-06.json
+
+   Experiments run on a Scd_util.Pool domain pool ([--jobs N]; the default
+   is Domain.recommended_domain_count, and [--jobs 1] is the exact legacy
+   sequential path). Tables are rendered per experiment into strings and
+   printed in selection order, so output is byte-identical at any job
+   count. [--json FILE] records per-experiment wall-clock (and [--micro]
+   kernel results) for cross-PR perf trajectories. *)
+
+type options = {
+  quick : bool;
+  micro : bool;
+  csv : bool;
+  only : string list option;
+  jobs : int;
+  json : string option;
+}
 
 let parse_args () =
   let quick = ref false and micro = ref false and csv = ref false in
   let only = ref None in
+  let jobs = ref (Scd_util.Pool.default_jobs ()) in
+  let json = ref None in
+  let fail fmt = Printf.ksprintf (fun m -> Printf.eprintf "%s\n" m; exit 2) fmt in
+  let operand flag = function
+    | v :: rest when not (String.length v > 0 && v.[0] = '-') -> (v, rest)
+    | _ -> fail "%s requires an argument" flag
+  in
   let rec go = function
     | [] -> ()
     | "--quick" :: rest -> quick := true; go rest
     | "--micro" :: rest -> micro := true; go rest
     | "--csv" :: rest -> csv := true; go rest
-    | "--only" :: ids :: rest ->
+    | "--only" :: rest ->
+      let ids, rest = operand "--only" rest in
       only := Some (String.split_on_char ',' ids);
       go rest
-    | arg :: _ ->
-      Printf.eprintf "unknown argument %s\n" arg;
-      exit 2
+    | "--jobs" :: rest ->
+      let n, rest = operand "--jobs" rest in
+      (match int_of_string_opt n with
+       | Some n when n >= 1 -> jobs := n
+       | Some _ | None -> fail "--jobs requires a positive integer, got %S" n);
+      go rest
+    | "--json" :: rest ->
+      let file, rest = operand "--json" rest in
+      json := Some file;
+      go rest
+    | arg :: _ -> fail "unknown argument %s" arg
   in
   go (List.tl (Array.to_list Sys.argv));
-  (!quick, !micro, !csv, !only)
+  { quick = !quick; micro = !micro; csv = !csv; only = !only; jobs = !jobs;
+    json = !json }
 
 (* ------------------------------------------------------------------ *)
 (* Experiment regeneration                                             *)
 (* ------------------------------------------------------------------ *)
 
-let run_experiments ~quick ~csv ~only =
-  let selected =
-    match only with
-    | None -> Scd_experiments.Registry.all
-    | Some ids ->
-      List.filter_map
-        (fun id ->
-          match Scd_experiments.Registry.find id with
-          | Some e -> Some e
-          | None ->
-            Printf.eprintf "unknown experiment %S (have: %s)\n" id
-              (String.concat ", " Scd_experiments.Registry.ids);
-            exit 2)
-        ids
-  in
+let select_experiments only =
+  match only with
+  | None -> Scd_experiments.Registry.all
+  | Some ids ->
+    let unknown =
+      List.filter (fun id -> Scd_experiments.Registry.find id = None) ids
+    in
+    if unknown <> [] then begin
+      Printf.eprintf "unknown experiment%s: %s\nvalid ids: %s\n"
+        (if List.length unknown > 1 then "s" else "")
+        (String.concat ", " unknown)
+        (String.concat ", " Scd_experiments.Registry.ids);
+      exit 2
+    end;
+    List.filter_map Scd_experiments.Registry.find ids
+
+let run_experiments ~quick ~csv ~only ~pool =
+  let selected = select_experiments only in
+  let t0 = Unix.gettimeofday () in
+  let rendered = Scd_experiments.Runner.run_all ~pool ~quick ~csv selected in
   List.iter
-    (fun (e : Scd_experiments.Experiment.t) ->
+    (fun (r : Scd_experiments.Runner.rendered) ->
+      let e = r.experiment in
       Printf.printf "### %s — %s (%s)\n\n" e.paper e.title e.id;
-      let t0 = Unix.gettimeofday () in
-      let tables = e.run ~quick in
-      List.iter
-        (fun t ->
-          if csv then print_string (Scd_util.Table.to_csv t)
-          else print_string (Scd_util.Table.render t);
-          print_newline ())
-        tables;
-      Printf.printf "(regenerated in %.1fs)\n\n%!" (Unix.gettimeofday () -. t0))
-    selected
+      print_string r.body;
+      Printf.printf "(regenerated in %.1fs)\n\n%!" r.seconds)
+    rendered;
+  (rendered, Unix.gettimeofday () -. t0)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks of the simulator kernels                   *)
@@ -65,13 +100,32 @@ let run_experiments ~quick ~csv ~only =
 
 let micro_tests () =
   let open Bechamel in
-  (* pipeline throughput on a plain instruction stream *)
+  (* pipeline throughput on a plain instruction stream, via the boxed
+     event API: allocates one Event.t record per consumed instruction.
+     The pipeline lives outside the staged closure so the run measures
+     steady-state consumption only, not per-run setup. *)
   let pipeline_consume =
+    let p = Scd_uarch.Pipeline.create Scd_uarch.Config.simulator in
     Test.make ~name:"pipeline-consume-1k"
       (Staged.stage (fun () ->
-           let p = Scd_uarch.Pipeline.create Scd_uarch.Config.simulator in
            for i = 0 to 999 do
              Scd_uarch.Pipeline.consume p (Scd_isa.Event.plain (0x1000 + (4 * (i land 255))))
+           done))
+  in
+  (* the same stream through the allocation-free scratch hot path used by
+     the co-simulation driver: one mutable record overwritten in place,
+     so steady-state minor allocation is zero *)
+  let pipeline_consume_scratch =
+    let p = Scd_uarch.Pipeline.create Scd_uarch.Config.simulator in
+    let s = Scd_isa.Event.scratch_create () in
+    Test.make ~name:"pipeline-consume-scratch-1k"
+      (Staged.stage (fun () ->
+           for i = 0 to 999 do
+             s.Scd_isa.Event.s_pc <- 0x1000 + (4 * (i land 255));
+             s.s_tag <- Scd_isa.Event.tag_plain;
+             s.s_dispatch <- false;
+             s.s_sets_rop <- false;
+             Scd_uarch.Pipeline.consume_scratch p s
            done))
   in
   let btb_ops =
@@ -164,37 +218,147 @@ let micro_tests () =
                 ~source:
                   "function fib(n) if n < 2 then return n end return fib(n-1) + fib(n-2) end print(fib(10))")))
   in
-  [ pipeline_consume; btb_ops; engine_bop; rvm_interp; svm_interp; direction;
-    asm_exec; cosim_small ]
+  [ pipeline_consume; pipeline_consume_scratch; btb_ops; engine_bop;
+    rvm_interp; svm_interp; direction; asm_exec; cosim_small ]
+
+type micro_result = { name : string; ns_per_run : float; minor_words_per_run : float }
 
 let run_micro () =
   let open Bechamel in
-  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let instances = Toolkit.Instance.[ monotonic_clock; minor_allocated ] in
   let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 1.0) ~kde:(Some 500) () in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
-  print_endline "== Microbenchmarks (bechamel, monotonic clock) ==";
+  print_endline
+    "== Microbenchmarks (bechamel: monotonic clock, minor allocations) ==";
+  let results =
+    List.concat_map
+      (fun test ->
+        let raw = Benchmark.all cfg instances test in
+        let time = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+        let minor = Analyze.all ols Toolkit.Instance.minor_allocated raw in
+        let estimate tbl name =
+          match Hashtbl.find_opt tbl name with
+          | Some r -> (
+            match Analyze.OLS.estimates r with
+            | Some [ v ] -> v
+            | _ -> Float.nan)
+          | None -> Float.nan
+        in
+        let names =
+          Hashtbl.fold (fun name _ acc -> name :: acc) time []
+          |> List.sort String.compare
+        in
+        List.map
+          (fun name ->
+            { name; ns_per_run = estimate time name;
+              minor_words_per_run = estimate minor name })
+          names)
+      (micro_tests ())
+  in
   List.iter
-    (fun test ->
-      let results = Benchmark.all cfg instances test in
-      let results = Analyze.all ols Toolkit.Instance.monotonic_clock results in
-      Hashtbl.iter
-        (fun name result ->
-          match Analyze.OLS.estimates result with
-          | Some [ time_ns ] ->
-            Printf.printf "%-32s %12.1f ns/run\n" name time_ns
-          | _ -> Printf.printf "%-32s (no estimate)\n" name)
-        results)
-    (micro_tests ());
-  print_newline ()
+    (fun r ->
+      Printf.printf "%-32s %12.1f ns/run %12.1f minor words/run\n" r.name
+        r.ns_per_run r.minor_words_per_run)
+    results;
+  print_newline ();
+  results
+
+(* ------------------------------------------------------------------ *)
+(* JSON perf trajectory (hand-rolled writer: no JSON dependency)       *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_float f = if Float.is_nan f then "null" else Printf.sprintf "%.3f" f
+
+let write_json path ~(opts : options) ~experiments ~total_seconds ~micro =
+  let tm = Unix.localtime (Unix.time ()) in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"date\": \"%04d-%02d-%02dT%02d:%02d:%02d\",\n"
+       (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
+       tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"jobs\": %d,\n  \"recommended_domains\": %d,\n"
+       opts.jobs (Scd_util.Pool.default_jobs ()));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"scale\": \"%s\",\n"
+       (if opts.quick then "quick" else "full"));
+  Buffer.add_string buf "  \"experiments\": [";
+  List.iteri
+    (fun i (r : Scd_experiments.Runner.rendered) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "\n    { \"id\": \"%s\", \"seconds\": %s }"
+           (json_escape r.experiment.id) (json_float r.seconds)))
+    experiments;
+  if experiments <> [] then Buffer.add_string buf "\n  ";
+  Buffer.add_string buf "],\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"total_seconds\": %s,\n" (json_float total_seconds));
+  Buffer.add_string buf "  \"micro\": [";
+  List.iteri
+    (fun i (r : micro_result) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\n    { \"name\": \"%s\", \"ns_per_run\": %s, \"minor_words_per_run\": %s }"
+           (json_escape r.name) (json_float r.ns_per_run)
+           (json_float r.minor_words_per_run)))
+    micro;
+  if micro <> [] then Buffer.add_string buf "\n  ";
+  Buffer.add_string buf "]\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote %s\n%!" path
 
 let () =
-  let quick, micro, csv, only = parse_args () in
-  if micro then run_micro ()
-  else begin
-    Printf.printf
-      "Short-Circuit Dispatch (ISCA 2016) — evaluation regeneration harness\n";
-    Printf.printf "scale: %s\n\n%!" (if quick then "quick (test inputs)" else "full");
-    run_experiments ~quick ~csv ~only
-  end
+  let opts = parse_args () in
+  (* fail on an unwritable --json path before minutes of simulation *)
+  (match opts.json with
+   | None -> ()
+   | Some path -> (
+     try close_out (open_out path)
+     with Sys_error m ->
+       Printf.eprintf "--json: cannot write %s (%s)\n" path m;
+       exit 2));
+  let micro = if opts.micro then run_micro () else [] in
+  (* --micro alone keeps its legacy microbenchmark-only behaviour;
+     --micro combined with --only runs both, e.g. for one BENCH json *)
+  let rendered, total_seconds =
+    if opts.micro && opts.only = None then ([], Float.nan)
+    else begin
+      Printf.printf
+        "Short-Circuit Dispatch (ISCA 2016) — evaluation regeneration harness\n";
+      Printf.printf "scale: %s  jobs: %d\n\n%!"
+        (if opts.quick then "quick (test inputs)" else "full")
+        opts.jobs;
+      let rendered, total_seconds =
+        Scd_util.Pool.with_pool ~jobs:opts.jobs (fun pool ->
+            run_experiments ~quick:opts.quick ~csv:opts.csv ~only:opts.only
+              ~pool)
+      in
+      Printf.printf "total wall-clock: %.1fs (%d experiments, %d jobs)\n%!"
+        total_seconds (List.length rendered) opts.jobs;
+      (rendered, total_seconds)
+    end
+  in
+  match opts.json with
+  | None -> ()
+  | Some path -> write_json path ~opts ~experiments:rendered ~total_seconds ~micro

@@ -182,32 +182,37 @@ let exp_cmd =
     Arg.(value & flag & info [ "quick" ] ~doc:"Use test-scale inputs (fast smoke).")
   in
   let csv = Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of tables.") in
-  let action id quick csv =
-    let render (e : Scd_experiments.Experiment.t) =
-      let tables = e.run ~quick in
-      List.iter
-        (fun t ->
-          if csv then print_string (Scd_util.Table.to_csv t)
-          else print_string (Scd_util.Table.render t);
-          print_newline ())
-        tables
-    in
-    if id = "all" then begin
-      List.iter render Scd_experiments.Registry.all;
-      `Ok ()
-    end
+  let jobs =
+    Arg.(value & opt int (Scd_util.Pool.default_jobs ())
+         & info [ "j"; "jobs" ] ~docv:"N"
+             ~doc:"Worker domains for the sweep pool (1 = sequential). Output \
+                   is byte-identical at any job count.")
+  in
+  let action id quick csv jobs =
+    if jobs < 1 then `Error (false, "--jobs must be at least 1")
     else
-      match Scd_experiments.Registry.find id with
-      | Some e -> render e; `Ok ()
-      | None ->
-        `Error
-          (false,
-           Printf.sprintf "unknown experiment %S; try: %s" id
-             (String.concat ", " Scd_experiments.Registry.ids))
+      let selected =
+        if id = "all" then Ok Scd_experiments.Registry.all
+        else
+          match Scd_experiments.Registry.find id with
+          | Some e -> Ok [ e ]
+          | None ->
+            Error
+              (Printf.sprintf "unknown experiment %S; try: %s" id
+                 (String.concat ", " Scd_experiments.Registry.ids))
+      in
+      match selected with
+      | Error m -> `Error (false, m)
+      | Ok experiments ->
+        Scd_util.Pool.with_pool ~jobs (fun pool ->
+            List.iter
+              (fun (r : Scd_experiments.Runner.rendered) -> print_string r.body)
+              (Scd_experiments.Runner.run_all ~pool ~quick ~csv experiments));
+        `Ok ()
   in
   Cmd.v
     (Cmd.info "exp" ~doc:"Regenerate a paper figure or table")
-    Term.(ret (const action $ id $ quick $ csv))
+    Term.(ret (const action $ id $ quick $ csv $ jobs))
 
 (* ------------------------------------------------------------------ *)
 (* list                                                                *)

@@ -60,6 +60,11 @@ type expander = {
   last_bop_pcs : int array;  (* Rbop-pc, per branch ID *)
   mutable bytecodes : int;
   mutable retired_since_cs : int;
+  scratch : Event.scratch;
+      (* The per-driver staging record for the allocation-free hot path:
+         every retired instruction is written into this one mutable record
+         and consumed synchronously by the pipeline — no [Event.t] is
+         allocated per instruction. *)
 }
 
 let table_of_site = function
@@ -72,8 +77,10 @@ let table_of_site = function
 let rop_distance (spec : Spec.t) =
   spec.dispatch.fetch_instrs - 1 + spec.dispatch.operand_decode_instrs
 
-let consume exp ev =
-  Pipeline.consume exp.pipeline ev;
+(* Pipeline hand-off plus context-switch bookkeeping; every emit helper
+   below funnels through here after overwriting [exp.scratch] in place. *)
+let account exp =
+  Pipeline.consume_scratch exp.pipeline exp.scratch;
   match exp.cs_interval with
   | None -> ()
   | Some interval ->
@@ -83,23 +90,102 @@ let consume exp ev =
       Scd_core.Engine.retire exp.engine interval
     end
 
+let scratch_base exp ~dispatch ~sets_rop ~tag pc =
+  let s = exp.scratch in
+  s.Event.s_pc <- pc;
+  s.s_tag <- tag;
+  s.s_dispatch <- dispatch;
+  s.s_sets_rop <- sets_rop;
+  s
+
+let emit_plain exp ~dispatch pc =
+  let (_ : Event.scratch) =
+    scratch_base exp ~dispatch ~sets_rop:false ~tag:Event.tag_plain pc
+  in
+  account exp
+
+let emit_mem exp ~dispatch ~sets_rop ~write pc ~addr =
+  let s =
+    scratch_base exp ~dispatch ~sets_rop
+      ~tag:(if write then Event.tag_mem_write else Event.tag_mem_read)
+      pc
+  in
+  s.Event.s_addr <- addr;
+  account exp
+
+let emit_cond_branch exp ~dispatch pc ~taken ~target =
+  let s =
+    scratch_base exp ~dispatch ~sets_rop:false ~tag:Event.tag_cond_branch pc
+  in
+  s.Event.s_taken <- taken;
+  s.s_target <- target;
+  account exp
+
+let emit_jump exp pc ~target =
+  let s =
+    scratch_base exp ~dispatch:false ~sets_rop:false ~tag:Event.tag_jump pc
+  in
+  s.Event.s_target <- target;
+  account exp
+
+(* [hint = -1] means no compiler hint (non-VBBI schemes). *)
+let emit_ind_jump exp ~dispatch pc ~target ~hint =
+  let s =
+    scratch_base exp ~dispatch ~sets_rop:false ~tag:Event.tag_ind_jump pc
+  in
+  s.Event.s_target <- target;
+  s.s_hint <- hint;
+  account exp
+
+(* All simulated runtime-helper calls are direct. *)
+let emit_call exp pc ~target =
+  let s =
+    scratch_base exp ~dispatch:false ~sets_rop:false ~tag:Event.tag_call pc
+  in
+  s.Event.s_target <- target;
+  s.s_indirect <- false;
+  account exp
+
+let emit_return exp pc ~target =
+  let s =
+    scratch_base exp ~dispatch:false ~sets_rop:false ~tag:Event.tag_return pc
+  in
+  s.Event.s_target <- target;
+  account exp
+
+let emit_bop exp pc ~opcode ~hit ~target =
+  let s =
+    scratch_base exp ~dispatch:true ~sets_rop:false ~tag:Event.tag_bop pc
+  in
+  s.Event.s_opcode <- opcode;
+  s.s_hit <- hit;
+  s.s_target <- target;
+  account exp
+
+let emit_jru exp pc ~opcode ~target =
+  let s =
+    scratch_base exp ~dispatch:true ~sets_rop:false ~tag:Event.tag_jru pc
+  in
+  s.Event.s_opcode <- opcode;
+  s.s_target <- target;
+  account exp
+
 (* Emit [n] dispatcher instructions starting at [!pc], the first being a
    VM-state load and the last (optionally) a VM-state store. *)
 let emit_vm_bookkeeping exp pc ~step n ~store_last =
   let vm_state = Layout.vm_state_addr exp.layout in
   for k = 0 to n - 1 do
-    let kind =
-      if k = 0 then Event.Mem_read { addr = vm_state }
-      else if store_last && k = n - 1 then Event.Mem_write { addr = vm_state }
-      else Event.Plain
-    in
-    consume exp (Event.make ~dispatch:true (!pc) kind);
+    if k = 0 then
+      emit_mem exp ~dispatch:true ~sets_rop:false ~write:false !pc ~addr:vm_state
+    else if store_last && k = n - 1 then
+      emit_mem exp ~dispatch:true ~sets_rop:false ~write:true !pc ~addr:vm_state
+    else emit_plain exp ~dispatch:true !pc;
     pc := !pc + step
   done
 
 let emit_plain_dispatch exp pc ~step n =
   for _ = 1 to n do
-    consume exp (Event.plain ~dispatch:true !pc);
+    emit_plain exp ~dispatch:true !pc;
     pc := !pc + step
   done
 
@@ -110,15 +196,13 @@ let emit_decode_to_target exp pc ~step ~opcode =
   emit_plain_dispatch exp pc ~step d.decode_instrs;
   (* bound check: compare + never-taken branch to the error arm *)
   emit_plain_dispatch exp pc ~step (max 0 (d.bound_check_instrs - 1));
-  consume exp
-    (Event.make ~dispatch:true !pc
-       (Cond_branch { taken = false; target = Layout.default_handler exp.layout }));
+  emit_cond_branch exp ~dispatch:true !pc ~taken:false
+    ~target:(Layout.default_handler exp.layout);
   pc := !pc + step;
   (* target calculation, ending with the jump-table load *)
   emit_plain_dispatch exp pc ~step (max 0 (d.target_calc_instrs - 1));
-  consume exp
-    (Event.make ~dispatch:true !pc
-       (Mem_read { addr = Layout.jump_table_entry exp.layout opcode }));
+  emit_mem exp ~dispatch:true ~sets_rop:false ~write:false !pc
+    ~addr:(Layout.jump_table_entry exp.layout opcode);
   pc := !pc + step
 
 (* Dispatch reaching the handler of [opcode] for the bytecode at
@@ -132,14 +216,13 @@ let emit_dispatch exp ~base ~step ~overhead ~site ~opcode ~fetch_addr =
     emit_vm_bookkeeping exp pc ~step d.loop_overhead_instrs ~store_last:false;
   (* fetch: load vm.pc, load the bytecode, bump, store vm.pc *)
   let vm_state = Layout.vm_state_addr exp.layout in
-  consume exp (Event.make ~dispatch:true !pc (Mem_read { addr = vm_state }));
+  emit_mem exp ~dispatch:true ~sets_rop:false ~write:false !pc ~addr:vm_state;
   pc := !pc + 4;
   let scd = exp.scheme = Scd_core.Scheme.Scd in
-  consume exp
-    (Event.make ~dispatch:true ~sets_rop:scd !pc (Mem_read { addr = fetch_addr }));
+  emit_mem exp ~dispatch:true ~sets_rop:scd ~write:false !pc ~addr:fetch_addr;
   pc := !pc + step;
   emit_plain_dispatch exp pc ~step (max 0 (d.fetch_instrs - 3));
-  consume exp (Event.make ~dispatch:true !pc (Mem_write { addr = vm_state }));
+  emit_mem exp ~dispatch:true ~sets_rop:false ~write:true !pc ~addr:vm_state;
   pc := !pc + step;
   emit_plain_dispatch exp pc ~step d.operand_decode_instrs;
   let handler = Layout.handler_entry exp.layout opcode in
@@ -163,25 +246,18 @@ let emit_dispatch exp ~base ~step ~overhead ~site ~opcode ~fetch_addr =
     in
     (match outcome with
      | Scd_core.Engine.Hit target ->
-       consume exp
-         (Event.make ~dispatch:true bop_pc (Bop { opcode; hit = true; target }))
+       emit_bop exp bop_pc ~opcode ~hit:true ~target
      | Scd_core.Engine.Miss ->
-       consume exp
-         (Event.make ~dispatch:true bop_pc
-            (Bop { opcode; hit = false; target = bop_pc + 4 }));
+       emit_bop exp bop_pc ~opcode ~hit:false ~target:(bop_pc + 4);
        pc := bop_pc + step;
        emit_decode_to_target exp pc ~step ~opcode;
        (* jru: indirect jump + JTE insertion *)
        Scd_core.Engine.jru ~table exp.engine ~opcode:(Some opcode) ~target:handler;
-       consume exp
-         (Event.make ~dispatch:true !pc (Jru { opcode = Some opcode; target = handler })))
+       emit_jru exp !pc ~opcode ~target:handler)
   | Baseline | Jump_threading | Vbbi ->
     emit_decode_to_target exp pc ~step ~opcode;
-    let hint =
-      match exp.scheme with Vbbi -> Some opcode | _ -> None
-    in
-    consume exp
-      (Event.make ~dispatch:true !pc (Ind_jump { target = handler; hint }))
+    let hint = match exp.scheme with Vbbi -> opcode | _ -> -1 in
+    emit_ind_jump exp ~dispatch:true !pc ~target:handler ~hint
 
 (* Handler body for one bytecode event. *)
 let emit_handler exp (tr : Trace.t) =
@@ -203,21 +279,18 @@ let emit_handler exp (tr : Trace.t) =
          | Trace.Branch { taken; _ } -> taken
          | _ -> false
        in
-       consume exp
-         (Event.make !pc
-            (Cond_branch { taken; target = !pc + (2 * Layout.hot_stride) }))
+       emit_cond_branch exp ~dispatch:false !pc ~taken
+         ~target:(!pc + (2 * Layout.hot_stride))
      end
      else if k < n_acc then begin
        match !acc with
        | a :: rest ->
          acc := rest;
          let addr, write = Layout.access_addr exp.layout a in
-         consume exp
-           (Event.make !pc
-              (if write then Mem_write { addr } else Mem_read { addr }))
-       | [] -> consume exp (Event.plain !pc)
+         emit_mem exp ~dispatch:false ~sets_rop:false ~write !pc ~addr
+       | [] -> emit_plain exp ~dispatch:false !pc
      end
-     else consume exp (Event.plain !pc));
+     else emit_plain exp ~dispatch:false !pc);
     pc := !pc + Layout.hot_stride
   done;
   (* Runtime helper / builtin library call. *)
@@ -233,21 +306,19 @@ let emit_handler exp (tr : Trace.t) =
    | None -> ()
    | Some b ->
      let target = Layout.blob_entry exp.layout b.blob_id in
-     consume exp (Event.make !pc (Call { target; indirect = false }));
+     emit_call exp !pc ~target;
      let return_to = !pc + 4 in
      pc := !pc + 4;
      let bpc = ref target in
      for k = 0 to b.body_instrs - 1 do
-       let kind =
-         if k mod b.load_every = b.load_every - 1 then
-           (* helper-internal data traffic lands near the VM stack top *)
-           Event.Mem_read { addr = Layout.stack_slot_addr exp.layout (k land 31) }
-         else Event.Plain
-       in
-       consume exp (Event.make !bpc kind);
+       if k mod b.load_every = b.load_every - 1 then
+         (* helper-internal data traffic lands near the VM stack top *)
+         emit_mem exp ~dispatch:false ~sets_rop:false ~write:false !bpc
+           ~addr:(Layout.stack_slot_addr exp.layout (k land 31))
+       else emit_plain exp ~dispatch:false !bpc;
        bpc := !bpc + Layout.hot_stride
      done;
-     consume exp (Event.make !bpc (Return { target = return_to })))
+     emit_return exp !bpc ~target:return_to)
 
 let emit_tail exp opcode =
   match exp.scheme with
@@ -255,7 +326,7 @@ let emit_tail exp opcode =
   | _ ->
     let site = Layout.site_of_opcode exp.layout opcode in
     let target = Layout.site_base exp.layout site in
-    consume exp (Event.make (Layout.handler_tail exp.layout opcode) (Jump { target }))
+    emit_jump exp (Layout.handler_tail exp.layout opcode) ~target
 
 let on_bytecode exp (tr : Trace.t) =
   exp.bytecodes <- exp.bytecodes + 1;
@@ -370,6 +441,7 @@ let run config ~source =
         last_bop_pcs = Array.make 3 (-1);
         bytecodes = 0;
         retired_since_cs = 0;
+        scratch = Event.scratch_create ();
       }
     in
     let ctx = Builtins.create_ctx ~seed:config.seed () in
@@ -403,6 +475,7 @@ let run config ~source =
         last_bop_pcs = Array.make 3 (-1);
         bytecodes = 0;
         retired_since_cs = 0;
+        scratch = Event.scratch_create ();
       }
     in
     let ctx = Builtins.create_ctx ~seed:config.seed () in

@@ -27,6 +27,16 @@ let lua_config scheme = { Driver.default_config with scheme }
 
 let run_multi_table ~quick =
   let scale = Sweep.scale_for ~quick Scd_workloads.Workload.Sim in
+  Sweep.prefetch
+    (List.concat_map
+       (fun w ->
+         [ Sweep.cell ~scale Driver.Js Scd_core.Scheme.Baseline w;
+           Sweep.cell ~scale Driver.Js Scd_core.Scheme.Scd w;
+           Sweep.cell_custom ~tag:"multi-js"
+             { (lua_config Scd_core.Scheme.Scd) with vm = Driver.Js;
+               multi_table = true }
+             w scale ])
+       Sweep.workloads);
   let table =
     Table.make
       ~title:"Ablation: Section IV multi-table SCD, JavaScript interpreter"
@@ -76,6 +86,28 @@ let multi_table_experiment =
 let run_bop_policy ~quick =
   let scale = Sweep.scale_for ~quick Scd_workloads.Workload.Small in
   let gaps = [ 3; 5; 7; 9 ] in
+  Sweep.prefetch
+    (List.concat_map
+       (fun gap ->
+         List.concat_map
+           (fun policy ->
+             let machine =
+               { Config.simulator with rop_gap = gap; bop_policy = policy }
+             in
+             let tag =
+               Printf.sprintf "bop-%d-%s" gap
+                 (match policy with `Stall -> "stall" | `Fall_through -> "fall")
+             in
+             List.concat_map
+               (fun w ->
+                 [ Sweep.cell ~machine:{ machine with bop_policy = `Stall }
+                     ~scale Driver.Lua Scd_core.Scheme.Baseline w;
+                   Sweep.cell_custom ~tag
+                     { (lua_config Scd_core.Scheme.Scd) with machine }
+                     w scale ])
+               Sweep.workloads)
+           [ `Stall; `Fall_through ])
+       gaps);
   let table =
     Table.make
       ~title:
@@ -139,6 +171,18 @@ let run_context_switch ~quick =
     | None -> "never"
     | Some n -> Printf.sprintf "%dk" (n / 1000)
   in
+  Sweep.prefetch
+    (List.concat_map
+       (fun w ->
+         Sweep.cell ~scale Driver.Lua Scd_core.Scheme.Baseline w
+         :: List.map
+              (fun interval ->
+                Sweep.cell_custom ~tag:("cs-" ^ name interval)
+                  { (lua_config Scd_core.Scheme.Scd) with
+                    context_switch_interval = interval }
+                  w scale)
+              intervals)
+       Sweep.workloads);
   let table =
     Table.make
       ~title:
@@ -199,6 +243,20 @@ let run_indirect ~quick =
       ("vbbi", Scd_core.Scheme.Vbbi, None);
       ("scd", Scd_core.Scheme.Scd, None) ]
   in
+  Sweep.prefetch
+    (List.concat_map
+       (fun w ->
+         Sweep.cell ~scale Driver.Lua Scd_core.Scheme.Baseline w
+         :: List.map
+              (fun (label, scheme, indirect_override) ->
+                match indirect_override with
+                | None -> Sweep.cell ~scale Driver.Lua scheme w
+                | Some _ ->
+                  Sweep.cell_custom ~tag:("ind-" ^ label)
+                    { (lua_config scheme) with indirect_override }
+                    w scale)
+              contenders)
+       Sweep.workloads);
   let table =
     Table.make
       ~title:
@@ -256,6 +314,18 @@ let run_cap_search ~quick =
   let caps = [ Some 4; Some 8; Some 12; Some 16; Some 24; Some 32; None ] in
   let cap_name = function None -> "inf" | Some c -> string_of_int c in
   let small = Config.with_btb_entries Config.simulator 64 in
+  Sweep.prefetch
+    (List.concat_map
+       (fun w ->
+         Sweep.cell ~machine:small ~scale Driver.Lua Scd_core.Scheme.Baseline w
+         :: List.map
+              (fun cap ->
+                Sweep.cell_custom ~tag:("capsearch-" ^ cap_name cap)
+                  { (lua_config Scd_core.Scheme.Scd) with
+                    machine = Config.with_jte_cap small cap }
+                  w scale)
+              caps)
+       Sweep.workloads);
   let table =
     Table.make
       ~title:
@@ -303,6 +373,19 @@ let cap_search_experiment =
 
 let run_superinstructions ~quick =
   let scale = Sweep.scale_for ~quick Scd_workloads.Workload.Sim in
+  Sweep.prefetch
+    (List.concat_map
+       (fun w ->
+         [ Sweep.cell ~scale Driver.Lua Scd_core.Scheme.Baseline w;
+           Sweep.cell_custom ~tag:"super-base"
+             { (lua_config Scd_core.Scheme.Baseline) with
+               superinstructions = true }
+             w scale;
+           Sweep.cell ~scale Driver.Lua Scd_core.Scheme.Scd w;
+           Sweep.cell_custom ~tag:"super-scd"
+             { (lua_config Scd_core.Scheme.Scd) with superinstructions = true }
+             w scale ])
+       Sweep.workloads);
   let table =
     Table.make
       ~title:
@@ -366,6 +449,22 @@ let run_replication ~quick =
       ("scd", Scd_core.Scheme.Scd, false);
       ("scd+repl", Scd_core.Scheme.Scd, true) ]
   in
+  Sweep.prefetch
+    (List.concat_map
+       (fun (_, btb) ->
+         let machine = Config.with_btb_entries Config.simulator btb in
+         List.concat_map
+           (fun (w : Scd_workloads.Workload.t) ->
+             Sweep.cell ~machine ~scale Driver.Lua Scd_core.Scheme.Baseline w
+             :: List.map
+                  (fun (n, scheme, repl) ->
+                    Sweep.cell_custom ~tag:(Printf.sprintf "repl-%s-%d" n btb)
+                      { (lua_config scheme) with machine;
+                        bytecode_replication = repl }
+                      w scale)
+                  variants)
+           Sweep.workloads)
+       [ ("256-entry BTB", 256); ("64-entry BTB", 64) ]);
   let tables =
     List.map
       (fun (label, btb) ->

@@ -8,6 +8,10 @@ open Scd_uarch
 let schemes = Scd_core.Scheme.all
 
 let table_for ~scale vm label =
+  Sweep.prefetch
+    (List.concat_map
+       (fun w -> List.map (fun scheme -> Sweep.cell ~scale vm scheme w) schemes)
+       Sweep.workloads);
   let table =
     Table.make
       ~title:(Printf.sprintf "Figure 10: I-cache miss MPKI, %s" label)

@@ -17,6 +17,17 @@ let vm_of_part = function
 
 let size_table ~scale part label =
   let vm = vm_of_part part in
+  Sweep.prefetch
+    (List.concat_map
+       (fun w ->
+         List.concat_map
+           (fun size ->
+             let machine = Config.with_btb_entries Config.simulator size in
+             List.map
+               (fun scheme -> Sweep.cell ~machine ~scale vm scheme w)
+               Scd_core.Scheme.[ Baseline; Scd ])
+           btb_sizes)
+       Sweep.workloads);
   let table =
     Table.make
       ~title:
@@ -66,6 +77,16 @@ let cap_table ~scale part label =
       ~headers:("benchmark" :: List.map (fun c -> "cap-" ^ cap_name c) jte_caps)
   in
   let small = Config.with_btb_entries Config.simulator 64 in
+  Sweep.prefetch
+    (List.concat_map
+       (fun w ->
+         Sweep.cell ~machine:small ~scale vm Scd_core.Scheme.Baseline w
+         :: List.map
+              (fun cap ->
+                Sweep.cell ~machine:(Config.with_jte_cap small cap) ~scale vm
+                  Scd_core.Scheme.Scd w)
+              jte_caps)
+       Sweep.workloads);
   let ratios = List.map (fun c -> (cap_name c, ref [])) jte_caps in
   List.iter
     (fun w ->

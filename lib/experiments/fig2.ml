@@ -7,6 +7,10 @@ open Scd_uarch
 
 let run ~quick =
   let scale = Sweep.scale_for ~quick Scd_workloads.Workload.Sim in
+  Sweep.prefetch
+    (List.map
+       (fun w -> Sweep.cell ~scale Scd_cosim.Driver.Lua Scd_core.Scheme.Baseline w)
+       Sweep.workloads);
   let table =
     Table.make ~title:"Figure 2: branch MPKI breakdown, Lua interpreter (baseline)"
       ~headers:[ "benchmark"; "dispatch MPKI"; "other MPKI"; "total MPKI" ]

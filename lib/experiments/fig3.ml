@@ -6,6 +6,10 @@ open Scd_uarch
 
 let run ~quick =
   let scale = Sweep.scale_for ~quick Scd_workloads.Workload.Sim in
+  Sweep.prefetch
+    (List.map
+       (fun w -> Sweep.cell ~scale Scd_cosim.Driver.Lua Scd_core.Scheme.Baseline w)
+       Sweep.workloads);
   let table =
     Table.make ~title:"Figure 3: fraction of dispatch instructions, Lua (baseline)"
       ~headers:[ "benchmark"; "dispatch instr %"; "instrs/bytecode" ]

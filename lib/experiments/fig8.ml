@@ -7,6 +7,13 @@ open Scd_util
 let schemes = Scd_core.Scheme.[ Jump_threading; Vbbi; Scd ]
 
 let table_for ~scale vm label =
+  Sweep.prefetch
+    (List.concat_map
+       (fun w ->
+         List.map
+           (fun scheme -> Sweep.cell ~scale vm scheme w)
+           (Scd_core.Scheme.Baseline :: schemes))
+       Sweep.workloads);
   let table =
     Table.make
       ~title:

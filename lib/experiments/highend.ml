@@ -7,6 +7,13 @@ open Scd_util
 
 let table_for ~scale vm label =
   let machine = Scd_uarch.Config.high_end in
+  Sweep.prefetch
+    (List.concat_map
+       (fun w ->
+         List.map
+           (fun scheme -> Sweep.cell ~machine ~scale vm scheme w)
+           Scd_core.Scheme.[ Baseline; Scd ])
+       Sweep.workloads);
   let table =
     Table.make
       ~title:(Printf.sprintf "Section VI-C2: SCD on a high-end core, %s" label)

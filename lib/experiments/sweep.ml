@@ -2,36 +2,114 @@
 
     Figures 7-10 all read different statistics from the *same* runs, and the
     sensitivity studies reuse baselines across sweep points, so results are
-    memoised per (vm, scheme, machine, workload, scale) within a process. *)
+    memoised per (vm, scheme, machine, workload, scale) within a process.
+
+    The cache is guarded by a mutex so that pool domains (see
+    {!Scd_util.Pool}) can share it. Every cached value is a deterministic
+    function of its key, so two domains racing to compute the same key
+    merely duplicate work; whichever insert lands last wins with an
+    identical value. Experiments call {!prefetch} with their full
+    workload-by-configuration cell list before building tables: the cells
+    are computed concurrently on the pool, and the sequential
+    table-rendering code then reads them back from the cache in its
+    original order — rendered tables are byte-identical to a sequential
+    run. *)
 
 open Scd_cosim
 open Scd_uarch
 
 let cache : (string, Driver.result) Hashtbl.t = Hashtbl.create 64
+let cache_mutex = Mutex.create ()
+
+let find_cached key =
+  Mutex.protect cache_mutex (fun () -> Hashtbl.find_opt cache key)
+
+let insert key r =
+  Mutex.protect cache_mutex (fun () -> Hashtbl.replace cache key r)
+
+let clear () = Mutex.protect cache_mutex (fun () -> Hashtbl.reset cache)
+
+(* ------------------------------------------------------------------ *)
+(* Parallel prefetch                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let pool : Scd_util.Pool.t option ref = ref None
+
+let set_pool p = pool := p
 
 let machine_key (m : Config.t) =
   Printf.sprintf "%s/btb%d/cap%s" m.name m.btb_entries
     (match m.jte_cap with None -> "inf" | Some c -> string_of_int c)
 
+let std_key ~machine ~scale vm scheme (w : Scd_workloads.Workload.t) =
+  Printf.sprintf "%s|%s|%s|%s|%s" (Driver.vm_name vm)
+    (Scd_core.Scheme.name scheme) (machine_key machine) w.name
+    (Scd_workloads.Workload.scale_name scale)
+
+let custom_key ~tag (w : Scd_workloads.Workload.t) scale =
+  Printf.sprintf "custom|%s|%s|%s" tag w.name
+    (Scd_workloads.Workload.scale_name scale)
+
+(** One (workload, configuration) point of a sweep: a cache key plus the
+    closure that computes it. Construction is cheap; nothing runs until
+    {!prefetch} (pool fan-out) or a cache miss in {!run}/{!run_custom}. *)
+type cell = { key : string; compute : unit -> Driver.result }
+
+let compute_std ~machine ~scale vm scheme (w : Scd_workloads.Workload.t) () =
+  Driver.run
+    { Driver.default_config with vm; scheme; machine }
+    ~source:(Scd_workloads.Workload.source w scale)
+
+let cell ?(machine = Config.simulator) ?(scale = Scd_workloads.Workload.Sim) vm
+    scheme w =
+  { key = std_key ~machine ~scale vm scheme w;
+    compute = compute_std ~machine ~scale vm scheme w }
+
+let cell_custom ~tag (config : Driver.run_config) (w : Scd_workloads.Workload.t)
+    scale =
+  { key = custom_key ~tag w scale;
+    compute =
+      (fun () -> Driver.run config ~source:(Scd_workloads.Workload.source w scale));
+  }
+
+(** Compute every not-yet-cached cell on the active pool (deduplicated by
+    key) and populate the cache. A no-op without a pool or at [--jobs 1],
+    leaving the exact legacy lazily-computed sequential path. Each task
+    builds its own pipeline/BTB/VM state inside [Driver.run]; no mutable
+    state is shared between cells. *)
+let prefetch cells =
+  match !pool with
+  | None -> ()
+  | Some p when Scd_util.Pool.jobs p <= 1 -> ()
+  | Some p ->
+    let seen = Hashtbl.create 16 in
+    let todo =
+      List.filter
+        (fun c ->
+          if Hashtbl.mem seen c.key || find_cached c.key <> None then false
+          else begin
+            Hashtbl.add seen c.key ();
+            true
+          end)
+        cells
+    in
+    ignore
+      (Scd_util.Pool.map p (fun c -> insert c.key (c.compute ())) todo
+        : unit list)
+
+(* ------------------------------------------------------------------ *)
+(* Cached lookups                                                      *)
+(* ------------------------------------------------------------------ *)
+
 let run ?(machine = Config.simulator) ?(scale = Scd_workloads.Workload.Sim) vm
     scheme (w : Scd_workloads.Workload.t) =
-  let key =
-    Printf.sprintf "%s|%s|%s|%s|%s" (Driver.vm_name vm)
-      (Scd_core.Scheme.name scheme) (machine_key machine) w.name
-      (Scd_workloads.Workload.scale_name scale)
-  in
-  match Hashtbl.find_opt cache key with
+  let key = std_key ~machine ~scale vm scheme w in
+  match find_cached key with
   | Some r -> r
   | None ->
-    let r =
-      Driver.run
-        { Driver.default_config with vm; scheme; machine }
-        ~source:(Scd_workloads.Workload.source w scale)
-    in
-    Hashtbl.replace cache key r;
+    let r = compute_std ~machine ~scale vm scheme w () in
+    insert key r;
     r
-
-let clear () = Hashtbl.reset cache
 
 (** Cycle-count speedup of [r] over [baseline], in percent. *)
 let speedup ~baseline r =
@@ -50,15 +128,12 @@ let geomean_speedup_percent ratios =
    custom machine tweaks) are cached under an explicit tag. *)
 let run_custom ~tag (config : Driver.run_config) (w : Scd_workloads.Workload.t)
     scale =
-  let key =
-    Printf.sprintf "custom|%s|%s|%s" tag w.name
-      (Scd_workloads.Workload.scale_name scale)
-  in
-  match Hashtbl.find_opt cache key with
+  let key = custom_key ~tag w scale in
+  match find_cached key with
   | Some r -> r
   | None ->
     let r = Driver.run config ~source:(Scd_workloads.Workload.source w scale) in
-    Hashtbl.replace cache key r;
+    insert key r;
     r
 
 let workloads = Scd_workloads.Registry.all

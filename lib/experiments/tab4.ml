@@ -14,6 +14,13 @@ let fmt_count n =
 (** Per-benchmark rows plus the four geomean summary numbers:
     (jt inst savings %, jt speedup %, scd inst savings %, scd speedup %). *)
 let compute ~scale =
+  Sweep.prefetch
+    (List.concat_map
+       (fun w ->
+         List.map
+           (fun scheme -> Sweep.cell ~machine:Config.fpga ~scale Scd_cosim.Driver.Lua scheme w)
+           Scd_core.Scheme.[ Baseline; Jump_threading; Scd ])
+       Sweep.workloads);
   let rows = ref [] in
   let jt_inst = ref [] and jt_speed = ref [] in
   let scd_inst = ref [] and scd_speed = ref [] in

@@ -24,6 +24,97 @@ let is_control t =
     true
   | Plain | Mem_read _ | Mem_write _ | Jte_flush -> false
 
+(* ------------------------------------------------------------------ *)
+(* Allocation-free scratch representation                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Tags are ordered so that the control kinds are contiguous
+   ([tag_cond_branch] .. [tag_jru]); [scratch_is_control] relies on it. *)
+let tag_plain = 0
+let tag_mem_read = 1
+let tag_mem_write = 2
+let tag_cond_branch = 3
+let tag_jump = 4
+let tag_ind_jump = 5
+let tag_call = 6
+let tag_return = 7
+let tag_bop = 8
+let tag_jru = 9
+let tag_jte_flush = 10
+
+type scratch = {
+  mutable s_pc : int;
+  mutable s_tag : int;
+  mutable s_dispatch : bool;
+  mutable s_sets_rop : bool;
+  mutable s_addr : int;  (* Mem_read / Mem_write *)
+  mutable s_taken : bool;  (* Cond_branch *)
+  mutable s_target : int;  (* every control kind *)
+  mutable s_hint : int;  (* Ind_jump; -1 = no hint *)
+  mutable s_opcode : int;  (* Bop / Jru; -1 = none *)
+  mutable s_hit : bool;  (* Bop *)
+  mutable s_indirect : bool;  (* Call *)
+}
+
+let scratch_create () =
+  {
+    s_pc = 0;
+    s_tag = tag_plain;
+    s_dispatch = false;
+    s_sets_rop = false;
+    s_addr = 0;
+    s_taken = false;
+    s_target = 0;
+    s_hint = -1;
+    s_opcode = -1;
+    s_hit = false;
+    s_indirect = false;
+  }
+
+let scratch_is_mem s = s.s_tag = tag_mem_read || s.s_tag = tag_mem_write
+let scratch_is_control s = s.s_tag >= tag_cond_branch && s.s_tag <= tag_jru
+
+let load_scratch s t =
+  s.s_pc <- t.pc;
+  s.s_dispatch <- t.dispatch;
+  s.s_sets_rop <- t.sets_rop;
+  match t.kind with
+  | Plain -> s.s_tag <- tag_plain
+  | Mem_read { addr } ->
+    s.s_tag <- tag_mem_read;
+    s.s_addr <- addr
+  | Mem_write { addr } ->
+    s.s_tag <- tag_mem_write;
+    s.s_addr <- addr
+  | Cond_branch { taken; target } ->
+    s.s_tag <- tag_cond_branch;
+    s.s_taken <- taken;
+    s.s_target <- target
+  | Jump { target } ->
+    s.s_tag <- tag_jump;
+    s.s_target <- target
+  | Ind_jump { target; hint } ->
+    s.s_tag <- tag_ind_jump;
+    s.s_target <- target;
+    s.s_hint <- (match hint with None -> -1 | Some h -> h)
+  | Call { target; indirect } ->
+    s.s_tag <- tag_call;
+    s.s_target <- target;
+    s.s_indirect <- indirect
+  | Return { target } ->
+    s.s_tag <- tag_return;
+    s.s_target <- target
+  | Bop { opcode; hit; target } ->
+    s.s_tag <- tag_bop;
+    s.s_opcode <- opcode;
+    s.s_hit <- hit;
+    s.s_target <- target
+  | Jru { opcode; target } ->
+    s.s_tag <- tag_jru;
+    s.s_opcode <- (match opcode with None -> -1 | Some o -> o);
+    s.s_target <- target
+  | Jte_flush -> s.s_tag <- tag_jte_flush
+
 let pp fmt t =
   let k =
     match t.kind with

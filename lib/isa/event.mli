@@ -49,4 +49,51 @@ val make : ?dispatch:bool -> ?sets_rop:bool -> int -> kind -> t
 val is_control : t -> bool
 (** True for every kind that can redirect the PC. *)
 
+(** {2 Allocation-free scratch representation}
+
+    Building a fresh {!t} per retired instruction is the dominant
+    allocation of a co-simulated run (millions of events per workload). A
+    [scratch] is a single mutable record the producer overwrites in place
+    and hands to {!Scd_uarch.Pipeline.consume_scratch} synchronously:
+    steady-state event delivery then allocates nothing. Option-typed
+    payloads are encoded as [-1] for [None]. Payload fields not named by
+    the current [s_tag] may hold stale values; consumers must only read
+    the fields the tag defines (plus [s_pc], [s_dispatch], [s_sets_rop],
+    which are always valid). *)
+
+type scratch = {
+  mutable s_pc : int;
+  mutable s_tag : int;  (** One of the [tag_*] constants below. *)
+  mutable s_dispatch : bool;
+  mutable s_sets_rop : bool;
+  mutable s_addr : int;  (** [tag_mem_read] / [tag_mem_write]. *)
+  mutable s_taken : bool;  (** [tag_cond_branch]. *)
+  mutable s_target : int;  (** Every control tag. *)
+  mutable s_hint : int;  (** [tag_ind_jump]; [-1] = no hint. *)
+  mutable s_opcode : int;  (** [tag_bop] / [tag_jru]; [-1] = none. *)
+  mutable s_hit : bool;  (** [tag_bop]. *)
+  mutable s_indirect : bool;  (** [tag_call]. *)
+}
+
+val tag_plain : int
+val tag_mem_read : int
+val tag_mem_write : int
+val tag_cond_branch : int
+val tag_jump : int
+val tag_ind_jump : int
+val tag_call : int
+val tag_return : int
+val tag_bop : int
+val tag_jru : int
+val tag_jte_flush : int
+
+val scratch_create : unit -> scratch
+(** A fresh scratch holding a plain event at PC 0. *)
+
+val scratch_is_mem : scratch -> bool
+val scratch_is_control : scratch -> bool
+
+val load_scratch : scratch -> t -> unit
+(** Overwrite [scratch] with the contents of a boxed event. *)
+
 val pp : Format.formatter -> t -> unit

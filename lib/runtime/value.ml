@@ -22,13 +22,16 @@ and table = {
   hash : (key, t) Hashtbl.t;
 }
 
-let next_table_id = ref 0
+(* Domain-local: concurrent co-simulations (one per pool domain) each get
+   their own counter, so parallel runs stay deterministic and race-free. *)
+let next_table_id = Domain.DLS.new_key (fun () -> ref 0)
 
-let reset_table_ids () = next_table_id := 0
+let reset_table_ids () = Domain.DLS.get next_table_id := 0
 
 let new_table () =
-  incr next_table_id;
-  Table { id = !next_table_id; array = Array.make 8 Nil; border = 0; hash = Hashtbl.create 8 }
+  let counter = Domain.DLS.get next_table_id in
+  incr counter;
+  Table { id = !counter; array = Array.make 8 Nil; border = 0; hash = Hashtbl.create 8 }
 
 let type_name = function
   | Nil -> "nil"

@@ -46,7 +46,8 @@ val reset_table_ids : unit -> unit
 (** Restart the table-id counter. Ids must stay unique within one VM heap,
     so only call this between runs (the co-simulator calls it at the start
     of every run to make simulated heap addresses independent of whatever
-    executed earlier in the process). *)
+    executed earlier in the process). The counter is domain-local, so
+    co-simulations running on different pool domains cannot interfere. *)
 
 (* --- semantics helpers used by both VM interpreters --- *)
 

@@ -12,6 +12,7 @@ type t = {
   itlb : Tlb.t;
   dtlb : Tlb.t;
   stats : Stats.t;
+  scratch : Event.scratch; (* staging area for the boxed [consume] shim *)
   mutable last_fetch_block : int;
   mutable pair_open : bool; (* a second issue slot remains this cycle *)
   mutable group_has_mem : bool;
@@ -38,6 +39,7 @@ let create ?btb ?(indirect = Indirect.Pc_btb) (config : Config.t) =
     itlb = Tlb.create ~entries:config.itlb_entries;
     dtlb = Tlb.create ~entries:config.dtlb_entries;
     stats = Stats.create ();
+    scratch = Event.scratch_create ();
     last_fetch_block = -1;
     pair_open = false;
     group_has_mem = false;
@@ -47,9 +49,6 @@ let create ?btb ?(indirect = Indirect.Pc_btb) (config : Config.t) =
 let config t = t.config
 let btb t = t.btb
 let stats t = t.stats
-
-let is_mem (ev : Event.t) =
-  match ev.kind with Mem_read _ | Mem_write _ -> true | _ -> false
 
 let stall t cycles = t.stats.cycles <- t.stats.cycles + cycles
 
@@ -99,42 +98,45 @@ let data_access t addr =
 (* Issue-slot accounting: single issue charges a cycle per instruction;
    dual issue pairs the current instruction into the open slot when legal. *)
 let issue t ev =
-  let pairable =
-    t.pair_open && not (is_mem ev && t.group_has_mem)
-  in
+  let mem = Event.scratch_is_mem ev in
+  let pairable = t.pair_open && not (mem && t.group_has_mem) in
   if pairable then begin
     t.pair_open <- false;
-    if is_mem ev then t.group_has_mem <- true
+    if mem then t.group_has_mem <- true
   end
   else begin
     t.stats.cycles <- t.stats.cycles + 1;
     t.pair_open <- t.config.issue_width > 1;
-    t.group_has_mem <- is_mem ev
+    t.group_has_mem <- mem
   end;
   (* A control instruction always closes its issue group. *)
-  if Event.is_control ev then t.pair_open <- false
+  if Event.scratch_is_control ev then t.pair_open <- false
 
-let mispredict t (ev : Event.t) =
+let mispredict t (ev : Event.scratch) =
   stall t t.config.branch_penalty;
   t.pair_open <- false;
-  if ev.dispatch then
+  if ev.s_dispatch then
     t.stats.mispredicts_dispatch <- t.stats.mispredicts_dispatch + 1
 
-let consume t (ev : Event.t) =
+(* The hot entry point: reads only from the caller-owned scratch record and
+   allocates nothing. [consume] below is a thin boxing shim over this. *)
+let consume_scratch t (ev : Event.scratch) =
   let s = t.stats in
   s.instructions <- s.instructions + 1;
-  if ev.dispatch then s.dispatch_instructions <- s.dispatch_instructions + 1;
-  if ev.sets_rop then t.last_rop_index <- s.instructions;
-  fetch t ev.pc;
+  if ev.s_dispatch then s.dispatch_instructions <- s.dispatch_instructions + 1;
+  if ev.s_sets_rop then t.last_rop_index <- s.instructions;
+  fetch t ev.s_pc;
   issue t ev;
-  match ev.kind with
-  | Plain | Jte_flush -> ()
-  | Mem_read { addr } | Mem_write { addr } -> data_access t addr
-  | Cond_branch { taken; target } ->
+  let tag = ev.s_tag in
+  if tag = Event.tag_plain || tag = Event.tag_jte_flush then ()
+  else if tag = Event.tag_mem_read || tag = Event.tag_mem_write then
+    data_access t ev.s_addr
+  else if tag = Event.tag_cond_branch then begin
+    let taken = ev.s_taken in
     s.cond_branches <- s.cond_branches + 1;
-    let predicted_taken = Direction.predict t.direction ~pc:ev.pc in
+    let predicted_taken = Direction.predict t.direction ~pc:ev.s_pc in
     let predicted_target =
-      if predicted_taken then Btb.lookup t.btb ~jte:false ~key:ev.pc else None
+      if predicted_taken then Btb.lookup t.btb ~jte:false ~key:ev.s_pc else None
     in
     if predicted_taken <> taken then begin
       s.cond_mispredicts <- s.cond_mispredicts + 1;
@@ -146,63 +148,74 @@ let consume t (ev : Event.t) =
       s.direct_target_misses <- s.direct_target_misses + 1;
       stall t t.config.direct_bubble
     end;
-    Direction.update t.direction ~pc:ev.pc ~taken;
-    if taken then Btb.insert t.btb ~jte:false ~key:ev.pc ~target
-  | Jump { target } ->
+    Direction.update t.direction ~pc:ev.s_pc ~taken;
+    if taken then Btb.insert t.btb ~jte:false ~key:ev.s_pc ~target:ev.s_target
+  end
+  else if tag = Event.tag_jump then begin
     s.direct_jumps <- s.direct_jumps + 1;
-    (match Btb.lookup t.btb ~jte:false ~key:ev.pc with
-     | Some _ -> ()
-     | None ->
-       s.direct_target_misses <- s.direct_target_misses + 1;
-       stall t t.config.direct_bubble;
-       Btb.insert t.btb ~jte:false ~key:ev.pc ~target)
-  | Call { target; indirect } ->
-    Ras.push t.ras (ev.pc + 4);
-    if indirect then begin
+    match Btb.lookup t.btb ~jte:false ~key:ev.s_pc with
+    | Some _ -> ()
+    | None ->
+      s.direct_target_misses <- s.direct_target_misses + 1;
+      stall t t.config.direct_bubble;
+      Btb.insert t.btb ~jte:false ~key:ev.s_pc ~target:ev.s_target
+  end
+  else if tag = Event.tag_call then begin
+    Ras.push t.ras (ev.s_pc + 4);
+    if ev.s_indirect then begin
       s.indirect_jumps <- s.indirect_jumps + 1;
-      let predicted = Indirect.predict t.indirect ~pc:ev.pc ~hint:None in
-      if predicted <> Some target then begin
+      let predicted = Indirect.predict t.indirect ~pc:ev.s_pc ~hint:None in
+      if (match predicted with Some p -> p <> ev.s_target | None -> true)
+      then begin
         s.indirect_mispredicts <- s.indirect_mispredicts + 1;
         mispredict t ev
       end;
-      Indirect.update t.indirect ~pc:ev.pc ~hint:None ~target
+      Indirect.update t.indirect ~pc:ev.s_pc ~hint:None ~target:ev.s_target
     end
     else begin
       s.direct_jumps <- s.direct_jumps + 1;
-      match Btb.lookup t.btb ~jte:false ~key:ev.pc with
+      match Btb.lookup t.btb ~jte:false ~key:ev.s_pc with
       | Some _ -> ()
       | None ->
         s.direct_target_misses <- s.direct_target_misses + 1;
         stall t t.config.direct_bubble;
-        Btb.insert t.btb ~jte:false ~key:ev.pc ~target
+        Btb.insert t.btb ~jte:false ~key:ev.s_pc ~target:ev.s_target
     end
-  | Return { target } ->
+  end
+  else if tag = Event.tag_return then begin
     s.returns <- s.returns + 1;
-    (match Ras.pop t.ras with
-     | Some predicted when predicted = target -> ()
-     | Some _ | None ->
-       s.return_mispredicts <- s.return_mispredicts + 1;
-       mispredict t ev)
-  | Ind_jump { target; hint } ->
+    match Ras.pop t.ras with
+    | Some predicted when predicted = ev.s_target -> ()
+    | Some _ | None ->
+      s.return_mispredicts <- s.return_mispredicts + 1;
+      mispredict t ev
+  end
+  else if tag = Event.tag_ind_jump then begin
     s.indirect_jumps <- s.indirect_jumps + 1;
-    let predicted = Indirect.predict t.indirect ~pc:ev.pc ~hint in
-    if predicted <> Some target then begin
+    let hint = if ev.s_hint < 0 then None else Some ev.s_hint in
+    let predicted = Indirect.predict t.indirect ~pc:ev.s_pc ~hint in
+    if (match predicted with Some p -> p <> ev.s_target | None -> true)
+    then begin
       s.indirect_mispredicts <- s.indirect_mispredicts + 1;
       mispredict t ev
     end;
-    Indirect.update t.indirect ~pc:ev.pc ~hint ~target
-  | Jru { target; _ } ->
+    Indirect.update t.indirect ~pc:ev.s_pc ~hint ~target:ev.s_target
+  end
+  else if tag = Event.tag_jru then begin
     (* Times exactly like a plain indirect jump; the JTE insertion has been
        done by the SCD engine against the shared BTB. *)
     s.jru_count <- s.jru_count + 1;
     s.indirect_jumps <- s.indirect_jumps + 1;
-    let predicted = Indirect.predict t.indirect ~pc:ev.pc ~hint:None in
-    if predicted <> Some target then begin
+    let predicted = Indirect.predict t.indirect ~pc:ev.s_pc ~hint:None in
+    if (match predicted with Some p -> p <> ev.s_target | None -> true)
+    then begin
       s.indirect_mispredicts <- s.indirect_mispredicts + 1;
       mispredict t ev
     end;
-    Indirect.update t.indirect ~pc:ev.pc ~hint:None ~target
-  | Bop { hit; _ } ->
+    Indirect.update t.indirect ~pc:ev.s_pc ~hint:None ~target:ev.s_target
+  end
+  else begin
+    (* tag_bop *)
     s.bop_count <- s.bop_count + 1;
     (* Rop-not-ready stall: the paper's default (stalling) scheme inserts
        bubbles until the .op producer has reached Execute; under the
@@ -217,10 +230,13 @@ let consume t (ev : Event.t) =
          stall t bubbles
        end
      | `Fall_through -> ());
-    if hit then begin
+    if ev.s_hit then begin
       s.bop_hits <- s.bop_hits + 1;
       stall t t.config.bop_hit_bubble;
       t.pair_open <- false
     end
+  end
 
-let consume_all t events = List.iter (consume t) events
+let consume t ev =
+  Event.load_scratch t.scratch ev;
+  consume_scratch t t.scratch

@@ -40,6 +40,13 @@ val btb : t -> Btb.t
 val stats : t -> Stats.t
 
 val consume : t -> Scd_isa.Event.t -> unit
-(** Account one retired instruction. *)
+(** Account one retired instruction. Convenience shim over
+    {!consume_scratch}: the event is unpacked into an internal scratch
+    record first. *)
 
-val consume_all : t -> Scd_isa.Event.t list -> unit
+val consume_scratch : t -> Scd_isa.Event.scratch -> unit
+(** Account one retired instruction described by a caller-owned mutable
+    scratch record. This is the allocation-free hot path: the producer
+    overwrites one scratch in place per instruction and the pipeline reads
+    it synchronously — no per-event record is ever allocated. The pipeline
+    does not retain the scratch across calls. *)

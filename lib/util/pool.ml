@@ -1,0 +1,113 @@
+type t = {
+  mutex : Mutex.t;
+  work : Condition.t;  (* a task was queued, or shutdown began *)
+  finished : Condition.t;  (* some batch completed a task *)
+  queue : (unit -> unit) Queue.t;
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+  jobs : int;
+}
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let rec worker_loop t =
+  Mutex.lock t.mutex;
+  while Queue.is_empty t.queue && not t.stop do
+    Condition.wait t.work t.mutex
+  done;
+  match Queue.take_opt t.queue with
+  | None ->
+    (* stop requested and no work left *)
+    Mutex.unlock t.mutex
+  | Some task ->
+    Mutex.unlock t.mutex;
+    task ();
+    worker_loop t
+
+let create ~jobs =
+  let jobs = max 1 jobs in
+  let t =
+    {
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      finished = Condition.create ();
+      queue = Queue.create ();
+      stop = false;
+      workers = [];
+      jobs;
+    }
+  in
+  t.workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let jobs t = t.jobs
+
+type 'a outcome = Value of 'a | Raised of exn * Printexc.raw_backtrace
+
+let collect results =
+  Array.iter
+    (function Raised (e, bt) -> Printexc.raise_with_backtrace e bt | Value _ -> ())
+    results;
+  Array.to_list
+    (Array.map
+       (function Value v -> v | Raised _ -> assert false)
+       results)
+
+let run t thunks =
+  if t.stop then invalid_arg "Pool.run: pool is shut down";
+  match thunks with
+  | [] -> []
+  | thunks when t.jobs = 1 ->
+    (* legacy sequential path: no queue, exceptions propagate eagerly *)
+    List.map (fun f -> f ()) thunks
+  | thunks ->
+    let n = List.length thunks in
+    let results = Array.make n (Raised (Not_found, Printexc.get_callstack 0)) in
+    let remaining = ref n in
+    let wrap i f () =
+      let r =
+        try Value (f ())
+        with e -> Raised (e, Printexc.get_raw_backtrace ())
+      in
+      Mutex.lock t.mutex;
+      results.(i) <- r;
+      decr remaining;
+      (* Broadcast on every completion, not only the batch's last: a
+         waiter from another (nested) batch re-checks the queue on wakeup
+         and can help with freshly queued work. *)
+      Condition.broadcast t.finished;
+      Mutex.unlock t.mutex
+    in
+    Mutex.lock t.mutex;
+    List.iteri (fun i f -> Queue.add (wrap i f) t.queue) thunks;
+    Condition.broadcast t.work;
+    (* Help drain the queue until this batch is done. Helping may execute
+       tasks from other (nested) batches — harmless, and it is what makes
+       nested [run] calls deadlock-free. *)
+    while !remaining > 0 do
+      match Queue.take_opt t.queue with
+      | Some task ->
+        Mutex.unlock t.mutex;
+        task ();
+        Mutex.lock t.mutex
+      | None -> Condition.wait t.finished t.mutex
+    done;
+    Mutex.unlock t.mutex;
+    collect results
+
+let map t f xs = run t (List.map (fun x () -> f x) xs)
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  let workers = t.workers in
+  t.workers <- [];
+  if not t.stop then begin
+    t.stop <- true;
+    Condition.broadcast t.work
+  end;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join workers
+
+let with_pool ~jobs f =
+  let t = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

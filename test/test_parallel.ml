@@ -1,0 +1,129 @@
+(* Domain-pool unit tests plus the parallel-determinism guarantee: pooled
+   experiment runs must render byte-identical tables to sequential runs. *)
+
+module Pool = Scd_util.Pool
+
+(* ------------------------------------------------------------------ *)
+(* Pool unit tests                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_map_preserves_order () =
+  let items = List.init 100 Fun.id in
+  let got =
+    Pool.with_pool ~jobs:4 (fun p -> Pool.map p (fun i -> i * i) items)
+  in
+  Alcotest.(check (list int))
+    "results in submission order"
+    (List.map (fun i -> i * i) items)
+    got
+
+let test_jobs_one_is_sequential () =
+  let order = ref [] in
+  let got =
+    Pool.with_pool ~jobs:1 (fun p ->
+        Pool.map p
+          (fun i ->
+            order := i :: !order;
+            i + 1)
+          [ 1; 2; 3 ])
+  in
+  Alcotest.(check (list int)) "results" [ 2; 3; 4 ] got;
+  (* jobs=1 executes in place, in order, on the calling domain *)
+  Alcotest.(check (list int)) "execution order" [ 1; 2; 3 ] (List.rev !order)
+
+exception Boom of int
+
+let test_exception_propagates () =
+  let raised =
+    try
+      Pool.with_pool ~jobs:4 (fun p ->
+          ignore
+            (Pool.map p
+               (fun i -> if i >= 3 then raise (Boom i) else i)
+               (List.init 8 Fun.id)
+              : int list);
+          None)
+    with Boom i -> Some i
+  in
+  (* the first failing task by submission order wins *)
+  Alcotest.(check (option int)) "first exception" (Some 3) raised
+
+let test_pool_reuse () =
+  Pool.with_pool ~jobs:3 (fun p ->
+      let a = Pool.map p (fun i -> 2 * i) [ 1; 2; 3 ] in
+      let b = Pool.map p String.uppercase_ascii [ "a"; "b" ] in
+      let c = Pool.run p [] in
+      Alcotest.(check (list int)) "first batch" [ 2; 4; 6 ] a;
+      Alcotest.(check (list string)) "second batch" [ "A"; "B" ] b;
+      Alcotest.(check (list unit)) "empty batch" [] c)
+
+let test_nested_run () =
+  (* tasks that themselves fan out on the same pool must not deadlock:
+     the caller helps drain the queue while waiting (this is exactly what
+     experiments do — each is a pool task whose sweep prefetch submits
+     more pool tasks) *)
+  let got =
+    Pool.with_pool ~jobs:2 (fun p ->
+        Pool.map p
+          (fun i ->
+            List.fold_left ( + ) 0
+              (Pool.map p (fun j -> (10 * i) + j) [ 1; 2; 3 ]))
+          [ 1; 2; 3; 4 ])
+  in
+  Alcotest.(check (list int)) "nested totals" [ 36; 66; 96; 126 ] got
+
+let test_default_jobs_positive () =
+  Alcotest.(check bool) "at least one" true (Pool.default_jobs () >= 1)
+
+(* ------------------------------------------------------------------ *)
+(* Determinism: pooled experiments render byte-identical tables        *)
+(* ------------------------------------------------------------------ *)
+
+let find_experiment id =
+  match Scd_experiments.Registry.find id with
+  | Some e -> e
+  | None -> Alcotest.failf "experiment %s not registered" id
+
+let render ~jobs e =
+  (* clear the sweep memo cache so each rendering recomputes from scratch *)
+  Scd_experiments.Sweep.clear ();
+  Pool.with_pool ~jobs (fun pool ->
+      match Scd_experiments.Runner.run_all ~pool ~quick:true ~csv:false [ e ] with
+      | [ r ] -> r.body
+      | rs -> Alcotest.failf "expected one rendering, got %d" (List.length rs))
+
+let test_deterministic id () =
+  let e = find_experiment id in
+  let sequential = render ~jobs:1 e in
+  let pooled = render ~jobs:4 e in
+  Scd_experiments.Sweep.clear ();
+  Alcotest.(check bool)
+    "rendering is non-empty" true
+    (String.length sequential > 0);
+  Alcotest.(check string) "pooled output byte-identical" sequential pooled
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map preserves order" `Quick
+            test_map_preserves_order;
+          Alcotest.test_case "jobs=1 runs sequentially in place" `Quick
+            test_jobs_one_is_sequential;
+          Alcotest.test_case "first exception propagates" `Quick
+            test_exception_propagates;
+          Alcotest.test_case "pool survives reuse" `Quick test_pool_reuse;
+          Alcotest.test_case "nested fan-out does not deadlock" `Quick
+            test_nested_run;
+          Alcotest.test_case "default_jobs is positive" `Quick
+            test_default_jobs_positive;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "fig7 pooled = sequential" `Slow
+            (test_deterministic "fig7");
+          Alcotest.test_case "tab4 pooled = sequential" `Slow
+            (test_deterministic "tab4");
+        ] );
+    ]

@@ -309,7 +309,7 @@ let plain_events n = List.init n (fun i -> Event.plain (0x1000 + (4 * i)))
 
 let test_pipeline_counts_instructions () =
   let p = Pipeline.create Config.simulator in
-  Pipeline.consume_all p (plain_events 100);
+  List.iter (Pipeline.consume p) (plain_events 100);
   check_int "instructions" 100 (Pipeline.stats p).instructions;
   check_bool "cycles >= instructions (single issue)" true
     ((Pipeline.stats p).cycles >= 100)
@@ -319,9 +319,9 @@ let test_pipeline_dual_issue () =
      the issue-width effect *)
   let same_block n = List.init n (fun _ -> Event.plain 0x1000) in
   let p1 = Pipeline.create Config.simulator in
-  Pipeline.consume_all p1 (same_block 1000);
+  List.iter (Pipeline.consume p1) (same_block 1000);
   let p2 = Pipeline.create Config.high_end in
-  Pipeline.consume_all p2 (same_block 1000);
+  List.iter (Pipeline.consume p2) (same_block 1000);
   check_bool "dual issue is faster on plain code" true
     ((Pipeline.stats p2).cycles < (Pipeline.stats p1).cycles);
   check_bool "dual issue near half cycles" true
@@ -368,14 +368,14 @@ let test_pipeline_bop_accounting () =
 let test_pipeline_no_stall_with_distance () =
   let p = Pipeline.create Config.simulator in
   Pipeline.consume p (Event.plain ~sets_rop:true 0x1000);
-  Pipeline.consume_all p (plain_events 5);
+  List.iter (Pipeline.consume p) (plain_events 5);
   Pipeline.consume p
     (Event.make 0x2004 (Bop { opcode = 3; hit = false; target = 0x2008 }));
   check_int "no stall at distance" 0 (Pipeline.stats p).bop_stall_cycles
 
 let test_pipeline_icache_per_block () =
   let p = Pipeline.create Config.simulator in
-  Pipeline.consume_all p (plain_events 32); (* 32 instrs = 2 blocks *)
+  List.iter (Pipeline.consume p) (plain_events 32); (* 32 instrs = 2 blocks *)
   let s = Pipeline.stats p in
   check_int "one access per fetched block" 2 s.icache_accesses
 
