@@ -115,18 +115,41 @@ let micro_tests () =
   (* the same stream through the allocation-free scratch hot path used by
      the co-simulation driver: one mutable record overwritten in place,
      so steady-state minor allocation is zero *)
+  let scratch_loop p s =
+    for i = 0 to 999 do
+      s.Scd_isa.Event.s_pc <- 0x1000 + (4 * (i land 255));
+      s.Scd_isa.Event.s_tag <- Scd_isa.Event.tag_plain;
+      s.Scd_isa.Event.s_dispatch <- false;
+      s.Scd_isa.Event.s_sets_rop <- false;
+      Scd_uarch.Pipeline.consume_scratch p s
+    done
+  in
   let pipeline_consume_scratch =
     let p = Scd_uarch.Pipeline.create Scd_uarch.Config.simulator in
     let s = Scd_isa.Event.scratch_create () in
     Test.make ~name:"pipeline-consume-scratch-1k"
-      (Staged.stage (fun () ->
-           for i = 0 to 999 do
-             s.Scd_isa.Event.s_pc <- 0x1000 + (4 * (i land 255));
-             s.s_tag <- Scd_isa.Event.tag_plain;
-             s.s_dispatch <- false;
-             s.s_sets_rop <- false;
-             Scd_uarch.Pipeline.consume_scratch p s
-           done))
+      (Staged.stage (fun () -> scratch_loop p s))
+  in
+  (* the telemetry acceptance gate: with the probe disabled (the default
+     Probe.null), the scratch hot path must still retire events with zero
+     additional minor-heap allocation — the disabled path is one physical
+     equality check *)
+  let pipeline_scratch_probe_off =
+    let p = Scd_uarch.Pipeline.create Scd_uarch.Config.simulator in
+    Scd_uarch.Pipeline.set_probe p Scd_obs.Probe.null;
+    let s = Scd_isa.Event.scratch_create () in
+    Test.make ~name:"pipeline-scratch-probe-off-1k"
+      (Staged.stage (fun () -> scratch_loop p s))
+  in
+  (* and the enabled-path cost: a counting retire hook on every instruction *)
+  let pipeline_scratch_probe_on =
+    let p = Scd_uarch.Pipeline.create Scd_uarch.Config.simulator in
+    let retired = ref 0 in
+    Scd_uarch.Pipeline.set_probe p
+      (Scd_obs.Probe.create ~on_retire:(fun () -> incr retired) ());
+    let s = Scd_isa.Event.scratch_create () in
+    Test.make ~name:"pipeline-scratch-probe-on-1k"
+      (Staged.stage (fun () -> scratch_loop p s))
   in
   let btb_ops =
     Test.make ~name:"btb-lookup-insert-1k"
@@ -218,8 +241,9 @@ let micro_tests () =
                 ~source:
                   "function fib(n) if n < 2 then return n end return fib(n-1) + fib(n-2) end print(fib(10))")))
   in
-  [ pipeline_consume; pipeline_consume_scratch; btb_ops; engine_bop;
-    rvm_interp; svm_interp; direction; asm_exec; cosim_small ]
+  [ pipeline_consume; pipeline_consume_scratch; pipeline_scratch_probe_off;
+    pipeline_scratch_probe_on; btb_ops; engine_bop; rvm_interp; svm_interp;
+    direction; asm_exec; cosim_small ]
 
 type micro_result = { name : string; ns_per_run : float; minor_words_per_run : float }
 
@@ -285,10 +309,18 @@ let json_escape s =
 
 let json_float f = if Float.is_nan f then "null" else Printf.sprintf "%.3f" f
 
+(* Bump when the shape of the --json document changes so downstream
+   trajectory tooling can dispatch on it. Version history:
+   1 (implicit, PR 1): date/jobs/scale/experiments/total_seconds/micro;
+   2: added the schema_version field itself. *)
+let json_schema_version = 2
+
 let write_json path ~(opts : options) ~experiments ~total_seconds ~micro =
   let tm = Unix.localtime (Unix.time ()) in
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"schema_version\": %d,\n" json_schema_version);
   Buffer.add_string buf
     (Printf.sprintf "  \"date\": \"%04d-%02d-%02dT%02d:%02d:%02d\",\n"
        (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1) tm.Unix.tm_mday

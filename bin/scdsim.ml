@@ -3,7 +3,8 @@
 
      scdsim run --workload fibo --vm lua --scheme scd   co-simulate a script
      scdsim run --file prog.mina --scheme baseline
-     scdsim exp fig7 [--quick] [--csv]                  regenerate a figure
+     scdsim trace fibo --interval 10000 --out t.json    telemetry run
+     scdsim exp fig7 [--quick] [--csv] [--sample DIR]   regenerate a figure
      scdsim list                                        inventory
      scdsim assemble prog.erv -o prog.hex               build a binary image
      scdsim exec prog.erv|prog.hex                      run ERV32 code *)
@@ -169,6 +170,168 @@ let run_cmd =
                $ superinstructions))
 
 (* ------------------------------------------------------------------ *)
+(* trace: co-simulate with telemetry attached                          *)
+(* ------------------------------------------------------------------ *)
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let attr_table ~attr ~name_of ~total_cycles attribution =
+  let t =
+    Scd_util.Table.make
+      ~title:(Printf.sprintf "cycle attribution by %s" attr)
+      ~headers:[ attr; "bytecodes"; "cycles"; "cycles%"; "instrs"; "mispredicts" ]
+  in
+  List.iter
+    (fun (r : Scd_obs.Attribution.row) ->
+      Scd_util.Table.add_row t
+        [ name_of r.key;
+          string_of_int r.events;
+          string_of_int r.cycles;
+          Scd_util.Table.cell_percent
+            (if total_cycles = 0 then 0.0
+             else 100.0 *. float_of_int r.cycles /. float_of_int total_cycles);
+          string_of_int r.instructions;
+          string_of_int r.mispredicts ])
+    (Scd_obs.Attribution.rows attribution);
+  t
+
+let trace_cmd =
+  let workload =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"WORKLOAD" ~doc:"Named benchmark workload (see 'scdsim list').")
+  in
+  let vm =
+    Arg.(value & opt vm_conv Scd_cosim.Driver.Lua
+         & info [ "vm" ] ~docv:"VM" ~doc:"Interpreter: lua (register) or js (stack).")
+  in
+  let scheme =
+    Arg.(value & opt scheme_conv Scd_core.Scheme.Scd
+         & info [ "s"; "scheme" ] ~docv:"SCHEME"
+             ~doc:"Dispatch scheme: baseline, jump-threading, vbbi, scd.")
+  in
+  let machine =
+    Arg.(value & opt machine_conv Scd_uarch.Config.simulator
+         & info [ "m"; "machine" ] ~docv:"MACHINE" ~doc:"sim, fpga or high-end.")
+  in
+  let scale =
+    Arg.(value & opt scale_conv Scd_workloads.Workload.Sim
+         & info [ "scale" ] ~docv:"SCALE" ~doc:"test, small, sim or fpga inputs.")
+  in
+  let interval =
+    Arg.(value & opt int 10_000
+         & info [ "interval" ] ~docv:"N"
+             ~doc:"Sample the time series every N retired instructions.")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "out" ] ~docv:"FILE"
+             ~doc:"Write Chrome trace-event JSON (chrome://tracing / Perfetto).")
+  in
+  let csv =
+    Arg.(value & opt (some string) None
+         & info [ "csv" ] ~docv:"FILE" ~doc:"Write the time series as CSV.")
+  in
+  let attr =
+    Arg.(value & opt (enum [ ("site", `Site); ("opcode", `Opcode) ]) `Site
+         & info [ "attr" ] ~docv:"KIND"
+             ~doc:"Attribution table to print: per dispatch site or per opcode.")
+  in
+  let context_switch =
+    Arg.(value & opt (some int) None
+         & info [ "cs-interval" ] ~docv:"N"
+             ~doc:"Flush JTEs every N retired instructions (context-switch model).")
+  in
+  let multi_table =
+    Arg.(value & flag
+         & info [ "multi-table" ]
+             ~doc:"Give each dispatch site its own jump table (Section IV).")
+  in
+  let action workload vm scheme machine scale interval out csv attr
+      context_switch multi_table =
+    if interval <= 0 then `Error (false, "--interval must be positive")
+    else
+      match Scd_workloads.Registry.find workload with
+      | None ->
+        `Error
+          (false,
+           Printf.sprintf "unknown workload %S; try: %s" workload
+             (String.concat ", " Scd_workloads.Registry.names))
+      | Some w ->
+        let source = Scd_workloads.Workload.source w scale in
+        let config =
+          { Scd_cosim.Driver.default_config with
+            vm; scheme; machine; multi_table;
+            context_switch_interval = context_switch }
+        in
+        let telemetry = Scd_cosim.Telemetry.create ~interval () in
+        (try
+           let r = Scd_cosim.Driver.run ~telemetry config ~source in
+           let open Scd_cosim.Telemetry in
+           let s = r.stats in
+           Printf.printf "workload          %s (%s scale, %s VM, %s)\n" w.name
+             (Scd_workloads.Workload.scale_name scale)
+             (Scd_cosim.Driver.vm_name vm)
+             (Scd_core.Scheme.name scheme);
+           Printf.printf "instructions      %d\n" s.Scd_uarch.Stats.instructions;
+           Printf.printf "cycles            %d\n" s.Scd_uarch.Stats.cycles;
+           Printf.printf "samples           %d (every %d instructions)\n"
+             (Scd_obs.Series.length (series telemetry))
+             (interval telemetry);
+           let cpb = cycles_per_bytecode telemetry in
+           Printf.printf "cycles/bytecode   mean %.1f  p50 <=%d  p99 <=%d  max %d\n"
+             (Scd_obs.Histogram.mean cpb)
+             (Scd_obs.Histogram.quantile cpb 0.5)
+             (Scd_obs.Histogram.quantile cpb 0.99)
+             (Scd_obs.Histogram.max_value cpb);
+           let bursts = burst_lengths telemetry in
+           Printf.printf "mispredict bursts %d (mean length %.1f, max %d)\n\n"
+             (Scd_obs.Histogram.count bursts)
+             (Scd_obs.Histogram.mean bursts)
+             (Scd_obs.Histogram.max_value bursts);
+           let table =
+             match attr with
+             | `Site ->
+               attr_table ~attr:"site" ~name_of:site_name
+                 ~total_cycles:s.Scd_uarch.Stats.cycles (site_attr telemetry)
+             | `Opcode ->
+               attr_table ~attr:"opcode" ~name_of:string_of_int
+                 ~total_cycles:s.Scd_uarch.Stats.cycles (opcode_attr telemetry)
+           in
+           print_string (Scd_util.Table.render table);
+           (match csv with
+            | None -> ()
+            | Some path ->
+              write_file path (to_csv telemetry);
+              Printf.printf "\nwrote %s\n" path);
+           match out with
+           | None -> `Ok ()
+           | Some path -> (
+             let json = to_chrome_trace telemetry in
+             match Scd_obs.Json.validate json with
+             | Error m ->
+               `Error
+                 (false, "internal error: emitted trace JSON is invalid: " ^ m)
+             | Ok () ->
+               write_file path json;
+               Printf.printf "\nwrote %s (load in chrome://tracing or Perfetto)\n"
+                 path;
+               `Ok ())
+         with
+         | Scd_runtime.Value.Runtime_error m -> `Error (false, "runtime error: " ^ m)
+         | Scd_rvm.Compiler.Error m | Scd_svm.Compiler.Error m ->
+           `Error (false, "compile error: " ^ m))
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Co-simulate a workload with telemetry: interval time series, \
+             Chrome-trace export, per-site/per-opcode attribution")
+    Term.(ret (const action $ workload $ vm $ scheme $ machine $ scale
+               $ interval $ out $ csv $ attr $ context_switch $ multi_table))
+
+(* ------------------------------------------------------------------ *)
 (* exp                                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -188,8 +351,22 @@ let exp_cmd =
              ~doc:"Worker domains for the sweep pool (1 = sequential). Output \
                    is byte-identical at any job count.")
   in
-  let action id quick csv jobs =
+  let sample =
+    Arg.(value & opt (some string) None
+         & info [ "sample" ] ~docv:"DIR"
+             ~doc:"Dump the interval time series behind every co-simulated \
+                   cell of the selected experiments as CSV files into DIR \
+                   (created if missing).")
+  in
+  let sample_interval =
+    Arg.(value & opt int 10_000
+         & info [ "sample-interval" ] ~docv:"N"
+             ~doc:"Sampling interval (retired instructions) for --sample.")
+  in
+  let action id quick csv jobs sample sample_interval =
     if jobs < 1 then `Error (false, "--jobs must be at least 1")
+    else if sample_interval <= 0 then
+      `Error (false, "--sample-interval must be positive")
     else
       let selected =
         if id = "all" then Ok Scd_experiments.Registry.all
@@ -204,15 +381,26 @@ let exp_cmd =
       match selected with
       | Error m -> `Error (false, m)
       | Ok experiments ->
+        (match sample with
+         | None -> ()
+         | Some dir ->
+           if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+           Scd_experiments.Sweep.set_sample_dir ~interval:sample_interval
+             (Some dir));
         Scd_util.Pool.with_pool ~jobs (fun pool ->
             List.iter
               (fun (r : Scd_experiments.Runner.rendered) -> print_string r.body)
               (Scd_experiments.Runner.run_all ~pool ~quick ~csv experiments));
+        (match sample with
+         | None -> ()
+         | Some dir ->
+           Scd_experiments.Sweep.set_sample_dir None;
+           Printf.printf "time-series samples written to %s/\n" dir);
         `Ok ()
   in
   Cmd.v
     (Cmd.info "exp" ~doc:"Regenerate a paper figure or table")
-    Term.(ret (const action $ id $ quick $ csv $ jobs))
+    Term.(ret (const action $ id $ quick $ csv $ jobs $ sample $ sample_interval))
 
 (* ------------------------------------------------------------------ *)
 (* list                                                                *)
@@ -386,4 +574,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; exp_cmd; list_cmd; dispatch_cmd; assemble_cmd; exec_cmd ]))
+          [ run_cmd; trace_cmd; exp_cmd; list_cmd; dispatch_cmd; assemble_cmd;
+            exec_cmd ]))

@@ -362,9 +362,36 @@ let on_bytecode exp (tr : Trace.t) =
   emit_tail exp tr.opcode;
   exp.prev_opcode <- tr.opcode
 
+(* Telemetry wrapper: measure the whole bytecode's expansion (dispatch +
+   handler + tail all happen inside [on_bytecode]) and attribute the deltas
+   to the dispatch site that fetched it and to its opcode. Only used when a
+   telemetry sink is attached; the plain path stays allocation-free. *)
+let on_bytecode_observed exp tel (tr : Trace.t) =
+  let stats = Pipeline.stats exp.pipeline in
+  let cycles0 = stats.Stats.cycles in
+  let instructions0 = stats.Stats.instructions in
+  let mispredicts0 = Stats.total_mispredicts stats in
+  let site =
+    (* mirrors the site selection in [on_bytecode] *)
+    match exp.scheme with
+    | Scd_core.Scheme.Jump_threading -> 0
+    | _ ->
+      if exp.prev_opcode < 0 then 0
+      else table_of_site (Layout.site_of_opcode exp.layout exp.prev_opcode)
+  in
+  on_bytecode exp tr;
+  Telemetry.note_bytecode tel ~site ~opcode:tr.opcode
+    ~cycles:(stats.Stats.cycles - cycles0)
+    ~instructions:(stats.Stats.instructions - instructions0)
+    ~mispredicts:(Stats.total_mispredicts stats - mispredicts0)
+
+let trace_callback exp = function
+  | None -> on_bytecode exp
+  | Some tel -> on_bytecode_observed exp tel
+
 (* ------------------------------------------------------------------ *)
 
-let run config ~source =
+let run ?telemetry config ~source =
   (* simulated heap addresses derive from table ids: restart the counter so
      results do not depend on earlier runs in this process *)
   Scd_runtime.Value.reset_table_ids ();
@@ -392,7 +419,11 @@ let run config ~source =
       else Spec.rvm
     | Js -> Spec.svm
   in
+  (match telemetry with
+   | None -> ()
+   | Some tel -> Telemetry.attach tel ~pipeline ~engine);
   let finish layout ~bytecodes ~output =
+    (match telemetry with None -> () | Some tel -> Telemetry.finish tel);
     {
       stats = Pipeline.stats pipeline;
       btb = Btb.stats btb;
@@ -445,7 +476,7 @@ let run config ~source =
       }
     in
     let ctx = Builtins.create_ctx ~seed:config.seed () in
-    let vm = Scd_rvm.Vm.create ~ctx ~trace:(on_bytecode exp) program in
+    let vm = Scd_rvm.Vm.create ~ctx ~trace:(trace_callback exp telemetry) program in
     Scd_rvm.Vm.run vm;
     finish layout ~bytecodes:exp.bytecodes ~output:(Builtins.output ctx)
   | Js ->
@@ -479,7 +510,7 @@ let run config ~source =
       }
     in
     let ctx = Builtins.create_ctx ~seed:config.seed () in
-    let vm = Scd_svm.Vm.create ~ctx ~trace:(on_bytecode exp) program in
+    let vm = Scd_svm.Vm.create ~ctx ~trace:(trace_callback exp telemetry) program in
     Scd_svm.Vm.run vm;
     finish layout ~bytecodes:exp.bytecodes ~output:(Builtins.output ctx)
 

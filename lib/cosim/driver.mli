@@ -61,8 +61,15 @@ type result = {
   code_bytes : int;  (** Interpreter native-code footprint. *)
 }
 
-val run : run_config -> source:string -> result
-(** Compile and co-simulate [source]. Raises on script errors. *)
+val run : ?telemetry:Telemetry.t -> run_config -> source:string -> result
+(** Compile and co-simulate [source]. Raises on script errors.
+
+    [telemetry], when given, is attached for the duration of the run: the
+    pipeline probe samples interval time series, and every bytecode's
+    cycles/instructions/mispredictions are attributed to its dispatch site
+    and opcode (see {!Telemetry}). Each telemetry value records exactly one
+    run. Without it, the driver's hot path is unchanged (allocation-free,
+    probe disabled). *)
 
 val cycles : result -> int
 val instructions : result -> int

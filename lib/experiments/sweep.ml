@@ -37,6 +37,45 @@ let pool : Scd_util.Pool.t option ref = ref None
 
 let set_pool p = pool := p
 
+(* ------------------------------------------------------------------ *)
+(* Time-series sampling behind any figure (scdsim exp --sample DIR)    *)
+(* ------------------------------------------------------------------ *)
+
+let sample_dir : string option ref = ref None
+let sample_interval = ref 10_000
+
+(** When set, every co-simulated cell runs with a {!Driver.Telemetry}
+    attached and dumps its interval time series as [DIR/<cell-key>.csv].
+    Pool domains write distinct files (distinct keys); two domains racing on
+    the same key write identical bytes. *)
+let set_sample_dir ?(interval = 10_000) dir =
+  if interval <= 0 then invalid_arg "Sweep.set_sample_dir: interval must be positive";
+  sample_dir := dir;
+  sample_interval := interval
+
+let sanitize_key key =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '_' | '-' -> c
+      | _ -> '-')
+    key
+
+(* Every cell computation funnels through here so that --sample covers the
+   standard sweeps, the custom-config runs and the cache-miss fallbacks
+   alike. *)
+let run_driver ~key (config : Driver.run_config) ~source =
+  match !sample_dir with
+  | None -> Driver.run config ~source
+  | Some dir ->
+    let telemetry = Telemetry.create ~interval:!sample_interval () in
+    let r = Driver.run ~telemetry config ~source in
+    let path = Filename.concat dir (sanitize_key key ^ ".csv") in
+    let oc = open_out path in
+    output_string oc (Telemetry.to_csv telemetry);
+    close_out oc;
+    r
+
 let machine_key (m : Config.t) =
   Printf.sprintf "%s/btb%d/cap%s" m.name m.btb_entries
     (match m.jte_cap with None -> "inf" | Some c -> string_of_int c)
@@ -56,7 +95,7 @@ let custom_key ~tag (w : Scd_workloads.Workload.t) scale =
 type cell = { key : string; compute : unit -> Driver.result }
 
 let compute_std ~machine ~scale vm scheme (w : Scd_workloads.Workload.t) () =
-  Driver.run
+  run_driver ~key:(std_key ~machine ~scale vm scheme w)
     { Driver.default_config with vm; scheme; machine }
     ~source:(Scd_workloads.Workload.source w scale)
 
@@ -69,7 +108,9 @@ let cell_custom ~tag (config : Driver.run_config) (w : Scd_workloads.Workload.t)
     scale =
   { key = custom_key ~tag w scale;
     compute =
-      (fun () -> Driver.run config ~source:(Scd_workloads.Workload.source w scale));
+      (fun () ->
+        run_driver ~key:(custom_key ~tag w scale) config
+          ~source:(Scd_workloads.Workload.source w scale));
   }
 
 (** Compute every not-yet-cached cell on the active pool (deduplicated by
@@ -132,7 +173,7 @@ let run_custom ~tag (config : Driver.run_config) (w : Scd_workloads.Workload.t)
   match find_cached key with
   | Some r -> r
   | None ->
-    let r = Driver.run config ~source:(Scd_workloads.Workload.source w scale) in
+    let r = run_driver ~key config ~source:(Scd_workloads.Workload.source w scale) in
     insert key r;
     r
 

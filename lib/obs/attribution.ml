@@ -1,0 +1,56 @@
+type t = {
+  events : int array;
+  cycles : int array;
+  instructions : int array;
+  mispredicts : int array;
+}
+
+type row = {
+  key : int;
+  events : int;
+  cycles : int;
+  instructions : int;
+  mispredicts : int;
+}
+
+let create ~size =
+  if size < 1 then invalid_arg "Attribution.create: size must be positive";
+  {
+    events = Array.make size 0;
+    cycles = Array.make size 0;
+    instructions = Array.make size 0;
+    mispredicts = Array.make size 0;
+  }
+
+let size (t : t) = Array.length t.events
+
+let add (t : t) ~key ~cycles ~instructions ~mispredicts =
+  if key < 0 || key >= size t then
+    invalid_arg "Attribution.add: key out of range";
+  t.events.(key) <- t.events.(key) + 1;
+  t.cycles.(key) <- t.cycles.(key) + cycles;
+  t.instructions.(key) <- t.instructions.(key) + instructions;
+  t.mispredicts.(key) <- t.mispredicts.(key) + mispredicts
+
+let sum a = Array.fold_left ( + ) 0 a
+
+let total_cycles (t : t) = sum t.cycles
+let total_instructions (t : t) = sum t.instructions
+let total_mispredicts (t : t) = sum t.mispredicts
+let total_events (t : t) = sum t.events
+
+let rows (t : t) =
+  let out = ref [] in
+  for key = size t - 1 downto 0 do
+    if t.events.(key) > 0 then
+      out :=
+        {
+          key;
+          events = t.events.(key);
+          cycles = t.cycles.(key);
+          instructions = t.instructions.(key);
+          mispredicts = t.mispredicts.(key);
+        }
+        :: !out
+  done;
+  List.stable_sort (fun a b -> compare b.cycles a.cycles) !out

@@ -1,0 +1,32 @@
+(** Per-key accumulation of cycles, instructions and mispredictions.
+
+    Keys are small non-negative integers (a dispatch-site id or an opcode);
+    storage is flat int arrays so {!add} is allocation-free and can run once
+    per bytecode on the co-simulation hot path. *)
+
+type t
+
+type row = {
+  key : int;
+  events : int;  (** Number of {!add} calls for the key (bytecodes). *)
+  cycles : int;
+  instructions : int;
+  mispredicts : int;
+}
+
+val create : size:int -> t
+(** Valid keys are [0 .. size - 1]. *)
+
+val size : t -> int
+
+val add :
+  t -> key:int -> cycles:int -> instructions:int -> mispredicts:int -> unit
+(** Raises [Invalid_argument] on an out-of-range key. *)
+
+val total_cycles : t -> int
+val total_instructions : t -> int
+val total_mispredicts : t -> int
+val total_events : t -> int
+
+val rows : t -> row list
+(** Keys with at least one event, sorted by descending [cycles]. *)

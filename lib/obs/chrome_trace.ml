@@ -1,0 +1,74 @@
+type t = {
+  events : Buffer.t;
+  mutable first_event : bool;
+  other : Buffer.t;
+  mutable first_other : bool;
+}
+
+let start_event t =
+  if t.first_event then t.first_event <- false else Buffer.add_char t.events ',';
+  Buffer.add_string t.events "\n  "
+
+let metadata t ~name ~arg =
+  start_event t;
+  Buffer.add_string t.events
+    (Printf.sprintf
+       "{\"name\":%s,\"ph\":\"M\",\"pid\":0,\"tid\":0,\"args\":{\"name\":%s}}"
+       (Json.string name) (Json.string arg))
+
+let create ?(process_name = "scdsim") () =
+  let t =
+    {
+      events = Buffer.create 4096;
+      first_event = true;
+      other = Buffer.create 256;
+      first_other = true;
+    }
+  in
+  metadata t ~name:"process_name" ~arg:process_name;
+  metadata t ~name:"thread_name" ~arg:"co-simulated core";
+  t
+
+let counter t ~name ~ts args =
+  start_event t;
+  Buffer.add_string t.events
+    (Printf.sprintf "{\"name\":%s,\"ph\":\"C\",\"ts\":%d,\"pid\":0,\"tid\":0,\"args\":{"
+       (Json.string name) ts);
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char t.events ',';
+      Buffer.add_string t.events (Json.string k);
+      Buffer.add_char t.events ':';
+      Buffer.add_string t.events (Json.number v))
+    args;
+  Buffer.add_string t.events "}}"
+
+let instant t ~name ~ts =
+  start_event t;
+  Buffer.add_string t.events
+    (Printf.sprintf
+       "{\"name\":%s,\"ph\":\"i\",\"ts\":%d,\"pid\":0,\"tid\":0,\"s\":\"g\"}"
+       (Json.string name) ts)
+
+let complete t ~name ~ts ~dur =
+  start_event t;
+  Buffer.add_string t.events
+    (Printf.sprintf
+       "{\"name\":%s,\"ph\":\"X\",\"ts\":%d,\"dur\":%d,\"pid\":0,\"tid\":0}"
+       (Json.string name) ts dur)
+
+let add_other t ~key ~json =
+  if t.first_other then t.first_other <- false else Buffer.add_char t.other ',';
+  Buffer.add_string t.other "\n    ";
+  Buffer.add_string t.other (Json.string key);
+  Buffer.add_string t.other ": ";
+  Buffer.add_string t.other json
+
+let contents t =
+  let buf = Buffer.create (Buffer.length t.events + Buffer.length t.other + 128) in
+  Buffer.add_string buf "{\"traceEvents\": [";
+  Buffer.add_buffer buf t.events;
+  Buffer.add_string buf "\n ],\n \"displayTimeUnit\": \"ms\",\n \"otherData\": {";
+  Buffer.add_buffer buf t.other;
+  Buffer.add_string buf "\n  }\n}\n";
+  Buffer.contents buf

@@ -1,0 +1,93 @@
+type t = {
+  counts : int array;
+  mutable count : int;
+  mutable total : int;
+  mutable min_v : int;
+  mutable max_v : int;
+  mutable overflow : int;
+}
+
+let create ?(buckets = 32) () =
+  if buckets < 1 then invalid_arg "Histogram.create: buckets must be positive";
+  {
+    counts = Array.make buckets 0;
+    count = 0;
+    total = 0;
+    min_v = max_int;
+    max_v = min_int;
+    overflow = 0;
+  }
+
+let bucket_index v =
+  if v <= 0 then 0
+  else begin
+    (* bit length of v: 1 -> 1, 2..3 -> 2, 4..7 -> 3, ... *)
+    let i = ref 0 and n = ref v in
+    while !n > 0 do
+      incr i;
+      n := !n lsr 1
+    done;
+    !i
+  end
+
+let bucket_bounds i =
+  if i <= 0 then (min_int, 0) else (1 lsl (i - 1), (1 lsl i) - 1)
+
+let add t v =
+  t.count <- t.count + 1;
+  t.total <- t.total + v;
+  if v < t.min_v then t.min_v <- v;
+  if v > t.max_v then t.max_v <- v;
+  let n = Array.length t.counts in
+  let i = bucket_index v in
+  let i =
+    if i >= n then begin
+      t.overflow <- t.overflow + 1;
+      n - 1
+    end
+    else i
+  in
+  t.counts.(i) <- t.counts.(i) + 1
+
+let count t = t.count
+let total t = t.total
+let mean t = if t.count = 0 then 0.0 else float_of_int t.total /. float_of_int t.count
+let min_value t = if t.count = 0 then 0 else t.min_v
+let max_value t = if t.count = 0 then 0 else t.max_v
+let overflow t = t.overflow
+let buckets t = Array.length t.counts
+
+let bucket_count t i =
+  if i < 0 || i >= Array.length t.counts then
+    invalid_arg "Histogram.bucket_count: index out of range";
+  t.counts.(i)
+
+let quantile t q =
+  if q < 0.0 || q > 1.0 then invalid_arg "Histogram.quantile: q must be in [0, 1]";
+  if t.count = 0 then 0
+  else begin
+    let target = q *. float_of_int t.count in
+    let acc = ref 0 and result = ref (max_value t) and found = ref false in
+    Array.iteri
+      (fun i c ->
+        if not !found then begin
+          acc := !acc + c;
+          if float_of_int !acc >= target && c > 0 then begin
+            found := true;
+            let _, hi = bucket_bounds i in
+            result := min hi (max_value t)
+          end
+        end)
+      t.counts;
+    !result
+  end
+
+let rows t =
+  let out = ref [] in
+  for i = Array.length t.counts - 1 downto 0 do
+    if t.counts.(i) > 0 then begin
+      let lo, hi = bucket_bounds i in
+      out := (lo, hi, t.counts.(i)) :: !out
+    end
+  done;
+  !out

@@ -1,0 +1,55 @@
+(** Log2-bucketed integer histogram.
+
+    Bucket [i] (for [i >= 1]) holds values whose bit length is [i], i.e. the
+    inclusive range [2^(i-1), 2^i - 1]; bucket 0 holds values [<= 0]. Values
+    whose bucket index exceeds the configured bucket count are clamped into
+    the last bucket (and counted as overflow). [add] is allocation-free, so
+    histograms can sit on simulator hot paths (cycles-per-bytecode,
+    mispredict-burst lengths). *)
+
+type t
+
+val create : ?buckets:int -> unit -> t
+(** [buckets] defaults to 32, enough for any 31-bit value without
+    clamping. Raises [Invalid_argument] if [buckets < 1]. *)
+
+val add : t -> int -> unit
+
+val count : t -> int
+(** Number of recorded values. *)
+
+val total : t -> int
+(** Sum of recorded values. *)
+
+val mean : t -> float
+(** 0.0 on an empty histogram. *)
+
+val min_value : t -> int
+(** Smallest recorded value; 0 on an empty histogram. *)
+
+val max_value : t -> int
+(** Largest recorded value; 0 on an empty histogram. *)
+
+val overflow : t -> int
+(** Values clamped into the last bucket. *)
+
+val bucket_index : int -> int
+(** Bucket an arbitrary value maps to, before clamping. *)
+
+val bucket_bounds : int -> int * int
+(** Inclusive [(lo, hi)] range of a bucket index. Bucket 0 reports
+    [(min_int, 0)]. *)
+
+val bucket_count : t -> int -> int
+(** Recorded values in one bucket. *)
+
+val buckets : t -> int
+(** Configured bucket count. *)
+
+val quantile : t -> float -> int
+(** Upper bound of the bucket containing the [q]-quantile ([0 <= q <= 1]),
+    clamped to {!max_value}; 0 on an empty histogram. A bucketed
+    approximation: exact only at bucket boundaries. *)
+
+val rows : t -> (int * int * int) list
+(** Non-empty buckets as [(lo, hi, count)], in increasing value order. *)

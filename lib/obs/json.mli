@@ -1,0 +1,23 @@
+(** Minimal JSON emission helpers and a syntax validator.
+
+    The repository has no JSON dependency; exporters build their output with
+    a [Buffer] and these escaping/number helpers, and the validator lets
+    tests (and the [scdsim trace] command itself) check that emitted
+    documents are well-formed RFC 8259 JSON before they are written out. *)
+
+val escape : string -> string
+(** Escape a string for inclusion between double quotes. *)
+
+val string : string -> string
+(** A quoted, escaped JSON string literal. *)
+
+val number : float -> string
+(** A JSON number: integral floats print without a fractional part;
+    non-finite values print as [null] (JSON has no NaN/infinity). *)
+
+val int : int -> string
+
+val validate : string -> (unit, string) result
+(** Check that the whole input is exactly one well-formed JSON value
+    (surrounded by optional whitespace). On failure the error names the
+    byte offset. *)

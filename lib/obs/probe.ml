@@ -1,0 +1,13 @@
+type t = {
+  on_retire : unit -> unit;
+  on_mispredict : dispatch:bool -> unit;
+}
+
+let nop_mispredict ~dispatch:_ = ()
+
+let null = { on_retire = ignore; on_mispredict = nop_mispredict }
+
+let is_null t = t == null
+
+let create ?(on_retire = ignore) ?(on_mispredict = nop_mispredict) () =
+  { on_retire; on_mispredict }

@@ -1,0 +1,30 @@
+(** Hot-path instrumentation hooks.
+
+    A probe is a record of closures resolved once at run start and installed
+    into the pipeline timing model. The distinguished {!null} probe makes
+    the disabled path a single physical-equality check — an instrumented
+    component tests [probe != Probe.null] before invoking any hook, so a run
+    with no sink attached retires events with zero additional minor-heap
+    allocation (hooks take only unboxed arguments). *)
+
+type t = {
+  on_retire : unit -> unit;
+      (** Called once per retired native instruction, after its statistics
+          (cycles included) have been accounted. Interval samplers hang off
+          this hook. *)
+  on_mispredict : dispatch:bool -> unit;
+      (** Called on every flush-penalty misprediction (conditional,
+          indirect, return); [dispatch] tells whether the mispredicting
+          instruction was dispatcher code. *)
+}
+
+val null : t
+(** The no-op probe; the only value for which {!is_null} holds. *)
+
+val is_null : t -> bool
+(** Physical equality with {!null}. *)
+
+val create :
+  ?on_retire:(unit -> unit) -> ?on_mispredict:(dispatch:bool -> unit) -> unit -> t
+(** Build a probe from the hooks a sink actually needs; omitted hooks
+    default to no-ops. The result is never {!null}. *)

@@ -1,0 +1,69 @@
+type t = {
+  columns : string array;
+  mutable data : float array; (* row-major *)
+  mutable rows : int;
+}
+
+let create ~columns =
+  let columns = Array.of_list columns in
+  if Array.length columns = 0 then invalid_arg "Series.create: no columns";
+  { columns; data = Array.make (16 * Array.length columns) 0.0; rows = 0 }
+
+let columns t = Array.copy t.columns
+let width t = Array.length t.columns
+let length t = t.rows
+
+let append t row =
+  let w = width t in
+  if Array.length row <> w then
+    invalid_arg "Series.append: row width does not match columns";
+  let need = (t.rows + 1) * w in
+  if need > Array.length t.data then begin
+    let data = Array.make (max need (2 * Array.length t.data)) 0.0 in
+    Array.blit t.data 0 data 0 (t.rows * w);
+    t.data <- data
+  end;
+  Array.blit row 0 t.data (t.rows * w) w;
+  t.rows <- t.rows + 1
+
+let get t ~row ~col =
+  if row < 0 || row >= t.rows || col < 0 || col >= width t then
+    invalid_arg "Series.get: out of range";
+  t.data.((row * width t) + col)
+
+let col_index t name =
+  let rec go i =
+    if i = Array.length t.columns then None
+    else if String.equal t.columns.(i) name then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let sum t ~col =
+  if col < 0 || col >= width t then invalid_arg "Series.sum: column out of range";
+  let acc = ref 0.0 in
+  for row = 0 to t.rows - 1 do
+    acc := !acc +. t.data.((row * width t) + col)
+  done;
+  !acc
+
+let float_cell v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.6f" v
+
+let to_csv t =
+  let buf = Buffer.create (64 * (t.rows + 1)) in
+  Array.iteri
+    (fun i c ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf c)
+    t.columns;
+  Buffer.add_char buf '\n';
+  for row = 0 to t.rows - 1 do
+    for col = 0 to width t - 1 do
+      if col > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (float_cell t.data.((row * width t) + col))
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf

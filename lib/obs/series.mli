@@ -1,0 +1,34 @@
+(** Columnar time series of interval samples.
+
+    A fixed set of named float columns plus an append-only list of rows.
+    Storage is one row-major float array grown geometrically, so appending a
+    sample costs one blit (and an occasional realloc at the sampling
+    granularity, never per retired instruction). Integer-valued samples
+    round-trip exactly through {!to_csv}. *)
+
+type t
+
+val create : columns:string list -> t
+(** Raises [Invalid_argument] on an empty column list. *)
+
+val columns : t -> string array
+val width : t -> int
+val length : t -> int
+(** Number of rows appended so far. *)
+
+val append : t -> float array -> unit
+(** Append one row (copied). Raises [Invalid_argument] when the row width
+    does not match the column count. *)
+
+val get : t -> row:int -> col:int -> float
+(** Raises [Invalid_argument] out of range. *)
+
+val col_index : t -> string -> int option
+
+val sum : t -> col:int -> float
+(** Column sum over all rows (0.0 when empty). *)
+
+val to_csv : t -> string
+(** Header line of column names, then one line per row. Integral values are
+    printed without a fractional part so counter deltas survive a
+    parse-and-sum round trip exactly. *)

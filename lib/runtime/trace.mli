@@ -1,0 +1,38 @@
+(** Bytecode-level trace events.
+
+    Both interpreters report one of these per executed bytecode. The
+    co-simulator expands each event into the native-instruction stream of
+    the interpreter binary (dispatch sequence + handler body), using the
+    [accesses] to derive data addresses and [ctrl] to resolve
+    handler-internal branch outcomes and the next bytecode fetch address. *)
+
+type access =
+  | Reg of { slot : int; write : bool }
+      (** VM value-stack slot (absolute index from the stack base). *)
+  | Const of { fn : int; index : int }  (** Constant-pool read. *)
+  | Global of { name_hash : int; write : bool }
+  | Table_slot of { id : int; slot : int; write : bool }
+      (** Heap access into table [id] at a representative [slot]. *)
+  | Str_bytes of { id_hash : int; offset : int }
+      (** String-body byte access (k-nucleotide style workloads). *)
+
+type ctrl =
+  | Seq  (** Fall through to the next bytecode. *)
+  | Branch of { taken : bool; target : int }
+      (** Conditional bytecode; [target] is the taken-path bytecode pc. *)
+  | Jump of { target : int }
+  | Call of { callee : int }
+      (** Mina function call; [callee] is a proto id, or [-1 - builtin_id]
+          for a builtin. *)
+  | Ret
+
+type t = {
+  fn : int;  (** Proto id of the currently-executing function. *)
+  pc : int;  (** Bytecode index (register VM) or byte offset (stack VM). *)
+  opcode : int;
+  accesses : access list;
+  ctrl : ctrl;
+}
+
+type sink = t -> unit
+(** What the interpreters accept as their [~trace] argument. *)

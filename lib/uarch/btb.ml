@@ -18,6 +18,7 @@ type stats = {
   mutable jte_inserts : int;
   mutable branch_entries_evicted_by_jte : int;
   mutable branch_insert_blocked_by_jte : int;
+  mutable jte_evictions : int;
   mutable jte_cap_replacements : int;
   mutable jte_cap_rejects : int;
 }
@@ -43,6 +44,7 @@ let fresh_stats () =
     jte_inserts = 0;
     branch_entries_evicted_by_jte = 0;
     branch_insert_blocked_by_jte = 0;
+    jte_evictions = 0;
     jte_cap_replacements = 0;
     jte_cap_rejects = 0;
   }
@@ -141,6 +143,9 @@ let pick_victim t set_index ~eligible =
       scan 0)
 
 let overwrite t e ~jte ~key ~target =
+  (* A valid JTE losing its way is an eviction (flushes are counted by the
+     engine separately); only JTE inserts ever pick a JTE victim. *)
+  if e.valid && e.is_jte then t.stats.jte_evictions <- t.stats.jte_evictions + 1;
   (* Maintain the JTE population across state changes. *)
   if e.valid && e.is_jte && not jte then t.jte_population <- t.jte_population - 1;
   if jte && not (e.valid && e.is_jte) then t.jte_population <- t.jte_population + 1;

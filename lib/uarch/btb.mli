@@ -31,6 +31,11 @@ type stats = {
   mutable branch_insert_blocked_by_jte : int;
       (** Branch-entry insertions that found every candidate way holding a
           JTE and were dropped (the contention cost of the overlay). *)
+  mutable jte_evictions : int;
+      (** Valid JTEs displaced from their way by a replacement decision
+          (necessarily by another JTE insertion, given JTE priority; cap
+          replacements included). {!flush_jtes} invalidations are not
+          evictions — the SCD engine counts flushes separately. *)
   mutable jte_cap_replacements : int;
       (** JTE insertions that, at the cap, replaced another JTE instead of
           growing the population. *)

@@ -13,6 +13,11 @@ type t = {
   dtlb : Tlb.t;
   stats : Stats.t;
   scratch : Event.scratch; (* staging area for the boxed [consume] shim *)
+  mutable probe : Scd_obs.Probe.t;
+      (* Telemetry hooks, [Probe.null] unless a sink attached one. All call
+         sites guard with a physical-equality check against [Probe.null], so
+         the un-instrumented hot path costs one comparison and allocates
+         nothing. *)
   mutable last_fetch_block : int;
   mutable pair_open : bool; (* a second issue slot remains this cycle *)
   mutable group_has_mem : bool;
@@ -40,6 +45,7 @@ let create ?btb ?(indirect = Indirect.Pc_btb) (config : Config.t) =
     dtlb = Tlb.create ~entries:config.dtlb_entries;
     stats = Stats.create ();
     scratch = Event.scratch_create ();
+    probe = Scd_obs.Probe.null;
     last_fetch_block = -1;
     pair_open = false;
     group_has_mem = false;
@@ -49,6 +55,8 @@ let create ?btb ?(indirect = Indirect.Pc_btb) (config : Config.t) =
 let config t = t.config
 let btb t = t.btb
 let stats t = t.stats
+let set_probe t probe = t.probe <- probe
+let probe t = t.probe
 
 let stall t cycles = t.stats.cycles <- t.stats.cycles + cycles
 
@@ -116,7 +124,9 @@ let mispredict t (ev : Event.scratch) =
   stall t t.config.branch_penalty;
   t.pair_open <- false;
   if ev.s_dispatch then
-    t.stats.mispredicts_dispatch <- t.stats.mispredicts_dispatch + 1
+    t.stats.mispredicts_dispatch <- t.stats.mispredicts_dispatch + 1;
+  if t.probe != Scd_obs.Probe.null then
+    t.probe.Scd_obs.Probe.on_mispredict ~dispatch:ev.s_dispatch
 
 (* The hot entry point: reads only from the caller-owned scratch record and
    allocates nothing. [consume] below is a thin boxing shim over this. *)
@@ -235,7 +245,10 @@ let consume_scratch t (ev : Event.scratch) =
       stall t t.config.bop_hit_bubble;
       t.pair_open <- false
     end
-  end
+  end;
+  (* Retirement hook last, so interval samplers observe this instruction's
+     cycle and miss accounting in full. *)
+  if t.probe != Scd_obs.Probe.null then t.probe.Scd_obs.Probe.on_retire ()
 
 let consume t ev =
   Event.load_scratch t.scratch ev;

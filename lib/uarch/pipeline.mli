@@ -39,6 +39,15 @@ val config : t -> Config.t
 val btb : t -> Btb.t
 val stats : t -> Stats.t
 
+val set_probe : t -> Scd_obs.Probe.t -> unit
+(** Install telemetry hooks ({!Scd_obs.Probe}): [on_retire] fires after
+    every consumed instruction has been fully accounted, [on_mispredict] on
+    every flush-penalty misprediction. The default is [Probe.null], and with
+    it installed the hot path performs a single physical-equality check and
+    allocates nothing. *)
+
+val probe : t -> Scd_obs.Probe.t
+
 val consume : t -> Scd_isa.Event.t -> unit
 (** Account one retired instruction. Convenience shim over
     {!consume_scratch}: the event is unpacked into an internal scratch

@@ -53,25 +53,22 @@ let create () =
     l2_misses = 0;
   }
 
+let copy t = { t with instructions = t.instructions }
+
 let total_mispredicts t =
   t.cond_mispredicts + t.indirect_mispredicts + t.return_mispredicts
   + t.direct_target_misses
+
+(* Every derived ratio funnels through here so that zero-instruction and
+   zero-bop runs (empty scripts, freshly-created stats, degenerate interval
+   samples) report 0.0 instead of nan or a division trap. *)
+let ratio num den = if den = 0 then 0.0 else float_of_int num /. float_of_int den
 
 let branch_mpki t = Summary.per_kilo ~count:(total_mispredicts t) ~total:t.instructions
 let dispatch_mpki t = Summary.per_kilo ~count:t.mispredicts_dispatch ~total:t.instructions
 let icache_mpki t = Summary.per_kilo ~count:t.icache_misses ~total:t.instructions
 let dcache_mpki t = Summary.per_kilo ~count:t.dcache_misses ~total:t.instructions
-
-let cpi t =
-  if t.instructions = 0 then 0.0
-  else float_of_int t.cycles /. float_of_int t.instructions
-
-let ipc t = if t.cycles = 0 then 0.0 else float_of_int t.instructions /. float_of_int t.cycles
-
-let dispatch_fraction t =
-  if t.instructions = 0 then 0.0
-  else float_of_int t.dispatch_instructions /. float_of_int t.instructions
-
-let bop_hit_rate t =
-  if t.bop_count = 0 then 0.0
-  else float_of_int t.bop_hits /. float_of_int t.bop_count
+let cpi t = ratio t.cycles t.instructions
+let ipc t = ratio t.instructions t.cycles
+let dispatch_fraction t = ratio t.dispatch_instructions t.instructions
+let bop_hit_rate t = ratio t.bop_hits t.bop_count

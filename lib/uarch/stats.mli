@@ -37,6 +37,10 @@ type t = {
 
 val create : unit -> t
 
+val copy : t -> t
+(** An independent snapshot; interval samplers diff two snapshots to get
+    per-interval deltas. *)
+
 val total_mispredicts : t -> int
 (** Conditional + indirect + return mispredictions plus direct-jump target
     misses. *)
@@ -49,8 +53,12 @@ val dispatch_mpki : t -> float
 
 val icache_mpki : t -> float
 val dcache_mpki : t -> float
+
 val cpi : t -> float
 val ipc : t -> float
+(** All derived ratios ({!branch_mpki} … {!bop_hit_rate}) are total: a
+    zero-instruction, zero-cycle or zero-[bop] run yields 0.0, never nan and
+    never an exception. *)
 
 val dispatch_fraction : t -> float
 (** Fraction (0-1) of dynamic instructions spent in dispatcher code. *)
