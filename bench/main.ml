@@ -9,6 +9,7 @@
      dune exec bench/main.exe -- --micro      # kernel microbenchmarks only
      dune exec bench/main.exe -- --csv        # machine-readable output
      dune exec bench/main.exe -- --json BENCH_2026-08-06.json
+     dune exec bench/main.exe -- --cache      # persist cells in _scd_cache/
 
    Experiments run on a Scd_util.Pool domain pool ([--jobs N]; the default
    is Domain.recommended_domain_count, and [--jobs 1] is the exact legacy
@@ -24,6 +25,7 @@ type options = {
   only : string list option;
   jobs : int;
   json : string option;
+  cache : string option;
 }
 
 let parse_args () =
@@ -31,6 +33,7 @@ let parse_args () =
   let only = ref None in
   let jobs = ref (Scd_util.Pool.default_jobs ()) in
   let json = ref None in
+  let cache = ref None in
   let fail fmt = Printf.ksprintf (fun m -> Printf.eprintf "%s\n" m; exit 2) fmt in
   let operand flag = function
     | v :: rest when not (String.length v > 0 && v.[0] = '-') -> (v, rest)
@@ -55,11 +58,18 @@ let parse_args () =
       let file, rest = operand "--json" rest in
       json := Some file;
       go rest
+    (* the operand is optional: bare --cache means the default directory *)
+    | "--cache" :: v :: rest when not (String.length v > 0 && v.[0] = '-') ->
+      cache := Some v;
+      go rest
+    | "--cache" :: rest ->
+      cache := Some Scd_experiments.Store.default_dir;
+      go rest
     | arg :: _ -> fail "unknown argument %s" arg
   in
   go (List.tl (Array.to_list Sys.argv));
   { quick = !quick; micro = !micro; csv = !csv; only = !only; jobs = !jobs;
-    json = !json }
+    json = !json; cache = !cache }
 
 (* ------------------------------------------------------------------ *)
 (* Experiment regeneration                                             *)
@@ -312,10 +322,11 @@ let json_float f = if Float.is_nan f then "null" else Printf.sprintf "%.3f" f
 (* Bump when the shape of the --json document changes so downstream
    trajectory tooling can dispatch on it. Version history:
    1 (implicit, PR 1): date/jobs/scale/experiments/total_seconds/micro;
-   2: added the schema_version field itself. *)
-let json_schema_version = 2
+   2: added the schema_version field itself;
+   3: added the cache object (dir/hits/misses/stores, null without --cache). *)
+let json_schema_version = 3
 
-let write_json path ~(opts : options) ~experiments ~total_seconds ~micro =
+let write_json path ~(opts : options) ~experiments ~total_seconds ~micro ~store =
   let tm = Unix.localtime (Unix.time ()) in
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\n";
@@ -343,6 +354,17 @@ let write_json path ~(opts : options) ~experiments ~total_seconds ~micro =
   Buffer.add_string buf "],\n";
   Buffer.add_string buf
     (Printf.sprintf "  \"total_seconds\": %s,\n" (json_float total_seconds));
+  (match store with
+   | None -> Buffer.add_string buf "  \"cache\": null,\n"
+   | Some s ->
+     Buffer.add_string buf
+       (Printf.sprintf
+          "  \"cache\": { \"dir\": \"%s\", \"hits\": %d, \"misses\": %d, \
+           \"stores\": %d },\n"
+          (json_escape (Scd_experiments.Store.dir s))
+          (Scd_experiments.Store.hits s)
+          (Scd_experiments.Store.misses s)
+          (Scd_experiments.Store.stores s)));
   Buffer.add_string buf "  \"micro\": [";
   List.iteri
     (fun i (r : micro_result) ->
@@ -371,6 +393,8 @@ let () =
        Printf.eprintf "--json: cannot write %s (%s)\n" path m;
        exit 2));
   let micro = if opts.micro then run_micro () else [] in
+  let store = Option.map Scd_experiments.Store.create opts.cache in
+  Scd_experiments.Sweep.set_store store;
   (* --micro alone keeps its legacy microbenchmark-only behaviour;
      --micro combined with --only runs both, e.g. for one BENCH json *)
   let rendered, total_seconds =
@@ -388,9 +412,19 @@ let () =
       in
       Printf.printf "total wall-clock: %.1fs (%d experiments, %d jobs)\n%!"
         total_seconds (List.length rendered) opts.jobs;
+      (match store with
+       | None -> ()
+       | Some s ->
+         Printf.printf "cache %s: %d hits, %d misses, %d stores\n%!"
+           (Scd_experiments.Store.dir s)
+           (Scd_experiments.Store.hits s)
+           (Scd_experiments.Store.misses s)
+           (Scd_experiments.Store.stores s));
       (rendered, total_seconds)
     end
   in
-  match opts.json with
-  | None -> ()
-  | Some path -> write_json path ~opts ~experiments:rendered ~total_seconds ~micro
+  (match opts.json with
+   | None -> ()
+   | Some path ->
+     write_json path ~opts ~experiments:rendered ~total_seconds ~micro ~store);
+  Scd_experiments.Sweep.set_store None

@@ -4,7 +4,8 @@
      scdsim run --workload fibo --vm lua --scheme scd   co-simulate a script
      scdsim run --file prog.mina --scheme baseline
      scdsim trace fibo --interval 10000 --out t.json    telemetry run
-     scdsim exp fig7 [--quick] [--csv] [--sample DIR]   regenerate a figure
+     scdsim exp fig7 [--quick] [--csv] [--cache [DIR]]  regenerate a figure
+     scdsim cache stats|clear|verify                    persistent sweep cache
      scdsim list                                        inventory
      scdsim assemble prog.erv -o prog.hex               build a binary image
      scdsim exec prog.erv|prog.hex                      run ERV32 code *)
@@ -19,13 +20,19 @@ let scheme_conv =
   in
   Arg.conv (parse, fun fmt s -> Format.pp_print_string fmt (Scd_core.Scheme.name s))
 
+(* VM selection goes through the frontend registry, so a newly registered
+   interpreter is immediately addressable from the CLI. *)
 let vm_conv =
-  let parse = function
-    | "lua" | "rvm" -> Ok Scd_cosim.Driver.Lua
-    | "js" | "svm" -> Ok Scd_cosim.Driver.Js
-    | s -> Error (`Msg (Printf.sprintf "unknown vm %S (lua|js)" s))
+  let parse s =
+    match Scd_cosim.Frontend.find s with
+    | Some f -> Ok f
+    | None ->
+      Error
+        (`Msg
+           (Printf.sprintf "unknown vm %S (%s)" s
+              (String.concat "|" (Scd_cosim.Frontend.names ()))))
   in
-  Arg.conv (parse, fun fmt v -> Format.pp_print_string fmt (Scd_cosim.Driver.vm_name v))
+  Arg.conv (parse, fun fmt f -> Format.pp_print_string fmt (Scd_cosim.Frontend.name f))
 
 let machine_conv =
   let parse = function
@@ -81,7 +88,7 @@ let run_cmd =
          & info [ "f"; "file" ] ~docv:"FILE" ~doc:"Mina script file.")
   in
   let vm =
-    Arg.(value & opt vm_conv Scd_cosim.Driver.Lua
+    Arg.(value & opt vm_conv (Scd_cosim.Frontend.get "lua")
          & info [ "vm" ] ~docv:"VM" ~doc:"Interpreter: lua (register) or js (stack).")
   in
   let scheme =
@@ -152,7 +159,7 @@ let run_cmd =
       in
       let config =
         { Scd_cosim.Driver.default_config with
-          vm; scheme; machine; multi_table; superinstructions }
+          frontend = vm; scheme; machine; multi_table; superinstructions }
       in
       (try
          let r = Scd_cosim.Driver.run config ~source in
@@ -204,7 +211,7 @@ let trace_cmd =
          & info [] ~docv:"WORKLOAD" ~doc:"Named benchmark workload (see 'scdsim list').")
   in
   let vm =
-    Arg.(value & opt vm_conv Scd_cosim.Driver.Lua
+    Arg.(value & opt vm_conv (Scd_cosim.Frontend.get "lua")
          & info [ "vm" ] ~docv:"VM" ~doc:"Interpreter: lua (register) or js (stack).")
   in
   let scheme =
@@ -263,7 +270,7 @@ let trace_cmd =
         let source = Scd_workloads.Workload.source w scale in
         let config =
           { Scd_cosim.Driver.default_config with
-            vm; scheme; machine; multi_table;
+            frontend = vm; scheme; machine; multi_table;
             context_switch_interval = context_switch }
         in
         let telemetry = Scd_cosim.Telemetry.create ~interval () in
@@ -273,7 +280,7 @@ let trace_cmd =
            let s = r.stats in
            Printf.printf "workload          %s (%s scale, %s VM, %s)\n" w.name
              (Scd_workloads.Workload.scale_name scale)
-             (Scd_cosim.Driver.vm_name vm)
+             (Scd_cosim.Frontend.name vm)
              (Scd_core.Scheme.name scheme);
            Printf.printf "instructions      %d\n" s.Scd_uarch.Stats.instructions;
            Printf.printf "cycles            %d\n" s.Scd_uarch.Stats.cycles;
@@ -363,7 +370,16 @@ let exp_cmd =
          & info [ "sample-interval" ] ~docv:"N"
              ~doc:"Sampling interval (retired instructions) for --sample.")
   in
-  let action id quick csv jobs sample sample_interval =
+  let cache =
+    Arg.(value
+         & opt ~vopt:(Some Scd_experiments.Store.default_dir) (some string) None
+         & info [ "cache" ] ~docv:"DIR"
+             ~doc:"Persist every computed cell under DIR (default \
+                   $(b,_scd_cache)) and reuse entries from earlier runs: a \
+                   warm process re-runs no co-simulations. Entries \
+                   self-invalidate when the result schema changes.")
+  in
+  let action id quick csv jobs sample sample_interval cache =
     if jobs < 1 then `Error (false, "--jobs must be at least 1")
     else if sample_interval <= 0 then
       `Error (false, "--sample-interval must be positive")
@@ -387,10 +403,16 @@ let exp_cmd =
            if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
            Scd_experiments.Sweep.set_sample_dir ~interval:sample_interval
              (Some dir));
+        (match cache with
+         | None -> ()
+         | Some dir ->
+           Scd_experiments.Sweep.set_store
+             (Some (Scd_experiments.Store.create dir)));
         Scd_util.Pool.with_pool ~jobs (fun pool ->
             List.iter
               (fun (r : Scd_experiments.Runner.rendered) -> print_string r.body)
               (Scd_experiments.Runner.run_all ~pool ~quick ~csv experiments));
+        Scd_experiments.Sweep.set_store None;
         (match sample with
          | None -> ()
          | Some dir ->
@@ -400,7 +422,60 @@ let exp_cmd =
   in
   Cmd.v
     (Cmd.info "exp" ~doc:"Regenerate a paper figure or table")
-    Term.(ret (const action $ id $ quick $ csv $ jobs $ sample $ sample_interval))
+    Term.(ret (const action $ id $ quick $ csv $ jobs $ sample $ sample_interval
+               $ cache))
+
+(* ------------------------------------------------------------------ *)
+(* cache: inspect / clear / verify the persistent sweep store          *)
+(* ------------------------------------------------------------------ *)
+
+let cache_cmd =
+  let op =
+    Arg.(value
+         & pos 0 (enum [ ("stats", `Stats); ("clear", `Clear); ("verify", `Verify) ])
+             `Stats
+         & info [] ~docv:"OP" ~doc:"$(b,stats) (default), $(b,clear) or $(b,verify).")
+  in
+  let dir =
+    Arg.(value & opt string Scd_experiments.Store.default_dir
+         & info [ "cache"; "dir" ] ~docv:"DIR" ~doc:"Store directory.")
+  in
+  let action op dir =
+    if (not (Sys.file_exists dir)) && op <> `Clear then
+      `Error (false, Printf.sprintf "no cache directory at %s" dir)
+    else if Sys.file_exists dir && not (Sys.is_directory dir) then
+      `Error (false, Printf.sprintf "%s is not a directory" dir)
+    else
+      let store = Scd_experiments.Store.create dir in
+      match op with
+      | `Stats ->
+        let entries = Scd_experiments.Store.entries store in
+        Printf.printf "cache directory  %s\n" dir;
+        Printf.printf "entries          %d\n" (List.length entries);
+        Printf.printf "payload bytes    %d\n"
+          (Scd_experiments.Store.size_bytes store);
+        Printf.printf "schema version   %d\n" Scd_cosim.Result.schema_version;
+        `Ok ()
+      | `Clear ->
+        Printf.printf "removed %d entries from %s\n"
+          (Scd_experiments.Store.clear store)
+          dir;
+        `Ok ()
+      | `Verify ->
+        let ok, bad = Scd_experiments.Store.verify store in
+        Printf.printf "%d entries decode cleanly\n" ok;
+        (match bad with
+         | [] -> `Ok ()
+         | _ ->
+           List.iter
+             (fun (name, msg) -> Printf.printf "BAD %s: %s\n" name msg)
+             bad;
+           `Error (false, Printf.sprintf "%d corrupt entries" (List.length bad)))
+  in
+  Cmd.v
+    (Cmd.info "cache"
+       ~doc:"Inspect, clear or verify the persistent sweep cache")
+    Term.(ret (const action $ op $ dir))
 
 (* ------------------------------------------------------------------ *)
 (* list                                                                *)
@@ -574,5 +649,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; trace_cmd; exp_cmd; list_cmd; dispatch_cmd; assemble_cmd;
-            exec_cmd ]))
+          [ run_cmd; trace_cmd; exp_cmd; cache_cmd; list_cmd; dispatch_cmd;
+            assemble_cmd; exec_cmd ]))

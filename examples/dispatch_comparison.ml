@@ -27,7 +27,7 @@ let () =
         Table.make
           ~title:
             (Printf.sprintf "%s on the %s interpreter (small inputs)" w.name
-               (Scd_cosim.Driver.vm_name vm))
+               (Scd_cosim.Frontend.name vm))
           ~headers:
             [ "scheme"; "instructions"; "cycles"; "CPI"; "branch MPKI";
               "icache MPKI"; "speedup" ]
@@ -37,7 +37,7 @@ let () =
         (fun scheme ->
           let r =
             Scd_cosim.Driver.run
-              { Scd_cosim.Driver.default_config with vm; scheme }
+              { Scd_cosim.Driver.default_config with frontend = vm; scheme }
               ~source
           in
           if scheme = Scd_core.Scheme.Baseline then
@@ -56,4 +56,4 @@ let () =
         Scd_core.Scheme.all;
       print_string (Table.render table);
       print_newline ())
-    [ Scd_cosim.Driver.Lua; Scd_cosim.Driver.Js ]
+    (Scd_cosim.Frontend.all ())

@@ -92,6 +92,44 @@ let jte_population t = Scd_uarch.Btb.jte_population t.btb
 let stats t = t.stats
 let btb t = t.btb
 
+let copy_stats (s : stats) = { s with bop_lookups = s.bop_lookups }
+
+(* Field table backing the result codec; see the note on
+   {!Scd_uarch.Stats.fields}. *)
+let stats_fields =
+  [
+    ( "bop_lookups",
+      (fun (s : stats) -> s.bop_lookups),
+      fun (s : stats) v -> s.bop_lookups <- v );
+    ("bop_hits", (fun s -> s.bop_hits), fun s v -> s.bop_hits <- v);
+    ("jru_inserts", (fun s -> s.jru_inserts), fun s v -> s.jru_inserts <- v);
+    ("flushes", (fun s -> s.flushes), fun s v -> s.flushes <- v);
+    ( "context_switch_flushes",
+      (fun s -> s.context_switch_flushes),
+      fun s v -> s.context_switch_flushes <- v );
+  ]
+
+let stats_to_assoc s = List.map (fun (name, get, _) -> (name, get s)) stats_fields
+
+let stats_of_assoc assoc =
+  let s =
+    { bop_lookups = 0; bop_hits = 0; jru_inserts = 0; flushes = 0;
+      context_switch_flushes = 0 }
+  in
+  let missing =
+    List.filter_map
+      (fun (name, _, set) ->
+        match List.assoc_opt name assoc with
+        | Some v ->
+          set s v;
+          None
+        | None -> Some name)
+      stats_fields
+  in
+  match missing with
+  | [] -> Ok s
+  | names -> Error ("missing engine stats fields: " ^ String.concat ", " names)
+
 let exec_backend ?(table = 0) t : Scd_isa.Exec.scd_backend =
   {
     bop_lookup =

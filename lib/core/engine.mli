@@ -56,6 +56,14 @@ val jte_population : t -> int
 val stats : t -> stats
 val btb : t -> Scd_uarch.Btb.t
 
+val copy_stats : stats -> stats
+(** Independent snapshot of a stats record. *)
+
+val stats_to_assoc : stats -> (string * int) list
+val stats_of_assoc : (string * int) list -> (stats, string) result
+(** Codec pair over one shared field table; decode of encode is the identity
+    and a missing field is an [Error]. *)
+
 val exec_backend : ?table:int -> t -> Scd_isa.Exec.scd_backend
 (** Adapt the engine as the SCD backend of the ERV32 functional executor, so
     that execution-driven runs share the same finite BTB overlay. *)

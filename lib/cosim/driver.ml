@@ -3,12 +3,8 @@ open Scd_uarch
 open Scd_codegen
 open Scd_runtime
 
-type vm_choice = Lua | Js
-
-let vm_name = function Lua -> "lua" | Js -> "js"
-
 type run_config = {
-  vm : vm_choice;
+  frontend : Frontend.t;
   scheme : Scd_core.Scheme.t;
   machine : Config.t;
   context_switch_interval : int option;
@@ -21,7 +17,7 @@ type run_config = {
 
 let default_config =
   {
-    vm = Lua;
+    frontend = Frontend.get "lua";
     scheme = Scd_core.Scheme.Baseline;
     machine = Config.simulator;
     context_switch_interval = None;
@@ -32,7 +28,14 @@ let default_config =
     seed = 0x5EED_2016L;
   }
 
-type result = {
+(* Deprecated closed-variant VM selector, kept only so pre-registry callers
+   have a migration path; new code resolves frontends by name. *)
+type vm_choice = Lua | Js
+
+let vm_name = function Lua -> "lua" | Js -> "js"
+let frontend_of_vm vm = Frontend.get (vm_name vm)
+
+type result = Result.t = {
   stats : Stats.t;
   btb : Btb.stats;
   engine : Scd_core.Engine.stats option;
@@ -40,6 +43,11 @@ type result = {
   output : string;
   code_bytes : int;
 }
+
+(* Completed co-simulations in this process, across all domains. The
+   persistent-cache tests assert this stays flat on a warm run. *)
+let run_counter = Atomic.make 0
+let runs () = Atomic.get run_counter
 
 (* ------------------------------------------------------------------ *)
 (* Event expansion                                                     *)
@@ -96,6 +104,18 @@ let scratch_base exp ~dispatch ~sets_rop ~tag pc =
   s.s_tag <- tag;
   s.s_dispatch <- dispatch;
   s.s_sets_rop <- sets_rop;
+  (* The scratch record is reused for every retired instruction; a payload
+     field written by an earlier tag must not survive into a later one that
+     does not overwrite it. Restore [Event.scratch_create]'s defaults here
+     so the record a consumer sees is always identical to a freshly
+     allocated event — the differential test in test_uarch checks this. *)
+  s.s_addr <- 0;
+  s.s_taken <- false;
+  s.s_target <- 0;
+  s.s_hint <- -1;
+  s.s_opcode <- -1;
+  s.s_hit <- false;
+  s.s_indirect <- false;
   s
 
 let emit_plain exp ~dispatch pc =
@@ -411,108 +431,60 @@ let run ?telemetry config ~source =
     | None -> Scd_core.Scheme.indirect_scheme config.scheme
   in
   let pipeline = Pipeline.create ~btb ~indirect machine in
-  let spec =
-    match config.vm with
-    | Lua ->
-      if config.bytecode_replication then Spec.rvm_replicated
-      else if config.superinstructions then Spec.rvm_fused
-      else Spec.rvm
-    | Js -> Spec.svm
+  (* From here on the driver is VM-agnostic: everything
+     interpreter-specific lives behind [config.frontend]. *)
+  let (module F : Frontend.S) = config.frontend in
+  let options =
+    {
+      Frontend.superinstructions = config.superinstructions;
+      bytecode_replication = config.bytecode_replication;
+    }
   in
+  let spec = F.spec options in
   (match telemetry with
    | None -> ()
    | Some tel -> Telemetry.attach tel ~pipeline ~engine);
-  let finish layout ~bytecodes ~output =
-    (match telemetry with None -> () | Some tel -> Telemetry.finish tel);
+  let program = F.compile options source in
+  let layout =
+    Layout.build ~spec ~scheme:config.scheme
+      ~fn_code_sizes:(F.fn_code_sizes program)
+      ~fn_const_counts:(F.fn_const_counts program)
+  in
+  let exp =
     {
-      stats = Pipeline.stats pipeline;
-      btb = Btb.stats btb;
-      engine =
-        (match config.scheme with
-         | Scd -> Some (Scd_core.Engine.stats engine)
-         | _ -> None);
-      bytecodes;
-      output;
-      code_bytes = Layout.code_bytes layout;
+      layout;
+      spec;
+      scheme = config.scheme;
+      pipeline;
+      engine;
+      stride = F.stride;
+      cs_interval = config.context_switch_interval;
+      multi_table = config.multi_table;
+      prev_opcode = -1;
+      last_bop_pcs = Array.make 3 (-1);
+      bytecodes = 0;
+      retired_since_cs = 0;
+      scratch = Event.scratch_create ();
     }
   in
-  match config.vm with
-  | Lua ->
-    let program = Scd_rvm.Compiler.compile_string source in
-    let program =
-      if config.superinstructions then Scd_rvm.Peephole.optimize program
-      else program
-    in
-    let program =
-      if config.bytecode_replication then Scd_rvm.Replicate.optimize program
-      else program
-    in
-    let layout =
-      Layout.build ~spec ~scheme:config.scheme
-        ~fn_code_sizes:
-          (Array.map
-             (fun (p : Scd_rvm.Bytecode.proto) -> 4 * Array.length p.code)
-             program.protos)
-        ~fn_const_counts:
-          (Array.map
-             (fun (p : Scd_rvm.Bytecode.proto) -> Array.length p.consts)
-             program.protos)
-    in
-    let exp =
-      {
-        layout;
-        spec;
-        scheme = config.scheme;
-        pipeline;
-        engine;
-        stride = 4;
-        cs_interval = config.context_switch_interval;
-        multi_table = config.multi_table;
-        prev_opcode = -1;
-        last_bop_pcs = Array.make 3 (-1);
-        bytecodes = 0;
-        retired_since_cs = 0;
-        scratch = Event.scratch_create ();
-      }
-    in
-    let ctx = Builtins.create_ctx ~seed:config.seed () in
-    let vm = Scd_rvm.Vm.create ~ctx ~trace:(trace_callback exp telemetry) program in
-    Scd_rvm.Vm.run vm;
-    finish layout ~bytecodes:exp.bytecodes ~output:(Builtins.output ctx)
-  | Js ->
-    let program = Scd_svm.Compiler.compile_string source in
-    let layout =
-      Layout.build ~spec ~scheme:config.scheme
-        ~fn_code_sizes:
-          (Array.map
-             (fun (p : Scd_svm.Bytecode.proto) -> Array.length p.code)
-             program.protos)
-        ~fn_const_counts:
-          (Array.map
-             (fun (p : Scd_svm.Bytecode.proto) -> Array.length p.consts)
-             program.protos)
-    in
-    let exp =
-      {
-        layout;
-        spec;
-        scheme = config.scheme;
-        pipeline;
-        engine;
-        stride = 1;
-        cs_interval = config.context_switch_interval;
-        multi_table = config.multi_table;
-        prev_opcode = -1;
-        last_bop_pcs = Array.make 3 (-1);
-        bytecodes = 0;
-        retired_since_cs = 0;
-        scratch = Event.scratch_create ();
-      }
-    in
-    let ctx = Builtins.create_ctx ~seed:config.seed () in
-    let vm = Scd_svm.Vm.create ~ctx ~trace:(trace_callback exp telemetry) program in
-    Scd_svm.Vm.run vm;
-    finish layout ~bytecodes:exp.bytecodes ~output:(Builtins.output ctx)
+  let ctx = Builtins.create_ctx ~seed:config.seed () in
+  F.run program ~ctx ~trace:(trace_callback exp telemetry);
+  (match telemetry with None -> () | Some tel -> Telemetry.finish tel);
+  Atomic.incr run_counter;
+  (* The result is a pure snapshot: copy every stats block out of the live
+     simulation structures so callers (and the persistent cache) can hold
+     it after this pipeline is gone. *)
+  {
+    stats = Stats.copy (Pipeline.stats pipeline);
+    btb = Btb.copy_stats (Btb.stats btb);
+    engine =
+      (match config.scheme with
+       | Scd -> Some (Scd_core.Engine.copy_stats (Scd_core.Engine.stats engine))
+       | _ -> None);
+    bytecodes = exp.bytecodes;
+    output = Builtins.output ctx;
+    code_bytes = Layout.code_bytes layout;
+  }
 
 let cycles r = r.stats.Stats.cycles
 let instructions r = r.stats.Stats.instructions

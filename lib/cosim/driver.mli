@@ -18,12 +18,10 @@
       I-cache footprint grows (Figure 10's effect);
     - VBBI is baseline code with hint-hashed BTB indexing. *)
 
-type vm_choice = Lua | Js
-
-val vm_name : vm_choice -> string
-
 type run_config = {
-  vm : vm_choice;
+  frontend : Frontend.t;
+      (** The interpreter to co-simulate, resolved from the {!Frontend}
+          registry (e.g. [Frontend.get "lua"]). *)
   scheme : Scd_core.Scheme.t;
   machine : Scd_uarch.Config.t;
   context_switch_interval : int option;
@@ -52,7 +50,18 @@ type run_config = {
 val default_config : run_config
 (** Lua VM, baseline scheme, the paper's simulator machine. *)
 
-type result = {
+type vm_choice = Lua | Js
+(** @deprecated Closed-variant VM selector from before the {!Frontend}
+    registry existed. Use frontend names (["lua"], ["js"]) instead. *)
+
+val vm_name : vm_choice -> string
+(** @deprecated The frontend's registry name. *)
+
+val frontend_of_vm : vm_choice -> Frontend.t
+(** @deprecated Bridge for pre-registry callers:
+    [frontend_of_vm Lua = Frontend.get "lua"]. *)
+
+type result = Result.t = {
   stats : Scd_uarch.Stats.t;
   btb : Scd_uarch.Btb.stats;
   engine : Scd_core.Engine.stats option;  (** Present for the SCD scheme. *)
@@ -60,6 +69,13 @@ type result = {
   output : string;  (** The script's printed output (for checksums). *)
   code_bytes : int;  (** Interpreter native-code footprint. *)
 }
+(** Re-export of {!Result.t}: a pure snapshot, safe to retain, compare and
+    serialise after the run. *)
+
+val runs : unit -> int
+(** Number of co-simulations completed by this process so far (across all
+    domains). The persistent-cache tests assert a warm sweep leaves this
+    unchanged. *)
 
 val run : ?telemetry:Telemetry.t -> run_config -> source:string -> result
 (** Compile and co-simulate [source]. Raises on script errors.

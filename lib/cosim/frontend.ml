@@ -1,0 +1,139 @@
+(* Pluggable VM frontends: everything the co-simulation driver needs to know
+   about one interpreter family, behind a first-class module. *)
+
+type options = {
+  superinstructions : bool;
+  bytecode_replication : bool;
+}
+
+let default_options = { superinstructions = false; bytecode_replication = false }
+
+module type S = sig
+  type program
+
+  val name : string
+  val aliases : string list
+  val stride : int
+  val spec : options -> Scd_codegen.Spec.t
+  val compile : options -> string -> program
+  val fn_code_sizes : program -> int array
+  val fn_const_counts : program -> int array
+
+  val run :
+    program ->
+    ctx:Scd_runtime.Builtins.ctx ->
+    trace:Scd_runtime.Trace.sink ->
+    unit
+end
+
+type t = (module S)
+
+let name (module F : S) = F.name
+let stride (module F : S) = F.stride
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Canonical names in registration order (for listings) plus an alias map
+   for lookup. Registration happens at module-initialisation time, so every
+   library that links [Scd_cosim] sees the builtin frontends without any
+   setup call. *)
+let registered : t list ref = ref []
+let by_name : (string, t) Hashtbl.t = Hashtbl.create 8
+
+let register ((module F : S) as frontend) =
+  let keys = F.name :: F.aliases in
+  List.iter
+    (fun key ->
+      if Hashtbl.mem by_name key then
+        invalid_arg
+          (Printf.sprintf "Frontend.register: name %S already registered" key))
+    keys;
+  List.iter (fun key -> Hashtbl.replace by_name key frontend) keys;
+  registered := !registered @ [ frontend ]
+
+let find key = Hashtbl.find_opt by_name key
+let all () = !registered
+let names () = List.map name !registered
+
+let get key =
+  match find key with
+  | Some f -> f
+  | None ->
+    invalid_arg
+      (Printf.sprintf "unknown VM frontend %S (registered: %s)" key
+         (String.concat ", " (names ())))
+
+(* ------------------------------------------------------------------ *)
+(* Builtin frontends                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* The Lua-like register VM: fixed-width 4-byte bytecodes, one common
+   dispatch site, and the two Ertl & Gregg software passes (superinstruction
+   fusion, bytecode replication) as compile options. *)
+module Rvm = struct
+  type program = Scd_rvm.Bytecode.program
+
+  let name = "lua"
+  let aliases = [ "rvm" ]
+  let stride = 4
+
+  let spec (o : options) =
+    if o.bytecode_replication then Scd_codegen.Spec.rvm_replicated
+    else if o.superinstructions then Scd_codegen.Spec.rvm_fused
+    else Scd_codegen.Spec.rvm
+
+  let compile (o : options) source =
+    let program = Scd_rvm.Compiler.compile_string source in
+    let program =
+      if o.superinstructions then Scd_rvm.Peephole.optimize program else program
+    in
+    if o.bytecode_replication then Scd_rvm.Replicate.optimize program
+    else program
+
+  let fn_code_sizes (p : program) =
+    Array.map
+      (fun (proto : Scd_rvm.Bytecode.proto) -> 4 * Array.length proto.code)
+      p.protos
+
+  let fn_const_counts (p : program) =
+    Array.map
+      (fun (proto : Scd_rvm.Bytecode.proto) -> Array.length proto.consts)
+      p.protos
+
+  let run p ~ctx ~trace =
+    let vm = Scd_rvm.Vm.create ~ctx ~trace p in
+    Scd_rvm.Vm.run vm
+end
+
+(* The SpiderMonkey-like stack VM: variable-length bytecodes addressed in
+   byte units and three replicated dispatch sites. The software passes are
+   register-VM only and are ignored here, exactly as the paper evaluates. *)
+module Svm = struct
+  type program = Scd_svm.Bytecode.program
+
+  let name = "js"
+  let aliases = [ "svm" ]
+  let stride = 1
+  let spec (_ : options) = Scd_codegen.Spec.svm
+  let compile (_ : options) source = Scd_svm.Compiler.compile_string source
+
+  let fn_code_sizes (p : program) =
+    Array.map
+      (fun (proto : Scd_svm.Bytecode.proto) -> Array.length proto.code)
+      p.protos
+
+  let fn_const_counts (p : program) =
+    Array.map
+      (fun (proto : Scd_svm.Bytecode.proto) -> Array.length proto.consts)
+      p.protos
+
+  let run p ~ctx ~trace =
+    let vm = Scd_svm.Vm.create ~ctx ~trace p in
+    Scd_svm.Vm.run vm
+end
+
+let () =
+  register (module Rvm);
+  register (module Svm)

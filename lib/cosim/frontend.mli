@@ -1,0 +1,95 @@
+(** Pluggable VM frontends for the co-simulation driver.
+
+    A frontend packages everything {!Driver.run} needs to know about one
+    interpreter family: a cost profile ({!Scd_codegen.Spec.t}), a compiler
+    from Mina source to that VM's bytecode, the per-function layout inputs,
+    the bytecode stride (bytes per virtual-PC unit) and an execution entry
+    point that reports one {!Scd_runtime.Trace.t} per executed bytecode.
+
+    The driver itself is VM-agnostic: it resolves a frontend from
+    {!Driver.run_config} and runs one generic expansion tail. Adding a third
+    interpreter is therefore data, not surgery — implement {!S}, call
+    {!register}, and every experiment, the CLI and the sweep cache pick it
+    up by name without touching [lib/cosim].
+
+    The two paper interpreters are pre-registered:
+    - ["lua"] (alias ["rvm"]): the register VM, 4-byte fixed-width
+      bytecodes, one common dispatch site;
+    - ["js"] (alias ["svm"]): the stack VM, byte-addressed variable-length
+      bytecodes, three replicated dispatch sites. *)
+
+type options = {
+  superinstructions : bool;
+      (** Run the register VM's superinstruction pass (Ertl & Gregg);
+          frontends without such a pass ignore it. *)
+  bytecode_replication : bool;
+      (** Run the register VM's bytecode-replication pass; likewise
+          ignored by frontends without one. *)
+}
+
+val default_options : options
+(** Both passes off. *)
+
+module type S = sig
+  type program
+
+  val name : string
+  (** Canonical registry name (also the cache-key component). *)
+
+  val aliases : string list
+  (** Extra lookup names (e.g. ["rvm"] for ["lua"]). *)
+
+  val stride : int
+  (** Bytes per bytecode virtual-PC unit: 4 for the register VM (fixed-width
+      words), 1 for the stack VM (byte-addressed). *)
+
+  val spec : options -> Scd_codegen.Spec.t
+  (** The native-code cost profile for this build of the interpreter. *)
+
+  val compile : options -> string -> program
+  (** Compile Mina source, applying any option-selected bytecode passes.
+      Raises the frontend's compiler error on invalid source. *)
+
+  val fn_code_sizes : program -> int array
+  (** Per-function bytecode sizes in bytes, for {!Scd_codegen.Layout}. *)
+
+  val fn_const_counts : program -> int array
+  (** Per-function constant-pool sizes, for {!Scd_codegen.Layout}. *)
+
+  val run :
+    program ->
+    ctx:Scd_runtime.Builtins.ctx ->
+    trace:Scd_runtime.Trace.sink ->
+    unit
+  (** Execute the program to completion, reporting every bytecode to
+      [trace]. Raises {!Scd_runtime.Value.Runtime_error} on dynamic
+      errors. *)
+end
+
+type t = (module S)
+
+val name : t -> string
+val stride : t -> int
+
+val register : t -> unit
+(** Add a frontend to the registry under its name and aliases. Raises
+    [Invalid_argument] if any of those keys is already taken. *)
+
+val find : string -> t option
+(** Look up by canonical name or alias. *)
+
+val get : string -> t
+(** As {!find} but raises [Invalid_argument] (listing the registered names)
+    on an unknown key. *)
+
+val all : unit -> t list
+(** Registered frontends in registration order. *)
+
+val names : unit -> string list
+(** Canonical names in registration order. *)
+
+module Rvm : S with type program = Scd_rvm.Bytecode.program
+(** The register VM ("lua"). *)
+
+module Svm : S with type program = Scd_svm.Bytecode.program
+(** The stack VM ("js"). *)

@@ -1,0 +1,146 @@
+(* Pure co-simulation result snapshots and their exact text codec. *)
+
+open Scd_uarch
+
+type t = {
+  stats : Stats.t;
+  btb : Btb.stats;
+  engine : Scd_core.Engine.stats option;
+  bytecodes : int;
+  output : string;
+  code_bytes : int;
+}
+
+let schema_version = 1
+
+let magic = "scd-result"
+
+let copy r =
+  {
+    r with
+    stats = Stats.copy r.stats;
+    btb = Btb.copy_stats r.btb;
+    engine = Option.map Scd_core.Engine.copy_stats r.engine;
+  }
+
+let equal a b =
+  Stats.equal a.stats b.stats
+  && Btb.stats_to_assoc a.btb = Btb.stats_to_assoc b.btb
+  && Option.map Scd_core.Engine.stats_to_assoc a.engine
+     = Option.map Scd_core.Engine.stats_to_assoc b.engine
+  && a.bytecodes = b.bytecodes
+  && a.output = b.output
+  && a.code_bytes = b.code_bytes
+
+(* ------------------------------------------------------------------ *)
+(* Encode                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* One record per line: [<section> <field> <int>] for the three stats
+   blocks, [%S] (OCaml lexical conventions) for the output string so any
+   byte sequence round-trips, and an explicit [end] terminator so a
+   truncated file never decodes. All values are integers printed and parsed
+   exactly — no floats anywhere, so decode of encode is the identity. *)
+let to_string r =
+  let buf = Buffer.create 1024 in
+  Printf.bprintf buf "%s %d\n" magic schema_version;
+  List.iter
+    (fun (k, v) -> Printf.bprintf buf "stat %s %d\n" k v)
+    (Stats.to_assoc r.stats);
+  List.iter
+    (fun (k, v) -> Printf.bprintf buf "btb %s %d\n" k v)
+    (Btb.stats_to_assoc r.btb);
+  (match r.engine with
+   | None -> Buffer.add_string buf "engine absent\n"
+   | Some e ->
+     Buffer.add_string buf "engine present\n";
+     List.iter
+       (fun (k, v) -> Printf.bprintf buf "engine %s %d\n" k v)
+       (Scd_core.Engine.stats_to_assoc e));
+  Printf.bprintf buf "bytecodes %d\n" r.bytecodes;
+  Printf.bprintf buf "code_bytes %d\n" r.code_bytes;
+  Printf.bprintf buf "output %S\n" r.output;
+  Buffer.add_string buf "end\n";
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Decode                                                              *)
+(* ------------------------------------------------------------------ *)
+
+exception Bad of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Bad m)) fmt
+
+let parse_int line what s =
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> fail "line %d: %s is not an integer: %S" line what s
+
+let of_string text =
+  try
+    let lines = String.split_on_char '\n' text in
+    let header, rest =
+      match lines with
+      | h :: rest -> (h, rest)
+      | [] -> fail "empty payload"
+    in
+    (match String.split_on_char ' ' header with
+     | [ m; v ] when m = magic ->
+       let v = parse_int 1 "schema version" v in
+       if v <> schema_version then
+         fail "schema version %d, expected %d (stale cache entry)" v
+           schema_version
+     | _ -> fail "bad header %S" header);
+    let stats = ref [] and btb = ref [] and engine = ref [] in
+    let engine_present = ref false in
+    let bytecodes = ref None and code_bytes = ref None and output = ref None in
+    let finished = ref false in
+    List.iteri
+      (fun i line ->
+        let lineno = i + 2 in
+        if !finished then begin
+          if line <> "" then fail "line %d: trailing data after end" lineno
+        end
+        else if line = "end" then finished := true
+        else
+          match String.split_on_char ' ' line with
+          | [ "stat"; k; v ] -> stats := (k, parse_int lineno k v) :: !stats
+          | [ "btb"; k; v ] -> btb := (k, parse_int lineno k v) :: !btb
+          | [ "engine"; "absent" ] -> engine_present := false
+          | [ "engine"; "present" ] -> engine_present := true
+          | [ "engine"; k; v ] -> engine := (k, parse_int lineno k v) :: !engine
+          | [ "bytecodes"; v ] ->
+            bytecodes := Some (parse_int lineno "bytecodes" v)
+          | [ "code_bytes"; v ] ->
+            code_bytes := Some (parse_int lineno "code_bytes" v)
+          | "output" :: _ ->
+            output :=
+              Some
+                (try Scanf.sscanf line "output %S%!" Fun.id
+                 with Scanf.Scan_failure m | Failure m ->
+                   fail "line %d: bad output string (%s)" lineno m)
+          | _ -> fail "line %d: unrecognised record %S" lineno line)
+      rest;
+    if not !finished then fail "missing end marker (truncated payload)";
+    let require what = function
+      | Some v -> v
+      | None -> fail "missing %s record" what
+    in
+    let unwrap = function Ok v -> v | Error m -> fail "%s" m in
+    let engine =
+      if not !engine_present then begin
+        if !engine <> [] then fail "engine fields present without marker";
+        None
+      end
+      else Some (unwrap (Scd_core.Engine.stats_of_assoc !engine))
+    in
+    Ok
+      {
+        stats = unwrap (Stats.of_assoc !stats);
+        btb = unwrap (Btb.stats_of_assoc !btb);
+        engine;
+        bytecodes = require "bytecodes" !bytecodes;
+        code_bytes = require "code_bytes" !code_bytes;
+        output = require "output" !output;
+      }
+  with Bad m -> Error m

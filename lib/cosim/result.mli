@@ -1,0 +1,38 @@
+(** Pure, versioned co-simulation result snapshots.
+
+    {!Driver.run} returns one of these: every stats block is an independent
+    copy (nothing aliases the live pipeline, BTB or engine), so a result can
+    be stored, compared and shipped across processes. The text codec is
+    exact — all counters are integers and the script output is encoded with
+    OCaml lexical conventions — so [of_string (to_string r)] reproduces [r]
+    field for field. The persistent sweep cache
+    ({!Scd_experiments.Store}) writes one [to_string] payload per cell. *)
+
+type t = {
+  stats : Scd_uarch.Stats.t;
+  btb : Scd_uarch.Btb.stats;
+  engine : Scd_core.Engine.stats option;  (** Present for the SCD scheme. *)
+  bytecodes : int;  (** Bytecodes the VM executed. *)
+  output : string;  (** The script's printed output (for checksums). *)
+  code_bytes : int;  (** Interpreter native-code footprint. *)
+}
+
+val schema_version : int
+(** Version of both the record shape and the codec. Bump whenever a field
+    is added, removed or changes meaning; {!of_string} rejects payloads from
+    any other version, which is how stale persistent-cache entries
+    self-invalidate. *)
+
+val copy : t -> t
+(** A deep snapshot (fresh stats records). *)
+
+val equal : t -> t -> bool
+(** Field-wise equality over all counters and payloads. *)
+
+val to_string : t -> string
+(** Exact text encoding, one record per line, terminated by [end]. *)
+
+val of_string : string -> (t, string) result
+(** Decode a {!to_string} payload. [Error] on a version mismatch, a missing
+    or unparseable field, truncation, or trailing garbage — never an
+    exception. *)

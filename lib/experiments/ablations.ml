@@ -30,10 +30,10 @@ let run_multi_table ~quick =
   Sweep.prefetch
     (List.concat_map
        (fun w ->
-         [ Sweep.cell ~scale Driver.Js Scd_core.Scheme.Baseline w;
-           Sweep.cell ~scale Driver.Js Scd_core.Scheme.Scd w;
+         [ Sweep.cell ~scale "js" Scd_core.Scheme.Baseline w;
+           Sweep.cell ~scale "js" Scd_core.Scheme.Scd w;
            Sweep.cell_custom ~tag:"multi-js"
-             { (lua_config Scd_core.Scheme.Scd) with vm = Driver.Js;
+             { (lua_config Scd_core.Scheme.Scd) with frontend = Frontend.get "js";
                multi_table = true }
              w scale ])
        Sweep.workloads);
@@ -47,11 +47,11 @@ let run_multi_table ~quick =
   let single_r = ref [] and multi_r = ref [] in
   List.iter
     (fun (w : Scd_workloads.Workload.t) ->
-      let baseline = Sweep.run ~scale Driver.Js Scd_core.Scheme.Baseline w in
-      let single = Sweep.run ~scale Driver.Js Scd_core.Scheme.Scd w in
+      let baseline = Sweep.run ~scale "js" Scd_core.Scheme.Baseline w in
+      let single = Sweep.run ~scale "js" Scd_core.Scheme.Scd w in
       let multi =
         Sweep.run_custom ~tag:"multi-js"
-          { (lua_config Scd_core.Scheme.Scd) with vm = Driver.Js; multi_table = true }
+          { (lua_config Scd_core.Scheme.Scd) with frontend = Frontend.get "js"; multi_table = true }
           w scale
       in
       single_r := Sweep.speedup_ratio ~baseline single :: !single_r;
@@ -101,7 +101,7 @@ let run_bop_policy ~quick =
              List.concat_map
                (fun w ->
                  [ Sweep.cell ~machine:{ machine with bop_policy = `Stall }
-                     ~scale Driver.Lua Scd_core.Scheme.Baseline w;
+                     ~scale "lua" Scd_core.Scheme.Baseline w;
                    Sweep.cell_custom ~tag
                      { (lua_config Scd_core.Scheme.Scd) with machine }
                      w scale ])
@@ -135,7 +135,7 @@ let run_bop_policy ~quick =
                 (fun w ->
                   let baseline =
                     Sweep.run ~machine:{ machine with bop_policy = `Stall }
-                      ~scale Driver.Lua Scd_core.Scheme.Baseline w
+                      ~scale "lua" Scd_core.Scheme.Baseline w
                   in
                   let scd =
                     Sweep.run_custom ~tag
@@ -174,7 +174,7 @@ let run_context_switch ~quick =
   Sweep.prefetch
     (List.concat_map
        (fun w ->
-         Sweep.cell ~scale Driver.Lua Scd_core.Scheme.Baseline w
+         Sweep.cell ~scale "lua" Scd_core.Scheme.Baseline w
          :: List.map
               (fun interval ->
                 Sweep.cell_custom ~tag:("cs-" ^ name interval)
@@ -192,7 +192,7 @@ let run_context_switch ~quick =
   let ratio_acc = List.map (fun i -> (name i, ref [])) intervals in
   List.iter
     (fun (w : Scd_workloads.Workload.t) ->
-      let baseline = Sweep.run ~scale Driver.Lua Scd_core.Scheme.Baseline w in
+      let baseline = Sweep.run ~scale "lua" Scd_core.Scheme.Baseline w in
       let cells =
         List.map
           (fun interval ->
@@ -246,11 +246,11 @@ let run_indirect ~quick =
   Sweep.prefetch
     (List.concat_map
        (fun w ->
-         Sweep.cell ~scale Driver.Lua Scd_core.Scheme.Baseline w
+         Sweep.cell ~scale "lua" Scd_core.Scheme.Baseline w
          :: List.map
               (fun (label, scheme, indirect_override) ->
                 match indirect_override with
-                | None -> Sweep.cell ~scale Driver.Lua scheme w
+                | None -> Sweep.cell ~scale "lua" scheme w
                 | Some _ ->
                   Sweep.cell_custom ~tag:("ind-" ^ label)
                     { (lua_config scheme) with indirect_override }
@@ -266,7 +266,7 @@ let run_indirect ~quick =
   in
   let baselines =
     List.map
-      (fun w -> (w, Sweep.run ~scale Driver.Lua Scd_core.Scheme.Baseline w))
+      (fun w -> (w, Sweep.run ~scale "lua" Scd_core.Scheme.Baseline w))
       Sweep.workloads
   in
   List.iter
@@ -276,7 +276,7 @@ let run_indirect ~quick =
           (fun (rs, ms, is) ((w : Scd_workloads.Workload.t), baseline) ->
             let r =
               match indirect_override with
-              | None -> Sweep.run ~scale Driver.Lua scheme w
+              | None -> Sweep.run ~scale "lua" scheme w
               | Some _ ->
                 Sweep.run_custom ~tag:("ind-" ^ label)
                   { (lua_config scheme) with indirect_override }
@@ -317,7 +317,7 @@ let run_cap_search ~quick =
   Sweep.prefetch
     (List.concat_map
        (fun w ->
-         Sweep.cell ~machine:small ~scale Driver.Lua Scd_core.Scheme.Baseline w
+         Sweep.cell ~machine:small ~scale "lua" Scd_core.Scheme.Baseline w
          :: List.map
               (fun cap ->
                 Sweep.cell_custom ~tag:("capsearch-" ^ cap_name cap)
@@ -335,7 +335,7 @@ let run_cap_search ~quick =
   in
   List.iter
     (fun (w : Scd_workloads.Workload.t) ->
-      let baseline = Sweep.run ~machine:small ~scale Driver.Lua Scd_core.Scheme.Baseline w in
+      let baseline = Sweep.run ~machine:small ~scale "lua" Scd_core.Scheme.Baseline w in
       let runs =
         List.map
           (fun cap ->
@@ -376,12 +376,12 @@ let run_superinstructions ~quick =
   Sweep.prefetch
     (List.concat_map
        (fun w ->
-         [ Sweep.cell ~scale Driver.Lua Scd_core.Scheme.Baseline w;
+         [ Sweep.cell ~scale "lua" Scd_core.Scheme.Baseline w;
            Sweep.cell_custom ~tag:"super-base"
              { (lua_config Scd_core.Scheme.Baseline) with
                superinstructions = true }
              w scale;
-           Sweep.cell ~scale Driver.Lua Scd_core.Scheme.Scd w;
+           Sweep.cell ~scale "lua" Scd_core.Scheme.Scd w;
            Sweep.cell_custom ~tag:"super-scd"
              { (lua_config Scd_core.Scheme.Scd) with superinstructions = true }
              w scale ])
@@ -397,13 +397,13 @@ let run_superinstructions ~quick =
   let super_r = ref [] and scd_r = ref [] and both_r = ref [] in
   List.iter
     (fun (w : Scd_workloads.Workload.t) ->
-      let baseline = Sweep.run ~scale Driver.Lua Scd_core.Scheme.Baseline w in
+      let baseline = Sweep.run ~scale "lua" Scd_core.Scheme.Baseline w in
       let super =
         Sweep.run_custom ~tag:"super-base"
           { (lua_config Scd_core.Scheme.Baseline) with superinstructions = true }
           w scale
       in
-      let scd = Sweep.run ~scale Driver.Lua Scd_core.Scheme.Scd w in
+      let scd = Sweep.run ~scale "lua" Scd_core.Scheme.Scd w in
       let both =
         Sweep.run_custom ~tag:"super-scd"
           { (lua_config Scd_core.Scheme.Scd) with superinstructions = true }
@@ -455,7 +455,7 @@ let run_replication ~quick =
          let machine = Config.with_btb_entries Config.simulator btb in
          List.concat_map
            (fun (w : Scd_workloads.Workload.t) ->
-             Sweep.cell ~machine ~scale Driver.Lua Scd_core.Scheme.Baseline w
+             Sweep.cell ~machine ~scale "lua" Scd_core.Scheme.Baseline w
              :: List.map
                   (fun (n, scheme, repl) ->
                     Sweep.cell_custom ~tag:(Printf.sprintf "repl-%s-%d" n btb)
@@ -481,7 +481,7 @@ let run_replication ~quick =
         List.iter
           (fun (w : Scd_workloads.Workload.t) ->
             let baseline =
-              Sweep.run ~machine ~scale Driver.Lua Scd_core.Scheme.Baseline w
+              Sweep.run ~machine ~scale "lua" Scd_core.Scheme.Baseline w
             in
             let cells =
               List.map

@@ -12,8 +12,8 @@ let btb_sizes = [ 64; 128; 256; 512 ]
 let jte_caps = [ Some 8; Some 16; Some 32; None ]
 
 let vm_of_part = function
-  | `A | `C -> Scd_cosim.Driver.Lua
-  | `B | `D -> Scd_cosim.Driver.Js
+  | `A | `C -> "lua"
+  | `B | `D -> "js"
 
 let size_table ~scale part label =
   let vm = vm_of_part part in

@@ -9,7 +9,7 @@ let run ~quick =
   let scale = Sweep.scale_for ~quick Scd_workloads.Workload.Sim in
   Sweep.prefetch
     (List.map
-       (fun w -> Sweep.cell ~scale Scd_cosim.Driver.Lua Scd_core.Scheme.Baseline w)
+       (fun w -> Sweep.cell ~scale "lua" Scd_core.Scheme.Baseline w)
        Sweep.workloads);
   let table =
     Table.make ~title:"Figure 2: branch MPKI breakdown, Lua interpreter (baseline)"
@@ -18,7 +18,7 @@ let run ~quick =
   let totals = ref [] in
   List.iter
     (fun w ->
-      let r = Sweep.run ~scale Scd_cosim.Driver.Lua Scd_core.Scheme.Baseline w in
+      let r = Sweep.run ~scale "lua" Scd_core.Scheme.Baseline w in
       let dispatch = Stats.dispatch_mpki r.stats in
       let total = Stats.branch_mpki r.stats in
       totals := (dispatch, total) :: !totals;

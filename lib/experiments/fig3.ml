@@ -8,7 +8,7 @@ let run ~quick =
   let scale = Sweep.scale_for ~quick Scd_workloads.Workload.Sim in
   Sweep.prefetch
     (List.map
-       (fun w -> Sweep.cell ~scale Scd_cosim.Driver.Lua Scd_core.Scheme.Baseline w)
+       (fun w -> Sweep.cell ~scale "lua" Scd_core.Scheme.Baseline w)
        Sweep.workloads);
   let table =
     Table.make ~title:"Figure 3: fraction of dispatch instructions, Lua (baseline)"
@@ -17,7 +17,7 @@ let run ~quick =
   let fractions = ref [] in
   List.iter
     (fun w ->
-      let r = Sweep.run ~scale Scd_cosim.Driver.Lua Scd_core.Scheme.Baseline w in
+      let r = Sweep.run ~scale "lua" Scd_core.Scheme.Baseline w in
       let f = 100.0 *. Stats.dispatch_fraction r.stats in
       fractions := f :: !fractions;
       Table.add_row table

@@ -52,8 +52,8 @@ let table_for ~scale vm label =
 let run ~quick =
   let scale = Sweep.scale_for ~quick Scd_workloads.Workload.Sim in
   [
-    table_for ~scale Scd_cosim.Driver.Lua "Lua";
-    table_for ~scale Scd_cosim.Driver.Js "JavaScript";
+    table_for ~scale "lua" "Lua";
+    table_for ~scale "js" "JavaScript";
   ]
 
 let experiment =

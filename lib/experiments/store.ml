@@ -1,0 +1,146 @@
+(* On-disk layer of the sweep cache: one Result codec file per cell. *)
+
+open Scd_cosim
+
+let default_dir = "_scd_cache"
+let extension = ".scdres"
+
+type t = {
+  dir : string;
+  mutex : Mutex.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable stores : int;
+}
+
+(* 32-bit FNV-1a. Filenames built from sanitised keys alone can collide
+   (every non-filename character folds to '-'); appending a hash of the raw
+   key keeps distinct keys in distinct files. *)
+let fnv1a key =
+  let h = ref 0x811c9dc5 in
+  String.iter
+    (fun c ->
+      h := (!h lxor Char.code c) * 0x01000193 land 0xFFFFFFFF)
+    key;
+  !h
+
+let sanitize key =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '_' | '-' -> c
+      | _ -> '-')
+    key
+
+let mangle key = Printf.sprintf "%s-%08x" (sanitize key) (fnv1a key)
+
+(* Cache entries self-invalidate on codec changes: the schema version is
+   both in the key (hence the filename) and in the payload header, so a
+   bumped [Result.schema_version] never reads — or overwrites — old files. *)
+let versioned key = Printf.sprintf "v%d|%s" Result.schema_version key
+
+let path t key = Filename.concat t.dir (mangle (versioned key) ^ extension)
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755
+    with Sys_error _ when Sys.is_directory dir -> ()
+  end
+  else if not (Sys.is_directory dir) then
+    invalid_arg (Printf.sprintf "Store.create: %s exists and is not a directory" dir)
+
+let create dir =
+  mkdir_p dir;
+  { dir; mutex = Mutex.create (); hits = 0; misses = 0; stores = 0 }
+
+let dir t = t.dir
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load t ~key =
+  let path = path t key in
+  let decoded =
+    if not (Sys.file_exists path) then None
+    else
+      match Result.of_string (read_file path) with
+      | Ok r -> Some r
+      | Error _ | (exception Sys_error _) -> None
+  in
+  Mutex.protect t.mutex (fun () ->
+      match decoded with
+      | Some _ -> t.hits <- t.hits + 1
+      | None -> t.misses <- t.misses + 1);
+  decoded
+
+(* Concurrent writers (pool domains, parallel processes) compute the same
+   deterministic payload for a given key, so the worst race is writing
+   identical bytes; the tmp-file + rename keeps readers from ever seeing a
+   partial file. *)
+let tmp_counter = Atomic.make 0
+
+let save t ~key result =
+  let path = path t key in
+  let tmp =
+    Printf.sprintf "%s.tmp.%d.%d" path
+      (Domain.self () :> int)
+      (Atomic.fetch_and_add tmp_counter 1)
+  in
+  let oc = open_out_bin tmp in
+  (try
+     output_string oc (Result.to_string result);
+     close_out oc;
+     Sys.rename tmp path
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Mutex.protect t.mutex (fun () -> t.stores <- t.stores + 1)
+
+let hits t = Mutex.protect t.mutex (fun () -> t.hits)
+let misses t = Mutex.protect t.mutex (fun () -> t.misses)
+let stores t = Mutex.protect t.mutex (fun () -> t.stores)
+
+let entries t =
+  match Sys.readdir t.dir with
+  | exception Sys_error _ -> []
+  | names ->
+    Array.to_list names
+    |> List.filter (fun n -> Filename.check_suffix n extension)
+    |> List.sort String.compare
+
+let size_bytes t =
+  List.fold_left
+    (fun acc name ->
+      let path = Filename.concat t.dir name in
+      match (open_in_bin path : in_channel) with
+      | exception Sys_error _ -> acc
+      | ic ->
+        let n = in_channel_length ic in
+        close_in_noerr ic;
+        acc + n)
+    0 (entries t)
+
+let clear t =
+  let names = entries t in
+  List.iter
+    (fun name ->
+      try Sys.remove (Filename.concat t.dir name) with Sys_error _ -> ())
+    names;
+  List.length names
+
+let verify t =
+  let ok = ref 0 and bad = ref [] in
+  List.iter
+    (fun name ->
+      let path = Filename.concat t.dir name in
+      match Result.of_string (read_file path) with
+      | Ok _ -> incr ok
+      | Error msg -> bad := (name, msg) :: !bad
+      | exception Sys_error msg -> bad := (name, msg) :: !bad)
+    (entries t);
+  (!ok, List.rev !bad)

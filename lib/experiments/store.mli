@@ -1,0 +1,59 @@
+(** Persistent sweep cache: one {!Scd_cosim.Result} codec file per cell.
+
+    The store is the disk layer beneath {!Sweep}'s in-process memo table. A
+    cell's raw key ([frontend|scheme|machine|workload|scale], see
+    {!Sweep.cell}) is prefixed with [v<Result.schema_version>|] and mapped to
+    [<sanitised-key>-<fnv1a-hash>.scdres] inside the store directory — the
+    hash of the raw key keeps distinct keys in distinct files even when
+    sanitisation folds them together, and the version prefix means a codec
+    bump silently invalidates (never reads, never clobbers) old entries.
+
+    Writes go through a temp file and an atomic rename, so concurrent pool
+    domains or parallel [scdsim] processes never expose a partial file; each
+    cell is a deterministic function of its key, so racing writers produce
+    identical bytes. Hit/miss/store counters feed [bench --json] and
+    [scdsim cache stats]. *)
+
+type t
+
+val default_dir : string
+(** ["_scd_cache"] — the conventional store location ([--cache DIR]
+    overrides it). *)
+
+val create : string -> t
+(** Open (creating directories as needed) a store rooted at the given
+    directory. Raises [Invalid_argument] if the path exists and is not a
+    directory. *)
+
+val dir : t -> string
+
+val mangle : string -> string
+(** The collision-free filename stem for a raw key: sanitised key plus an
+    8-hex-digit FNV-1a hash of the raw key. Exposed for {!Sweep}'s sample
+    CSV naming. *)
+
+val load : t -> key:string -> Scd_cosim.Result.t option
+(** Look up a cell. [None] (counted as a miss) if the file is absent,
+    unreadable, or fails to decode — a corrupt or stale entry is simply
+    recomputed and overwritten. *)
+
+val save : t -> key:string -> Scd_cosim.Result.t -> unit
+(** Persist a cell (atomic tmp + rename). *)
+
+val hits : t -> int
+val misses : t -> int
+val stores : t -> int
+
+val entries : t -> string list
+(** Basenames of the [.scdres] files currently in the store, sorted. *)
+
+val size_bytes : t -> int
+(** Total payload bytes across {!entries}. *)
+
+val clear : t -> int
+(** Delete every entry; returns how many were removed. *)
+
+val verify : t -> int * (string * string) list
+(** Decode every entry: [(ok_count, [(file, error); ...])]. Stale-version
+    files from before a schema bump show up here as errors (they are
+    otherwise ignored, since current keys hash to different filenames). *)

@@ -2,9 +2,12 @@
 
     Figures 7-10 all read different statistics from the *same* runs, and the
     sensitivity studies reuse baselines across sweep points, so results are
-    memoised per (vm, scheme, machine, workload, scale) within a process.
+    memoised per (frontend, scheme, machine, workload, scale) within a
+    process — and, when a {!Store} is attached, across processes: lookups go
+    memory, then disk, then compute, and every computed cell is persisted,
+    so a warm process recomputes nothing.
 
-    The cache is guarded by a mutex so that pool domains (see
+    The in-memory table is guarded by a mutex so that pool domains (see
     {!Scd_util.Pool}) can share it. Every cached value is a deterministic
     function of its key, so two domains racing to compute the same key
     merely duplicate work; whichever insert lands last wins with an
@@ -13,7 +16,7 @@
     are computed concurrently on the pool, and the sequential
     table-rendering code then reads them back from the cache in its
     original order — rendered tables are byte-identical to a sequential
-    run. *)
+    run at any [--jobs]. *)
 
 open Scd_cosim
 open Scd_uarch
@@ -21,11 +24,38 @@ open Scd_uarch
 let cache : (string, Driver.result) Hashtbl.t = Hashtbl.create 64
 let cache_mutex = Mutex.create ()
 
-let find_cached key =
+(* ------------------------------------------------------------------ *)
+(* Persistent layer                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let store : Store.t option ref = ref None
+
+let set_store s = store := s
+
+let find_memory key =
   Mutex.protect cache_mutex (fun () -> Hashtbl.find_opt cache key)
 
-let insert key r =
+let insert_memory key r =
   Mutex.protect cache_mutex (fun () -> Hashtbl.replace cache key r)
+
+(* Memory first, then disk; a disk hit is promoted into memory so the
+   store's hit/miss counters see each key at most once per process. *)
+let find_cached key =
+  match find_memory key with
+  | Some _ as hit -> hit
+  | None -> (
+    match !store with
+    | None -> None
+    | Some s -> (
+      match Store.load s ~key with
+      | Some r ->
+        insert_memory key r;
+        Some r
+      | None -> None))
+
+let insert key r =
+  insert_memory key r;
+  match !store with None -> () | Some s -> Store.save s ~key r
 
 let clear () = Mutex.protect cache_mutex (fun () -> Hashtbl.reset cache)
 
@@ -53,13 +83,9 @@ let set_sample_dir ?(interval = 10_000) dir =
   sample_dir := dir;
   sample_interval := interval
 
-let sanitize_key key =
-  String.map
-    (fun c ->
-      match c with
-      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '_' | '-' -> c
-      | _ -> '-')
-    key
+(* Distinct keys must land in distinct files even though sanitisation is
+   lossy, so the filename carries a hash of the raw key (Store.mangle). *)
+let sanitize_key = Store.mangle
 
 (* Every cell computation funnels through here so that --sample covers the
    standard sweeps, the custom-config runs and the cache-miss fallbacks
@@ -80,8 +106,9 @@ let machine_key (m : Config.t) =
   Printf.sprintf "%s/btb%d/cap%s" m.name m.btb_entries
     (match m.jte_cap with None -> "inf" | Some c -> string_of_int c)
 
-let std_key ~machine ~scale vm scheme (w : Scd_workloads.Workload.t) =
-  Printf.sprintf "%s|%s|%s|%s|%s" (Driver.vm_name vm)
+let std_key ~machine ~scale frontend scheme (w : Scd_workloads.Workload.t) =
+  Printf.sprintf "%s|%s|%s|%s|%s"
+    (Frontend.name (Frontend.get frontend))
     (Scd_core.Scheme.name scheme) (machine_key machine) w.name
     (Scd_workloads.Workload.scale_name scale)
 
@@ -91,18 +118,23 @@ let custom_key ~tag (w : Scd_workloads.Workload.t) scale =
 
 (** One (workload, configuration) point of a sweep: a cache key plus the
     closure that computes it. Construction is cheap; nothing runs until
-    {!prefetch} (pool fan-out) or a cache miss in {!run}/{!run_custom}. *)
+    {!prefetch} (pool fan-out) or a cache miss in {!run}/{!run_custom}.
+    [frontend] is a registry name ("lua", "js", ...) so sweeps are
+    data-driven over whatever frontends are registered. *)
 type cell = { key : string; compute : unit -> Driver.result }
 
-let compute_std ~machine ~scale vm scheme (w : Scd_workloads.Workload.t) () =
-  run_driver ~key:(std_key ~machine ~scale vm scheme w)
-    { Driver.default_config with vm; scheme; machine }
+let compute_std ~machine ~scale frontend scheme (w : Scd_workloads.Workload.t)
+    () =
+  run_driver
+    ~key:(std_key ~machine ~scale frontend scheme w)
+    { Driver.default_config with frontend = Frontend.get frontend;
+      scheme; machine }
     ~source:(Scd_workloads.Workload.source w scale)
 
-let cell ?(machine = Config.simulator) ?(scale = Scd_workloads.Workload.Sim) vm
-    scheme w =
-  { key = std_key ~machine ~scale vm scheme w;
-    compute = compute_std ~machine ~scale vm scheme w }
+let cell ?(machine = Config.simulator) ?(scale = Scd_workloads.Workload.Sim)
+    frontend scheme w =
+  { key = std_key ~machine ~scale frontend scheme w;
+    compute = compute_std ~machine ~scale frontend scheme w }
 
 let cell_custom ~tag (config : Driver.run_config) (w : Scd_workloads.Workload.t)
     scale =
@@ -117,7 +149,8 @@ let cell_custom ~tag (config : Driver.run_config) (w : Scd_workloads.Workload.t)
     key) and populate the cache. A no-op without a pool or at [--jobs 1],
     leaving the exact legacy lazily-computed sequential path. Each task
     builds its own pipeline/BTB/VM state inside [Driver.run]; no mutable
-    state is shared between cells. *)
+    state is shared between cells. The cached-cell filter consults the
+    persistent store too, so a warm process fans out nothing. *)
 let prefetch cells =
   match !pool with
   | None -> ()
@@ -142,13 +175,13 @@ let prefetch cells =
 (* Cached lookups                                                      *)
 (* ------------------------------------------------------------------ *)
 
-let run ?(machine = Config.simulator) ?(scale = Scd_workloads.Workload.Sim) vm
-    scheme (w : Scd_workloads.Workload.t) =
-  let key = std_key ~machine ~scale vm scheme w in
+let run ?(machine = Config.simulator) ?(scale = Scd_workloads.Workload.Sim)
+    frontend scheme (w : Scd_workloads.Workload.t) =
+  let key = std_key ~machine ~scale frontend scheme w in
   match find_cached key with
   | Some r -> r
   | None ->
-    let r = compute_std ~machine ~scale vm scheme w () in
+    let r = compute_std ~machine ~scale frontend scheme w () in
     insert key r;
     r
 

@@ -18,7 +18,7 @@ let compute ~scale =
     (List.concat_map
        (fun w ->
          List.map
-           (fun scheme -> Sweep.cell ~machine:Config.fpga ~scale Scd_cosim.Driver.Lua scheme w)
+           (fun scheme -> Sweep.cell ~machine:Config.fpga ~scale "lua" scheme w)
            Scd_core.Scheme.[ Baseline; Jump_threading; Scd ])
        Sweep.workloads);
   let rows = ref [] in
@@ -27,7 +27,7 @@ let compute ~scale =
   List.iter
     (fun (w : Scd_workloads.Workload.t) ->
       let machine = Config.fpga in
-      let vm = Scd_cosim.Driver.Lua in
+      let vm = "lua" in
       let base = Sweep.run ~machine ~scale vm Scd_core.Scheme.Baseline w in
       let jt = Sweep.run ~machine ~scale vm Scd_core.Scheme.Jump_threading w in
       let scd = Sweep.run ~machine ~scale vm Scd_core.Scheme.Scd w in

@@ -212,5 +212,50 @@ let flush_jtes t =
 
 let jte_population t = t.jte_population
 let stats t = t.stats
+
+let copy_stats (s : stats) = { s with branch_lookups = s.branch_lookups }
+
+(* Field table backing the result codec; see the note on {!Stats.fields}. *)
+let stats_fields =
+  [
+    ( "branch_lookups",
+      (fun (s : stats) -> s.branch_lookups),
+      fun (s : stats) v -> s.branch_lookups <- v );
+    ("branch_hits", (fun s -> s.branch_hits), fun s v -> s.branch_hits <- v);
+    ("jte_lookups", (fun s -> s.jte_lookups), fun s v -> s.jte_lookups <- v);
+    ("jte_hits", (fun s -> s.jte_hits), fun s v -> s.jte_hits <- v);
+    ("jte_inserts", (fun s -> s.jte_inserts), fun s v -> s.jte_inserts <- v);
+    ( "branch_entries_evicted_by_jte",
+      (fun s -> s.branch_entries_evicted_by_jte),
+      fun s v -> s.branch_entries_evicted_by_jte <- v );
+    ( "branch_insert_blocked_by_jte",
+      (fun s -> s.branch_insert_blocked_by_jte),
+      fun s v -> s.branch_insert_blocked_by_jte <- v );
+    ("jte_evictions", (fun s -> s.jte_evictions), fun s v -> s.jte_evictions <- v);
+    ( "jte_cap_replacements",
+      (fun s -> s.jte_cap_replacements),
+      fun s v -> s.jte_cap_replacements <- v );
+    ( "jte_cap_rejects",
+      (fun s -> s.jte_cap_rejects),
+      fun s v -> s.jte_cap_rejects <- v );
+  ]
+
+let stats_to_assoc s = List.map (fun (name, get, _) -> (name, get s)) stats_fields
+
+let stats_of_assoc assoc =
+  let s = fresh_stats () in
+  let missing =
+    List.filter_map
+      (fun (name, _, set) ->
+        match List.assoc_opt name assoc with
+        | Some v ->
+          set s v;
+          None
+        | None -> Some name)
+      stats_fields
+  in
+  match missing with
+  | [] -> Ok s
+  | names -> Error ("missing BTB stats fields: " ^ String.concat ", " names)
 let entries t = t.sets * t.ways
 let ways t = t.ways

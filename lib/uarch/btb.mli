@@ -68,3 +68,11 @@ val jte_population : t -> int
 val stats : t -> stats
 val entries : t -> int
 val ways : t -> int
+
+val copy_stats : stats -> stats
+(** Independent snapshot of a stats record (see {!Scd_uarch.Stats.copy}). *)
+
+val stats_to_assoc : stats -> (string * int) list
+val stats_of_assoc : (string * int) list -> (stats, string) result
+(** Codec pair over one shared field table; [stats_of_assoc (stats_to_assoc s)]
+    is the identity and a missing field is an [Error]. *)

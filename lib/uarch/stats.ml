@@ -55,6 +55,75 @@ let create () =
 
 let copy t = { t with instructions = t.instructions }
 
+(* One (name, get, set) triple per record field. The result codec
+   ({!Scd_cosim.Result}) encodes and decodes through this table, so the two
+   directions cannot drift apart; extending the record only requires a new
+   triple here (and a schema-version bump in the codec). *)
+let fields =
+  [
+    ("instructions", (fun t -> t.instructions), fun t v -> t.instructions <- v);
+    ( "dispatch_instructions",
+      (fun t -> t.dispatch_instructions),
+      fun t v -> t.dispatch_instructions <- v );
+    ("cycles", (fun t -> t.cycles), fun t v -> t.cycles <- v);
+    ("cond_branches", (fun t -> t.cond_branches), fun t v -> t.cond_branches <- v);
+    ( "cond_mispredicts",
+      (fun t -> t.cond_mispredicts),
+      fun t v -> t.cond_mispredicts <- v );
+    ("direct_jumps", (fun t -> t.direct_jumps), fun t v -> t.direct_jumps <- v);
+    ( "direct_target_misses",
+      (fun t -> t.direct_target_misses),
+      fun t v -> t.direct_target_misses <- v );
+    ("indirect_jumps", (fun t -> t.indirect_jumps), fun t v -> t.indirect_jumps <- v);
+    ( "indirect_mispredicts",
+      (fun t -> t.indirect_mispredicts),
+      fun t v -> t.indirect_mispredicts <- v );
+    ("returns", (fun t -> t.returns), fun t v -> t.returns <- v);
+    ( "return_mispredicts",
+      (fun t -> t.return_mispredicts),
+      fun t v -> t.return_mispredicts <- v );
+    ( "mispredicts_dispatch",
+      (fun t -> t.mispredicts_dispatch),
+      fun t v -> t.mispredicts_dispatch <- v );
+    ("bop_count", (fun t -> t.bop_count), fun t v -> t.bop_count <- v);
+    ("bop_hits", (fun t -> t.bop_hits), fun t v -> t.bop_hits <- v);
+    ( "bop_stall_cycles",
+      (fun t -> t.bop_stall_cycles),
+      fun t v -> t.bop_stall_cycles <- v );
+    ("jru_count", (fun t -> t.jru_count), fun t v -> t.jru_count <- v);
+    ( "icache_accesses",
+      (fun t -> t.icache_accesses),
+      fun t v -> t.icache_accesses <- v );
+    ("icache_misses", (fun t -> t.icache_misses), fun t v -> t.icache_misses <- v);
+    ( "dcache_accesses",
+      (fun t -> t.dcache_accesses),
+      fun t v -> t.dcache_accesses <- v );
+    ("dcache_misses", (fun t -> t.dcache_misses), fun t v -> t.dcache_misses <- v);
+    ("itlb_misses", (fun t -> t.itlb_misses), fun t v -> t.itlb_misses <- v);
+    ("dtlb_misses", (fun t -> t.dtlb_misses), fun t v -> t.dtlb_misses <- v);
+    ("l2_misses", (fun t -> t.l2_misses), fun t v -> t.l2_misses <- v);
+  ]
+
+let to_assoc t = List.map (fun (name, get, _) -> (name, get t)) fields
+
+let of_assoc assoc =
+  let t = create () in
+  let missing =
+    List.filter_map
+      (fun (name, _, set) ->
+        match List.assoc_opt name assoc with
+        | Some v ->
+          set t v;
+          None
+        | None -> Some name)
+      fields
+  in
+  match missing with
+  | [] -> Ok t
+  | names -> Error ("missing stats fields: " ^ String.concat ", " names)
+
+let equal a b = to_assoc a = to_assoc b
+
 let total_mispredicts t =
   t.cond_mispredicts + t.indirect_mispredicts + t.return_mispredicts
   + t.direct_target_misses

@@ -41,6 +41,20 @@ val copy : t -> t
 (** An independent snapshot; interval samplers diff two snapshots to get
     per-interval deltas. *)
 
+val to_assoc : t -> (string * int) list
+(** Every counter as a (field-name, value) pair, in declaration order. The
+    encode and decode sides of the result codec both walk one internal field
+    table, so {!of_assoc} applied to {!to_assoc} is the identity. *)
+
+val of_assoc : (string * int) list -> (t, string) result
+(** Rebuild a stats record from {!to_assoc} output. Unknown names are
+    ignored; a missing field is an [Error]. *)
+
+val equal : t -> t -> bool
+(** Field-wise equality (the records are mutable, so [=] on two live records
+    is reference-sensitive only through their current contents; this compares
+    the counter values). *)
+
 val total_mispredicts : t -> int
 (** Conditional + indirect + return mispredictions plus direct-jump target
     misses. *)

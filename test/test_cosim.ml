@@ -17,10 +17,11 @@ let small_script =
     print(s)
   |}
 
-let run ?(vm = Driver.Lua) ?(machine = Scd_uarch.Config.simulator)
+let run ?(vm = "lua") ?(machine = Scd_uarch.Config.simulator)
     ?context_switch_interval scheme =
   Driver.run
-    { Driver.default_config with vm; scheme; machine; context_switch_interval }
+    { Driver.default_config with frontend = Frontend.get vm; scheme; machine;
+      context_switch_interval }
     ~source:small_script
 
 (* ------------------------------------------------------------------ *)
@@ -36,7 +37,7 @@ let test_output_independent_of_scheme () =
           Alcotest.(check string)
             "script output never depends on the dispatch scheme" reference
             (run ~vm scheme).output)
-        [ Driver.Lua; Driver.Js ])
+        [ "lua"; "js" ])
     Scheme.all
 
 let test_bytecode_count_independent_of_scheme () =
@@ -99,8 +100,8 @@ let test_scd_bop_hit_rate_high_on_lua () =
 
 let test_js_bop_thrashes_across_sites () =
   (* the stack VM's three fetch sites share one Rbop-pc: hit rate drops *)
-  let lua = run ~vm:Driver.Lua Scheme.Scd in
-  let js = run ~vm:Driver.Js Scheme.Scd in
+  let lua = run ~vm:"lua" Scheme.Scd in
+  let js = run ~vm:"js" Scheme.Scd in
   check_bool "js hit rate below lua" true
     (Scd_uarch.Stats.bop_hit_rate js.stats
      < Scd_uarch.Stats.bop_hit_rate lua.stats)
@@ -169,10 +170,11 @@ let test_high_end_dual_issue_faster () =
 (* ------------------------------------------------------------------ *)
 
 let test_multi_table_recovers_js_hit_rate () =
-  let single = run ~vm:Driver.Js Scheme.Scd in
+  let single = run ~vm:"js" Scheme.Scd in
   let multi =
     Driver.run
-      { Driver.default_config with vm = Driver.Js; scheme = Scheme.Scd;
+      { Driver.default_config with frontend = Frontend.get "js";
+        scheme = Scheme.Scd;
         multi_table = true }
       ~source:small_script
   in
@@ -271,6 +273,104 @@ let test_instruction_count_scales_with_bytecodes () =
   check_bool "plausible instructions per bytecode" true
     (per_bytecode > 25.0 && per_bytecode < 120.0)
 
+(* ------------------------------------------------------------------ *)
+(* Result codec                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_codec_roundtrip_real_runs () =
+  List.iter
+    (fun (vm, scheme) ->
+      let r = run ~vm scheme in
+      match Result.of_string (Result.to_string r) with
+      | Ok r' ->
+        check_bool "decode of encode is the identity" true (Result.equal r r')
+      | Error m -> Alcotest.fail ("round-trip failed: " ^ m))
+    [ ("lua", Scheme.Baseline); ("lua", Scheme.Scd); ("js", Scheme.Scd);
+      ("js", Scheme.Jump_threading) ]
+
+(* Random results over the full field space (including an arbitrary-byte
+   output payload): the codec must reproduce every value exactly. *)
+let random_result =
+  let open QCheck.Gen in
+  let nat = int_bound 1_000_000 in
+  let fields_of template =
+    flatten_l (List.map (fun (k, _) -> map (fun v -> (k, v)) nat) template)
+  in
+  let stats_template = Scd_uarch.Stats.to_assoc (Scd_uarch.Stats.create ()) in
+  let btb_template =
+    Scd_uarch.Btb.stats_to_assoc
+      (Scd_uarch.Btb.stats
+         (Scd_uarch.Btb.create ~entries:16 ~ways:2
+            ~replacement:Scd_uarch.Btb.Lru ()))
+  in
+  let engine_template =
+    Scd_core.Engine.stats_to_assoc
+      (Scd_core.Engine.stats
+         (Scd_core.Engine.create
+            (Scd_uarch.Btb.create ~entries:16 ~ways:2
+               ~replacement:Scd_uarch.Btb.Lru ())))
+  in
+  let ok = function Ok v -> v | Error m -> failwith m in
+  QCheck.make
+    (map
+       (fun ((stats, btb, engine), (bytecodes, code_bytes, output)) ->
+         { Result.stats = ok (Scd_uarch.Stats.of_assoc stats);
+           btb = ok (Scd_uarch.Btb.stats_of_assoc btb);
+           engine =
+             Option.map (fun a -> ok (Scd_core.Engine.stats_of_assoc a)) engine;
+           bytecodes; code_bytes; output })
+       (pair
+          (triple (fields_of stats_template) (fields_of btb_template)
+             (opt (fields_of engine_template)))
+          (triple nat nat (string_size ~gen:char (int_bound 80)))))
+
+let prop_codec_roundtrip_random =
+  QCheck.Test.make ~name:"codec round-trips random results" ~count:200
+    random_result (fun r ->
+      match Result.of_string (Result.to_string r) with
+      | Ok r' -> Result.equal r r'
+      | Error _ -> false)
+
+let test_codec_rejects_bad_payloads () =
+  let r = run Scheme.Scd in
+  let text = Result.to_string r in
+  let rejects what payload =
+    match Result.of_string payload with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail ("codec accepted " ^ what)
+  in
+  rejects "an empty payload" "";
+  rejects "a bad header" ("not-a-result 1\n" ^ text);
+  rejects "a truncated payload" (String.sub text 0 (String.length text - 5));
+  rejects "trailing garbage after end" (text ^ "junk\n");
+  (let body = String.sub text (String.index text '\n' + 1)
+       (String.length text - String.index text '\n' - 1) in
+   rejects "a stale schema version" ("scd-result 999\n" ^ body));
+  (let without_instructions =
+     String.split_on_char '\n' text
+     |> List.filter (fun l -> not (String.starts_with ~prefix:"stat instructions " l))
+     |> String.concat "\n"
+   in
+   rejects "a missing stats field" without_instructions);
+  rejects "an unrecognised record"
+    (let lines = String.split_on_char '\n' text in
+     String.concat "\n" (List.hd lines :: "bogus record 42" :: List.tl lines));
+  (* the non-error path still works after all that *)
+  match Result.of_string text with
+  | Ok r' -> check_bool "original still decodes" true (Result.equal r r')
+  | Error m -> Alcotest.fail m
+
+let test_result_is_pure_snapshot () =
+  (* two runs never alias each other's stats blocks *)
+  let a = run Scheme.Scd in
+  let b = run Scheme.Scd in
+  check_bool "distinct stats records" true (a.stats != b.stats);
+  check_bool "equal by value" true (Result.equal a b);
+  let c = Result.copy a in
+  c.stats.Scd_uarch.Stats.cycles <- c.stats.Scd_uarch.Stats.cycles + 1;
+  check_bool "copy does not alias" true
+    (a.stats.Scd_uarch.Stats.cycles <> c.stats.Scd_uarch.Stats.cycles)
+
 let () =
   Alcotest.run "scd_cosim"
     [
@@ -317,5 +417,14 @@ let () =
           Alcotest.test_case "stats invariants" `Quick test_stats_consistency;
           Alcotest.test_case "instructions per bytecode" `Quick
             test_instruction_count_scales_with_bytecodes;
+        ] );
+      ( "codec",
+        [
+          Alcotest.test_case "round-trip real runs" `Quick
+            test_codec_roundtrip_real_runs;
+          QCheck_alcotest.to_alcotest prop_codec_roundtrip_random;
+          Alcotest.test_case "rejects bad payloads" `Quick
+            test_codec_rejects_bad_payloads;
+          Alcotest.test_case "pure snapshot" `Quick test_result_is_pure_snapshot;
         ] );
     ]

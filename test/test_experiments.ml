@@ -81,6 +81,92 @@ let test_tab5_summary_values () =
       (List.exists (fun row -> List.hd row = "EDP improvement") (rows_of summary))
   | _ -> Alcotest.fail "tab5 must produce two tables"
 
+(* ------------------------------------------------------------------ *)
+(* Persistent cache                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let with_temp_store f =
+  let dir = Filename.temp_file "scd_cache_test" "" in
+  Sys.remove dir;
+  let store = Scd_experiments.Store.create dir in
+  Fun.protect
+    ~finally:(fun () ->
+      Scd_experiments.Sweep.set_store None;
+      ignore (Scd_experiments.Store.clear store : int);
+      try Sys.rmdir dir with Sys_error _ -> ())
+    (fun () -> f store)
+
+let tiny_source = "print(1 + 2)"
+
+let test_store_save_load_distinct_keys () =
+  with_temp_store (fun store ->
+      let r = Scd_cosim.Driver.run Scd_cosim.Driver.default_config ~source:tiny_source in
+      (* sanitisation folds both keys to "a-b": the hash must keep them apart *)
+      Scd_experiments.Store.save store ~key:"a|b" r;
+      check_bool "a/b not visible under a|b" true
+        (Scd_experiments.Store.load store ~key:"a/b" = None);
+      let r2 =
+        Scd_cosim.Driver.run
+          { Scd_cosim.Driver.default_config with scheme = Scd_core.Scheme.Scd }
+          ~source:tiny_source
+      in
+      Scd_experiments.Store.save store ~key:"a/b" r2;
+      check_int "two files for two keys" 2
+        (List.length (Scd_experiments.Store.entries store));
+      (match Scd_experiments.Store.load store ~key:"a|b" with
+       | Some r' -> check_bool "a|b round-trips" true (Scd_cosim.Result.equal r r')
+       | None -> Alcotest.fail "a|b entry lost");
+      match Scd_experiments.Store.load store ~key:"a/b" with
+      | Some r' -> check_bool "a/b round-trips" true (Scd_cosim.Result.equal r2 r')
+      | None -> Alcotest.fail "a/b entry lost")
+
+let test_sanitize_key_collision_free () =
+  check_bool "hash suffix separates sanitised twins" true
+    (Scd_experiments.Sweep.sanitize_key "a|b"
+     <> Scd_experiments.Sweep.sanitize_key "a/b")
+
+let test_store_corrupt_entry_recomputed () =
+  with_temp_store (fun store ->
+      let r = Scd_cosim.Driver.run Scd_cosim.Driver.default_config ~source:tiny_source in
+      Scd_experiments.Store.save store ~key:"k" r;
+      (* clobber the payload: load must treat it as a miss, verify must flag it *)
+      let file =
+        Filename.concat (Scd_experiments.Store.dir store)
+          (List.hd (Scd_experiments.Store.entries store))
+      in
+      let oc = open_out file in
+      output_string oc "scd-result 999\ngarbage\n";
+      close_out oc;
+      check_bool "corrupt entry is a miss" true
+        (Scd_experiments.Store.load store ~key:"k" = None);
+      let ok, bad = Scd_experiments.Store.verify store in
+      check_int "verify sees no clean entries" 0 ok;
+      check_int "verify flags the corrupt one" 1 (List.length bad))
+
+(* The acceptance test for the cache layer: a warm process (simulated by
+   dropping the in-memory layer but keeping the store) renders byte-identical
+   tables without issuing a single co-simulation. *)
+let test_store_cold_then_warm_zero_runs () =
+  with_temp_store (fun store ->
+      Scd_experiments.Sweep.set_store (Some store);
+      let render () =
+        Scd_experiments.Sweep.clear ();
+        Scd_experiments.Fig7.run ~quick:true
+        |> List.map Scd_util.Table.render
+        |> String.concat "\n"
+      in
+      let cold = render () in
+      check_bool "cold run persisted entries" true
+        (Scd_experiments.Store.entries store <> []);
+      let runs_after_cold = Scd_cosim.Driver.runs () in
+      let warm = render () in
+      check_int "warm run issues zero co-simulations" runs_after_cold
+        (Scd_cosim.Driver.runs ());
+      Alcotest.(check string) "tables byte-identical" cold warm;
+      let ok, bad = Scd_experiments.Store.verify store in
+      check_bool "store entries decode" true (ok > 0);
+      check_int "no corrupt entries" 0 (List.length bad))
+
 let test_registry () =
   check_int "13 published + 7 ablation experiments" 20
     (List.length Scd_experiments.Registry.all);
@@ -100,6 +186,17 @@ let () =
           Alcotest.test_case "fig7 geomean" `Slow test_fig7_scd_wins_geomean;
           Alcotest.test_case "tab5 summary" `Slow test_tab5_summary_values;
           Alcotest.test_case "registry" `Quick test_registry;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "distinct keys, distinct files" `Quick
+            test_store_save_load_distinct_keys;
+          Alcotest.test_case "sanitize_key collision-free" `Quick
+            test_sanitize_key_collision_free;
+          Alcotest.test_case "corrupt entry is a miss" `Quick
+            test_store_corrupt_entry_recomputed;
+          Alcotest.test_case "cold then warm: zero runs" `Slow
+            test_store_cold_then_warm_zero_runs;
         ] );
       ("smoke", List.map smoke_case Scd_experiments.Registry.all);
     ]

@@ -289,13 +289,12 @@ let fib_script =
     print(s)
   |}
 
-let run_with_telemetry ?context_switch_interval ?(vm = Scd_cosim.Driver.Lua)
-    scheme =
+let run_with_telemetry ?context_switch_interval ?(vm = "lua") scheme =
   let telemetry = Scd_cosim.Telemetry.create ~interval:500 () in
   let r =
     Scd_cosim.Driver.run ~telemetry
       { Scd_cosim.Driver.default_config with
-        vm; scheme; context_switch_interval }
+        frontend = Scd_cosim.Frontend.get vm; scheme; context_switch_interval }
       ~source:fib_script
   in
   (telemetry, r)
@@ -397,8 +396,8 @@ let test_telemetry_stack_vm_sites () =
   (* The stack VM has three replicated dispatch sites; the register VM only
      the common one. Attribution should see the difference. *)
   let open Scd_cosim in
-  let tel_js, _ = run_with_telemetry ~vm:Driver.Js Scd_core.Scheme.Scd in
-  let tel_lua, _ = run_with_telemetry ~vm:Driver.Lua Scd_core.Scheme.Scd in
+  let tel_js, _ = run_with_telemetry ~vm:"js" Scd_core.Scheme.Scd in
+  let tel_lua, _ = run_with_telemetry ~vm:"lua" Scd_core.Scheme.Scd in
   let sites tel =
     List.map
       (fun r -> r.Scd_obs.Attribution.key)

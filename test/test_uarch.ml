@@ -387,6 +387,59 @@ let test_pipeline_dispatch_attribution () =
   check_int "dispatch instructions" 1 s.dispatch_instructions;
   check_int "total" 2 s.instructions
 
+(* The allocation-free hot path reuses one scratch record for every
+   instruction, so a payload field written by an earlier event could leak
+   into a later one whose tag does not overwrite it. Differential check:
+   the same random event stream driven (a) through a single reused scratch
+   and (b) through a freshly allocated scratch per event must produce
+   identical statistics. *)
+let gen_event =
+  let open QCheck.Gen in
+  let pc = map (fun i -> 0x1000 + (4 * i)) (int_bound 511) in
+  let target = map (fun i -> 0x2000 + (4 * i)) (int_bound 511) in
+  let addr = map (fun i -> 0x8000 + (4 * i)) (int_bound 1023) in
+  let opcode = int_bound 63 in
+  let kind =
+    frequency
+      [ (6, return Event.Plain);
+        (2, map (fun addr -> Event.Mem_read { addr }) addr);
+        (2, map (fun addr -> Event.Mem_write { addr }) addr);
+        (2, map2 (fun taken target -> Event.Cond_branch { taken; target }) bool target);
+        (1, map (fun target -> Event.Jump { target }) target);
+        (1,
+         map2 (fun target hint -> Event.Ind_jump { target; hint }) target
+           (opt opcode));
+        (1, map2 (fun target indirect -> Event.Call { target; indirect }) target bool);
+        (1, map (fun target -> Event.Return { target }) target);
+        (1,
+         map3 (fun opcode hit target -> Event.Bop { opcode; hit; target }) opcode
+           bool target);
+        (1, map2 (fun opcode target -> Event.Jru { opcode; target }) (opt opcode) target);
+        (1, return Event.Jte_flush) ]
+  in
+  map3
+    (fun pc kind (dispatch, sets_rop) -> Event.make ~dispatch ~sets_rop pc kind)
+    pc kind (pair bool bool)
+
+let prop_scratch_reuse_leaks_nothing =
+  QCheck.Test.make ~name:"reused scratch matches per-event fresh scratch"
+    ~count:100
+    (QCheck.make QCheck.Gen.(list_size (int_bound 300) gen_event))
+    (fun events ->
+      let reused_pipe = Pipeline.create Config.simulator in
+      let fresh_pipe = Pipeline.create Config.simulator in
+      let reused = Event.scratch_create () in
+      List.iter
+        (fun e ->
+          Event.load_scratch reused e;
+          Pipeline.consume_scratch reused_pipe reused;
+          let fresh = Event.scratch_create () in
+          Event.load_scratch fresh e;
+          Pipeline.consume_scratch fresh_pipe fresh)
+        events;
+      Stats.to_assoc (Pipeline.stats reused_pipe)
+      = Stats.to_assoc (Pipeline.stats fresh_pipe))
+
 (* ------------------------------------------------------------------ *)
 (* Config                                                               *)
 (* ------------------------------------------------------------------ *)
@@ -463,6 +516,7 @@ let () =
           Alcotest.test_case "bop distance" `Quick test_pipeline_no_stall_with_distance;
           Alcotest.test_case "icache per block" `Quick test_pipeline_icache_per_block;
           Alcotest.test_case "dispatch attribution" `Quick test_pipeline_dispatch_attribution;
+          QCheck_alcotest.to_alcotest prop_scratch_reuse_leaks_nothing;
         ] );
       ( "config",
         [
