@@ -323,8 +323,9 @@ let json_float f = if Float.is_nan f then "null" else Printf.sprintf "%.3f" f
    trajectory tooling can dispatch on it. Version history:
    1 (implicit, PR 1): date/jobs/scale/experiments/total_seconds/micro;
    2: added the schema_version field itself;
-   3: added the cache object (dir/hits/misses/stores, null without --cache). *)
-let json_schema_version = 3
+   3: added the cache object (dir/hits/misses/stores, null without --cache);
+   4: added cache.corrupt (loads that quarantined a corrupt file). *)
+let json_schema_version = 4
 
 let write_json path ~(opts : options) ~experiments ~total_seconds ~micro ~store =
   let tm = Unix.localtime (Unix.time ()) in
@@ -360,11 +361,12 @@ let write_json path ~(opts : options) ~experiments ~total_seconds ~micro ~store 
      Buffer.add_string buf
        (Printf.sprintf
           "  \"cache\": { \"dir\": \"%s\", \"hits\": %d, \"misses\": %d, \
-           \"stores\": %d },\n"
+           \"stores\": %d, \"corrupt\": %d },\n"
           (json_escape (Scd_experiments.Store.dir s))
           (Scd_experiments.Store.hits s)
           (Scd_experiments.Store.misses s)
-          (Scd_experiments.Store.stores s)));
+          (Scd_experiments.Store.stores s)
+          (Scd_experiments.Store.corrupt s)));
   Buffer.add_string buf "  \"micro\": [";
   List.iteri
     (fun i (r : micro_result) ->
@@ -415,11 +417,12 @@ let () =
       (match store with
        | None -> ()
        | Some s ->
-         Printf.printf "cache %s: %d hits, %d misses, %d stores\n%!"
+         Printf.printf "cache %s: %d hits, %d misses, %d stores, %d corrupt\n%!"
            (Scd_experiments.Store.dir s)
            (Scd_experiments.Store.hits s)
            (Scd_experiments.Store.misses s)
-           (Scd_experiments.Store.stores s));
+           (Scd_experiments.Store.stores s)
+           (Scd_experiments.Store.corrupt s));
       (rendered, total_seconds)
     end
   in

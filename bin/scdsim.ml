@@ -6,6 +6,7 @@
      scdsim trace fibo --interval 10000 --out t.json    telemetry run
      scdsim exp fig7 [--quick] [--csv] [--cache [DIR]]  regenerate a figure
      scdsim cache stats|clear|verify                    persistent sweep cache
+     scdsim check [--seeds N] [-f F] [--faults]         differential checker
      scdsim list                                        inventory
      scdsim assemble prog.erv -o prog.hex               build a binary image
      scdsim exec prog.erv|prog.hex                      run ERV32 code *)
@@ -450,11 +451,16 @@ let cache_cmd =
       match op with
       | `Stats ->
         let entries = Scd_experiments.Store.entries store in
+        let quarantined = Scd_experiments.Store.quarantined store in
         Printf.printf "cache directory  %s\n" dir;
         Printf.printf "entries          %d\n" (List.length entries);
         Printf.printf "payload bytes    %d\n"
           (Scd_experiments.Store.size_bytes store);
-        Printf.printf "schema version   %d\n" Scd_cosim.Result.schema_version;
+        Printf.printf "corrupt          %d quarantined\n"
+          (List.length quarantined);
+        Printf.printf "schema version   %d (format %d)\n"
+          Scd_cosim.Result.schema_version
+          Scd_experiments.Store.format_version;
         `Ok ()
       | `Clear ->
         Printf.printf "removed %d entries from %s\n"
@@ -476,6 +482,80 @@ let cache_cmd =
     (Cmd.info "cache"
        ~doc:"Inspect, clear or verify the persistent sweep cache")
     Term.(ret (const action $ op $ dir))
+
+(* ------------------------------------------------------------------ *)
+(* check: the differential dispatch checker                            *)
+(* ------------------------------------------------------------------ *)
+
+let check_cmd =
+  let seeds =
+    Arg.(value & opt int 25
+         & info [ "seeds" ] ~docv:"N"
+             ~doc:"Random seeds per phase: N stress runs and N generated \
+                   programs through the scheme x BTB-configuration matrix.")
+  in
+  let frontend =
+    Arg.(value & opt_all string []
+         & info [ "f"; "frontend" ] ~docv:"F"
+             ~doc:"Check only this frontend (repeatable; default all \
+                   registered frontends).")
+  in
+  let faults =
+    Arg.(value & flag
+         & info [ "faults" ]
+             ~doc:"Also run the persistent-cache fault-injection suite \
+                   (truncation, bit flips, deletion).")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Only print the verdict.")
+  in
+  let action seeds frontend faults quiet =
+    if seeds <= 0 then `Error (false, "--seeds must be positive")
+    else
+      let unknown =
+        List.filter (fun f -> Scd_cosim.Frontend.find f = None) frontend
+      in
+      if unknown <> [] then
+        `Error
+          (false,
+           Printf.sprintf "unknown frontend(s): %s (registered: %s)"
+             (String.concat ", " unknown)
+             (String.concat ", " (Scd_cosim.Frontend.names ())))
+      else begin
+        let log = if quiet then fun _ -> () else print_endline in
+        let report =
+          Scd_check.Check.run ~log ~seeds
+            ?frontends:(match frontend with [] -> None | fs -> Some fs)
+            ~faults ()
+        in
+        print_endline (Scd_check.Check.summary report);
+        if Scd_check.Check.ok report then `Ok ()
+        else begin
+          List.iter
+            (fun (seed, source) ->
+              Printf.printf "minimal reproducer for seed %Ld:\n%s\n" seed source)
+            report.Scd_check.Check.minimized;
+          `Error (false, "differential check found divergences")
+        end
+      end
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Differentially check dispatch schemes, BTB bookkeeping and the \
+             sweep cache"
+       ~man:
+         [ `S Manpage.s_description;
+           `P
+             "Runs three deterministic phases: a BTB stress differential \
+              against an independent reference model (replacement policy, \
+              JTE priority, cap); seeded random Mina programs through every \
+              dispatch scheme and a matrix of BTB configurations, asserting \
+              identical VM output, retired bytecodes and architectural event \
+              counts with the BTB invariant auditor installed; and, with \
+              $(b,--faults), a cache corruption suite asserting warm results \
+              stay byte-identical to cold ones. Diverging programs are \
+              shrunk to minimal reproducers." ])
+    Term.(ret (const action $ seeds $ frontend $ faults $ quiet))
 
 (* ------------------------------------------------------------------ *)
 (* list                                                                *)
@@ -649,5 +729,6 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; trace_cmd; exp_cmd; cache_cmd; list_cmd; dispatch_cmd;
+          [ run_cmd; trace_cmd; exp_cmd; cache_cmd; check_cmd; list_cmd;
+            dispatch_cmd;
             assemble_cmd; exec_cmd ]))

@@ -1,0 +1,75 @@
+(* BTB invariant auditor for checked mode.
+
+   Installed via Scd_core.Engine.set_auditor, [run] re-derives every
+   redundant piece of BTB state from the architectural snapshot after each
+   jru insertion and jte_flush, so a bookkeeping bug (stale population
+   count, cap overshoot, an eviction counter bumped on the wrong path)
+   aborts the offending run at the first mutation instead of skewing a
+   figure three layers later. *)
+
+exception Violation of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Violation m)) fmt
+
+let run (btb : Scd_uarch.Btb.t) =
+  let view = Scd_uarch.Btb.view btb in
+  let counted = ref 0 in
+  Array.iter
+    (Array.iter (fun e ->
+         if e.Scd_uarch.Btb.view_valid && e.Scd_uarch.Btb.view_jte then
+           incr counted))
+    view;
+  (* the cached population must equal what the table actually holds *)
+  let population = Scd_uarch.Btb.jte_population btb in
+  if population <> !counted then
+    fail "jte_population %d but %d valid JTEs resident" population !counted;
+  (* the cap is a hard bound on residency *)
+  (match Scd_uarch.Btb.jte_cap btb with
+   | Some cap when !counted > cap ->
+     fail "%d resident JTEs exceed the cap of %d" !counted cap
+   | _ -> ());
+  let s = Scd_uarch.Btb.stats btb in
+  let non_negative =
+    [
+      ("branch_lookups", s.branch_lookups);
+      ("branch_hits", s.branch_hits);
+      ("jte_lookups", s.jte_lookups);
+      ("jte_hits", s.jte_hits);
+      ("jte_inserts", s.jte_inserts);
+      ("branch_entries_evicted_by_jte", s.branch_entries_evicted_by_jte);
+      ("branch_insert_blocked_by_jte", s.branch_insert_blocked_by_jte);
+      ("jte_evictions", s.jte_evictions);
+      ("jte_cap_replacements", s.jte_cap_replacements);
+      ("jte_cap_rejects", s.jte_cap_rejects);
+    ]
+  in
+  List.iter
+    (fun (name, v) -> if v < 0 then fail "stats field %s is negative (%d)" name v)
+    non_negative;
+  (* hits never outnumber lookups in either namespace *)
+  if s.jte_hits > s.jte_lookups then
+    fail "jte_hits %d > jte_lookups %d" s.jte_hits s.jte_lookups;
+  if s.branch_hits > s.branch_lookups then
+    fail "branch_hits %d > branch_lookups %d" s.branch_hits s.branch_lookups;
+  (* every counted insertion outcome consumed one jte insert, and the
+     outcomes are disjoint (cap replacements are not evictions — the
+     double-count bug this auditor exists to catch) *)
+  let outcomes =
+    s.jte_evictions + s.branch_entries_evicted_by_jte + s.jte_cap_replacements
+    + s.jte_cap_rejects
+  in
+  if outcomes > s.jte_inserts then
+    fail
+      "insertion outcomes (%d evictions + %d branch evictions + %d cap \
+       replacements + %d cap rejects) exceed %d jte_inserts"
+      s.jte_evictions s.branch_entries_evicted_by_jte s.jte_cap_replacements
+      s.jte_cap_rejects s.jte_inserts;
+  (* cap counters can only move when a cap is configured *)
+  match Scd_uarch.Btb.jte_cap btb with
+  | None ->
+    if s.jte_cap_replacements <> 0 || s.jte_cap_rejects <> 0 then
+      fail "cap counters moved (%d replacements, %d rejects) without a cap"
+        s.jte_cap_replacements s.jte_cap_rejects
+  | Some _ -> ()
+
+let auditor = Some run

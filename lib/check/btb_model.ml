@@ -1,0 +1,217 @@
+(* Executable reference model of Scd_uarch.Btb, reimplemented from the
+   specification in btb.mli rather than from the code: set-associative
+   storage, disjoint JTE/branch namespaces, invalid-first victim choice,
+   round-robin or LRU replacement, JTE priority and the JTE cap.
+
+   The stress harness (Stress) drives the real BTB and this model with the
+   same operation sequence and compares state after every step, so a
+   replacement-policy bug that is architecturally invisible at the VM level
+   — such as the round-robin pointer failing to advance past a way it just
+   filled — still diverges within a handful of operations.
+
+   [legacy_rr_fill:true] reproduces that historical bug on purpose, so the
+   checker's own tests can prove the harness detects it. *)
+
+type entry = {
+  mutable valid : bool;
+  mutable jte : bool;
+  mutable tag : int;
+  mutable target : int;
+  mutable stamp : int;
+}
+
+type t = {
+  sets : int;
+  set_bits : int;
+  ways : int;
+  replacement : Scd_uarch.Btb.replacement;
+  jte_cap : int option;
+  legacy_rr_fill : bool;
+  table : entry array array;
+  rr : int array;
+  mutable tick : int;
+  mutable population : int;
+}
+
+let create ?(legacy_rr_fill = false) ~entries ~ways ~replacement ?jte_cap () =
+  let sets = entries / ways in
+  let set_bits =
+    let rec go b = if 1 lsl b >= sets then b else go (b + 1) in
+    go 0
+  in
+  if 1 lsl set_bits <> sets then
+    invalid_arg "Btb_model.create: set count must be a power of two";
+  {
+    sets;
+    set_bits;
+    ways;
+    replacement;
+    jte_cap;
+    legacy_rr_fill;
+    table =
+      Array.init sets (fun _ ->
+          Array.init ways (fun _ ->
+              { valid = false; jte = false; tag = 0; target = 0; stamp = 0 }));
+    rr = Array.make sets 0;
+    tick = 0;
+    population = 0;
+  }
+
+let index_of t key = (key lsr 2) land (t.sets - 1)
+let tag_of t key = key lsr 2 lsr t.set_bits
+
+let find t ~jte ~key =
+  let set = t.table.(index_of t key) in
+  let tag = tag_of t key in
+  let rec go i =
+    if i = t.ways then None
+    else if set.(i).valid && set.(i).jte = jte && set.(i).tag = tag then
+      Some set.(i)
+    else go (i + 1)
+  in
+  go 0
+
+let touch t e =
+  t.tick <- t.tick + 1;
+  e.stamp <- t.tick
+
+let lookup t ~jte ~key =
+  match find t ~jte ~key with
+  | Some e ->
+    touch t e;
+    Some e.target
+  | None -> None
+
+(* Victim among the ways of [set_index] passing [eligible]: an invalid
+   eligible way (lowest index) first; otherwise least-recently-stamped for
+   LRU (first way wins stamp ties) or the first eligible way at-or-after
+   the set's pointer for round-robin, advancing the pointer past it. An
+   invalid fill under round-robin also nudges a pointer sitting on the
+   filled way, so the freshest entry is not the next conflict's victim. *)
+let victim t set_index ~eligible =
+  let set = t.table.(set_index) in
+  let invalid =
+    let rec go i =
+      if i = t.ways then None
+      else if eligible set.(i) && not set.(i).valid then Some i
+      else go (i + 1)
+    in
+    go 0
+  in
+  match invalid with
+  | Some i ->
+    (match t.replacement with
+     | Scd_uarch.Btb.Round_robin ->
+       if (not t.legacy_rr_fill) && t.rr.(set_index) = i then
+         t.rr.(set_index) <- (i + 1) mod t.ways
+     | Scd_uarch.Btb.Lru -> ());
+    Some set.(i)
+  | None -> (
+    match t.replacement with
+    | Scd_uarch.Btb.Lru ->
+      let best = ref None in
+      Array.iter
+        (fun e ->
+          if eligible e then
+            match !best with
+            | None -> best := Some e
+            | Some b -> if e.stamp < b.stamp then best := Some e)
+        set;
+      !best
+    | Scd_uarch.Btb.Round_robin ->
+      let start = t.rr.(set_index) in
+      let rec scan n =
+        if n = t.ways then None
+        else
+          let i = (start + n) mod t.ways in
+          if eligible set.(i) then begin
+            t.rr.(set_index) <- (i + 1) mod t.ways;
+            Some set.(i)
+          end
+          else scan (n + 1)
+      in
+      scan 0)
+
+let install t e ~jte ~key ~target =
+  if e.valid && e.jte && not jte then t.population <- t.population - 1;
+  if jte && not (e.valid && e.jte) then t.population <- t.population + 1;
+  e.valid <- true;
+  e.jte <- jte;
+  e.tag <- tag_of t key;
+  e.target <- target;
+  touch t e
+
+let insert t ~jte ~key ~target =
+  match find t ~jte ~key with
+  | Some e ->
+    e.target <- target;
+    touch t e
+  | None ->
+    let set_index = index_of t key in
+    if jte then begin
+      let at_cap =
+        match t.jte_cap with Some cap -> t.population >= cap | None -> false
+      in
+      if at_cap then (
+        match victim t set_index ~eligible:(fun e -> e.valid && e.jte) with
+        | Some e -> install t e ~jte:true ~key ~target
+        | None -> () (* cap reached, no resident JTE in this set: dropped *))
+      else (
+        match victim t set_index ~eligible:(fun _ -> true) with
+        | Some e -> install t e ~jte:true ~key ~target
+        | None -> assert false)
+    end
+    else (
+      match victim t set_index ~eligible:(fun e -> not (e.valid && e.jte)) with
+      | Some e -> install t e ~jte:false ~key ~target
+      | None -> () (* every way holds a JTE: branch insert dropped *))
+
+let flush_jtes t =
+  Array.iter
+    (Array.iter (fun e -> if e.valid && e.jte then e.valid <- false))
+    t.table;
+  t.population <- 0
+
+let population t = t.population
+
+(* ------------------------------------------------------------------ *)
+(* Comparison with the real table                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Way-for-way equality of architectural state (validity, namespace, tag,
+   target). Stamps and pointers are internal policy state, compared only
+   through the behaviour they cause. *)
+let diff t (real : Scd_uarch.Btb.t) =
+  let view = Scd_uarch.Btb.view real in
+  if Array.length view <> t.sets || t.sets > 0 && Array.length view.(0) <> t.ways
+  then Some "geometry mismatch between model and real BTB"
+  else begin
+    let problem = ref None in
+    for s = 0 to t.sets - 1 do
+      for w = 0 to t.ways - 1 do
+        if !problem = None then begin
+          let m = t.table.(s).(w) and r = view.(s).(w) in
+          let mismatch what model real =
+            problem :=
+              Some
+                (Printf.sprintf "set %d way %d: %s is %s in the model, %s for real"
+                   s w what model real)
+          in
+          if m.valid <> r.Scd_uarch.Btb.view_valid then
+            mismatch "validity" (string_of_bool m.valid)
+              (string_of_bool r.Scd_uarch.Btb.view_valid)
+          else if m.valid then
+            if m.jte <> r.Scd_uarch.Btb.view_jte then
+              mismatch "J/B bit" (string_of_bool m.jte)
+                (string_of_bool r.Scd_uarch.Btb.view_jte)
+            else if m.tag <> r.Scd_uarch.Btb.view_tag then
+              mismatch "tag" (string_of_int m.tag)
+                (string_of_int r.Scd_uarch.Btb.view_tag)
+            else if m.target <> r.Scd_uarch.Btb.view_target then
+              mismatch "target" (string_of_int m.target)
+                (string_of_int r.Scd_uarch.Btb.view_target)
+        end
+      done
+    done;
+    !problem
+  end

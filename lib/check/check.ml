@@ -1,0 +1,119 @@
+(* Top-level differential checker: the engine behind `scdsim check`.
+
+   Three phases, all deterministic in the base seed:
+
+   1. BTB stress — the real BTB against the reference model over random
+      operation sequences, one run per seed per geometry. Catches
+      replacement-policy bugs the VM-level oracle cannot see.
+   2. Program oracle — seeded random Mina programs through every scheme and
+      the BTB-configuration matrix, per frontend, with the invariant
+      auditor installed. A diverging program is shrunk to a minimal
+      reproducer before it is reported.
+   3. Fault injection (optional) — the persistent-cache corruption suite,
+      per frontend. *)
+
+type report = {
+  seeds : int;
+  frontends : string list;
+  programs_checked : int;
+  stress_runs : int;
+  fault_cycles : int;
+  divergences : string list;
+  minimized : (int64 * string) list;
+      (** (seed, minimal source) for every diverging generated program. *)
+}
+
+let ok r = r.divergences = []
+
+let summary r =
+  if ok r then
+    Printf.sprintf
+      "check passed: %d stress runs, %d programs x %d frontends, %d fault \
+       cycles, 0 divergences"
+      r.stress_runs r.programs_checked (List.length r.frontends) r.fault_cycles
+  else
+    Printf.sprintf "check FAILED: %d divergences" (List.length r.divergences)
+
+let default_log _ = ()
+
+let run ?(log = default_log) ?(seeds = 25) ?frontends ?(faults = false) () =
+  let frontends =
+    match frontends with Some fs -> fs | None -> Scd_cosim.Frontend.names ()
+  in
+  (* resolve every name up front so a typo fails fast, not mid-run *)
+  List.iter
+    (fun f -> ignore (Scd_cosim.Frontend.get f : Scd_cosim.Frontend.t))
+    frontends;
+  let divergences = ref [] in
+  let minimized = ref [] in
+  let found fmt =
+    Printf.ksprintf
+      (fun m ->
+        divergences := m :: !divergences;
+        log ("DIVERGENCE " ^ m))
+      fmt
+  in
+  (* phase 1: BTB stress against the reference model *)
+  let stress_runs = ref 0 in
+  log (Printf.sprintf "stress: %d seeds x %d geometries"
+         seeds (List.length Stress.geometries));
+  for s = 0 to seeds - 1 do
+    incr stress_runs;
+    match Stress.run ~seed:(Int64.of_int (0x5713 + s)) () with
+    | None -> ()
+    | Some d -> found "stress: %s" d
+  done;
+  (* phase 2: program oracle over the scheme x BTB-config matrix *)
+  let programs = ref 0 in
+  log (Printf.sprintf "oracle: %d programs x %d frontends x %d schemes x %d \
+                       configurations"
+         seeds (List.length frontends)
+         (List.length Scd_core.Scheme.all)
+         (List.length Oracle.cells));
+  for s = 0 to seeds - 1 do
+    let seed = Int64.of_int (0xd1f + s) in
+    let program = Gen.generate ~seed in
+    incr programs;
+    List.iter
+      (fun frontend ->
+        let diverges p =
+          Oracle.check_audited ~frontend ~source:(Gen.render p) <> []
+        in
+        let ds = Oracle.check_audited ~frontend ~source:(Gen.render program) in
+        if ds <> [] then begin
+          List.iter
+            (fun d -> found "oracle seed %Ld: %s" seed
+                (Oracle.divergence_to_string d))
+            ds;
+          log (Printf.sprintf "shrinking seed %Ld (%s)..." seed frontend);
+          let small = Gen.minimize ~still_fails:diverges program in
+          minimized := (seed, Gen.render small) :: !minimized;
+          log (Printf.sprintf "minimal reproducer (%d nodes):\n%s"
+                 (Gen.size small) (Gen.render small))
+        end)
+      frontends
+  done;
+  (* phase 3: cache fault injection *)
+  let fault_cycles = ref 0 in
+  if faults then begin
+    log (Printf.sprintf "faults: %d kinds x %d frontends"
+           (List.length Faults.all_faults)
+           (List.length frontends));
+    List.iter
+      (fun frontend ->
+        fault_cycles := !fault_cycles + List.length Faults.all_faults;
+        List.iter
+          (fun p -> found "%s" p)
+          (Faults.check ~frontend ~source:(Gen.source ~seed:1L)
+             ~seed:(Int64.of_int 0xfa17) ()))
+      frontends
+  end;
+  {
+    seeds;
+    frontends;
+    programs_checked = !programs;
+    stress_runs = !stress_runs;
+    fault_cycles = !fault_cycles;
+    divergences = List.rev !divergences;
+    minimized = List.rev !minimized;
+  }

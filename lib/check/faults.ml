@@ -1,0 +1,147 @@
+(* Fault injection against the persistent sweep cache.
+
+   The property under test: no matter what happens to the bytes of a cache
+   file — truncation, a single flipped bit, deletion — a warm run's result
+   is byte-identical to the cold run's. Detected corruption must be a miss
+   (plus a quarantine), never a wrong answer; and an intact file must hit
+   and decode to exactly the bytes that were stored. *)
+
+open Scd_util
+
+type fault = Intact | Truncate | Bitflip | Delete
+
+let fault_name = function
+  | Intact -> "intact"
+  | Truncate -> "truncate"
+  | Bitflip -> "bitflip"
+  | Delete -> "delete"
+
+let all_faults = [ Intact; Truncate; Bitflip; Delete ]
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents)
+
+(* Apply one fault to the file backing [key]. Truncation keeps a strict
+   prefix; the bit flip lands anywhere in the file (header included — a
+   corrupted checksum must read as corruption too). *)
+let inject rng store ~key fault =
+  let path = Scd_experiments.Store.file_of_key store ~key in
+  match fault with
+  | Intact -> ()
+  | Delete -> Sys.remove path
+  | Truncate ->
+    let contents = read_file path in
+    write_file path (String.sub contents 0 (String.length contents / 2))
+  | Bitflip ->
+    let contents = Bytes.of_string (read_file path) in
+    let i = Rng.int rng (Bytes.length contents) in
+    let bit = Rng.int rng 8 in
+    Bytes.set contents i
+      (Char.chr (Char.code (Bytes.get contents i) lxor (1 lsl bit)));
+    write_file path (Bytes.to_string contents)
+
+let mkdtemp prefix =
+  let base = Filename.get_temp_dir_name () in
+  let rec try_one n =
+    if n > 100 then failwith "Faults: could not create a temporary directory"
+    else
+      let dir =
+        Filename.concat base (Printf.sprintf "%s-%d-%d" prefix (Unix.getpid ()) n)
+      in
+      match Sys.mkdir dir 0o700 with
+      | () -> dir
+      | exception Sys_error _ -> try_one (n + 1)
+  in
+  try_one 0
+
+let remove_dir dir =
+  (match Sys.readdir dir with
+   | names ->
+     Array.iter
+       (fun n -> try Sys.remove (Filename.concat dir n) with Sys_error _ -> ())
+       names
+   | exception Sys_error _ -> ());
+  try Sys.rmdir dir with Sys_error _ -> ()
+
+(* One cold/corrupt/warm cycle per fault kind, in a private store.
+   Returns the list of property violations (empty = clean). *)
+let check ?dir ~frontend ~source ~seed () =
+  let rng = Rng.create seed in
+  let config =
+    { Scd_cosim.Driver.default_config with
+      frontend = Scd_cosim.Frontend.get frontend }
+  in
+  let cold = Scd_cosim.Driver.run config ~source in
+  let cold_bytes = Scd_cosim.Result.to_string cold in
+  let owns_dir = dir = None in
+  let dir = match dir with Some d -> d | None -> mkdtemp "scd-check-faults" in
+  Fun.protect
+    ~finally:(fun () -> if owns_dir then remove_dir dir)
+    (fun () ->
+      List.concat_map
+        (fun fault ->
+          let problems = ref [] in
+          let problem fmt =
+            Printf.ksprintf
+              (fun m ->
+                problems :=
+                  Printf.sprintf "[%s/%s] %s" frontend (fault_name fault) m
+                  :: !problems)
+              fmt
+          in
+          let store =
+            Scd_experiments.Store.create
+              (Filename.concat dir (fault_name fault))
+          in
+          let key = "check|" ^ fault_name fault in
+          Scd_experiments.Store.save store ~key cold;
+          inject rng store ~key fault;
+          (match Scd_experiments.Store.load store ~key with
+           | Some r ->
+             (* only an intact file may hit, and only with the cold bytes *)
+             if fault <> Intact then
+               problem "corrupted file loaded as a hit"
+             else if Scd_cosim.Result.to_string r <> cold_bytes then
+               problem "intact reload is not byte-identical to the cold result"
+           | None ->
+             if fault = Intact then problem "intact file failed to load");
+          let quarantined =
+            List.length (Scd_experiments.Store.quarantined store)
+          in
+          let corrupt = Scd_experiments.Store.corrupt store in
+          (match fault with
+           | Intact | Delete ->
+             (* deletion is a plain miss: nothing to quarantine *)
+             if corrupt <> 0 then
+               problem "corrupt counter moved (%d) without file damage" corrupt;
+             if quarantined <> 0 then
+               problem "%d files quarantined without file damage" quarantined
+           | Truncate | Bitflip ->
+             if corrupt <> 1 then
+               problem "damaged file not counted corrupt (counter %d)" corrupt;
+             if quarantined <> 1 then
+               problem "damaged file not quarantined (%d quarantine files)"
+                 quarantined);
+          (* a warm run after recomputing must reproduce the cold bytes *)
+          if fault <> Intact then begin
+            let recomputed = Scd_cosim.Driver.run config ~source in
+            Scd_experiments.Store.save store ~key recomputed;
+            match Scd_experiments.Store.load store ~key with
+            | None -> problem "re-saved cell failed to load"
+            | Some warm ->
+              if Scd_cosim.Result.to_string warm <> cold_bytes then
+                problem "warm result is not byte-identical to the cold result"
+          end;
+          ignore (Scd_experiments.Store.clear store : int);
+          remove_dir (Scd_experiments.Store.dir store);
+          List.rev !problems)
+        all_faults)

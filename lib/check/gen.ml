@@ -1,0 +1,217 @@
+(* Seeded random Mina programs for the differential oracle.
+
+   Unlike the QCheck generator in test/gen_program.ml, programs here are kept
+   as a structure (not a string) so the shrinker can delete and simplify
+   statements; rendering is a pure function of the structure, and the
+   structure is a pure function of the seed. *)
+
+open Scd_util
+
+type expr =
+  | Lit of int
+  | Var of string
+  | Binop of string * expr * expr
+  | Guarded_div of string * expr * int  (* divisor is a non-zero literal *)
+  | Call of string * expr list
+
+type cond = { lhs : expr; cmp : string; rhs : expr }
+
+type stmt =
+  | Assign of string * expr
+  | Table_write of int * expr
+  | Table_read of string * int
+  | If of cond * stmt list * stmt list
+  | For of string * int * stmt list
+  | Repeat of string * int * stmt list
+
+type program = { loops : int; body : stmt list }
+
+(* The four mutated variables are pre-declared by the template; loop
+   variables come from a disjoint pool so a generated loop can never shadow
+   a mutated one. *)
+let vars = [| "a"; "b"; "c"; "d" |]
+let loop_vars = [| "i"; "j" |]
+let repeat_vars = [| "r"; "s" |]
+let table_keys = 5
+
+(* ------------------------------------------------------------------ *)
+(* Generation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let pick rng arr = arr.(Rng.int rng (Array.length arr))
+
+let rec gen_expr rng depth =
+  let leaf () =
+    if Rng.bool rng then Lit (Rng.int rng 41 - 20) else Var (pick rng vars)
+  in
+  if depth = 0 then leaf ()
+  else
+    match Rng.int rng 8 with
+    | 0 | 1 -> leaf ()
+    | 2 | 3 | 4 ->
+      let op = pick rng [| "+"; "-"; "*" |] in
+      Binop (op, gen_expr rng (depth - 1), gen_expr rng (depth - 1))
+    | 5 ->
+      let d = Rng.int rng 13 - 6 in
+      Guarded_div
+        (pick rng [| "//"; "%" |], gen_expr rng (depth - 1),
+         if d >= 0 then d + 1 else d)
+    | 6 -> Call ("abs", [ gen_expr rng (depth - 1) ])
+    | _ ->
+      Call
+        (pick rng [| "min"; "max" |],
+         [ gen_expr rng (depth - 1); gen_expr rng (depth - 1) ])
+
+let gen_cond rng depth =
+  { lhs = gen_expr rng depth;
+    cmp = pick rng [| "<"; "<="; "=="; "~="; ">"; ">=" |];
+    rhs = gen_expr rng depth }
+
+(* [repeats] carries the repeat counters still free at this nesting level:
+   a nested repeat must never reuse an enclosing repeat's variable, because
+   its [local] re-declaration would shadow the outer counter in the outer
+   [until] condition (repeat-until conditions see body locals) and the
+   outer loop would spin forever. *)
+let rec gen_stmt rng depth ~repeats =
+  let assign () = Assign (pick rng vars, gen_expr rng (max 1 depth)) in
+  if depth = 0 then assign ()
+  else
+    match Rng.int rng 10 with
+    | 0 | 1 | 2 -> assign ()
+    | 3 | 4 ->
+      If
+        (gen_cond rng (depth - 1),
+         gen_block rng (depth - 1) ~repeats,
+         gen_block rng (depth - 1) ~repeats)
+    | 5 | 6 ->
+      For (pick rng loop_vars, 1 + Rng.int rng 8,
+           gen_block rng (depth - 1) ~repeats)
+    | 7 -> Table_write (1 + Rng.int rng table_keys, gen_expr rng (depth - 1))
+    | 8 -> Table_read (pick rng vars, 1 + Rng.int rng table_keys)
+    | _ -> (
+      match repeats with
+      | [] -> assign ()
+      | v :: rest ->
+        Repeat (v, 1 + Rng.int rng 6, gen_block rng (depth - 1) ~repeats:rest))
+
+and gen_block rng depth ~repeats =
+  List.init (1 + Rng.int rng 2) (fun _ -> gen_stmt rng depth ~repeats)
+
+let generate ~seed =
+  let rng = Rng.create seed in
+  let repeats = Array.to_list repeat_vars in
+  { loops = 1 + Rng.int rng 3;
+    body = List.init (1 + Rng.int rng 6) (fun _ -> gen_stmt rng 2 ~repeats) }
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let rec render_expr = function
+  | Lit n -> string_of_int n
+  | Var v -> v
+  | Binop (op, a, b) ->
+    Printf.sprintf "(%s %s %s)" (render_expr a) op (render_expr b)
+  | Guarded_div (op, a, d) ->
+    Printf.sprintf "(%s %s %d)" (render_expr a) op d
+  | Call (f, args) ->
+    Printf.sprintf "%s(%s)" f (String.concat ", " (List.map render_expr args))
+
+let render_cond { lhs; cmp; rhs } =
+  Printf.sprintf "%s %s %s" (render_expr lhs) cmp (render_expr rhs)
+
+let rec render_stmt = function
+  | Assign (v, e) -> Printf.sprintf "%s = %s" v (render_expr e)
+  | Table_write (k, e) -> Printf.sprintf "t[%d] = %s" k (render_expr e)
+  | Table_read (v, k) -> Printf.sprintf "%s = t[%d] or 0" v k
+  | If (c, t, e) ->
+    Printf.sprintf "if %s then %s else %s end" (render_cond c)
+      (render_block t) (render_block e)
+  | For (v, n, body) ->
+    Printf.sprintf "for %s = 1, %d do %s end" v n (render_block body)
+  | Repeat (v, n, body) ->
+    Printf.sprintf "local %s = 0 repeat %s = %s + 1 %s until %s >= %d" v v v
+      (render_block body) v n
+
+and render_block stmts = String.concat " " (List.map render_stmt stmts)
+
+let render { loops; body } =
+  Printf.sprintf
+    {|local a = 1
+local b = 2
+local c = 3
+local d = 4
+t = {}
+for outer = 1, %d do
+  %s
+end
+print(a, b, c, d, t[1], t[2], t[3], t[4], t[5])|}
+    loops
+    (String.concat "\n  " (List.map render_stmt body))
+
+let source ~seed = render (generate ~seed)
+
+(* ------------------------------------------------------------------ *)
+(* Shrinking                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* One-step shrink candidates, roughly in decreasing order of how much each
+   removes: drop a top-level statement, unwrap a block statement into (one
+   arm of) its body, shrink a nested block, lower a loop bound. The greedy
+   minimiser below takes the first candidate that still fails the oracle
+   and recurses, so termination only needs every candidate to be strictly
+   smaller — which deletion, unwrapping and bound-lowering all are. *)
+
+let rec stmt_size = function
+  | Assign _ | Table_write _ | Table_read _ -> 1
+  | If (_, t, e) -> 1 + block_size t + block_size e
+  | For (_, _, b) | Repeat (_, _, b) -> 1 + block_size b
+
+and block_size stmts = List.fold_left (fun n s -> n + stmt_size s) 0 stmts
+
+let size p = block_size p.body + p.loops
+
+let rec shrink_block stmts =
+  (* drop each statement *)
+  List.concat
+    (List.mapi
+       (fun i _ -> [ List.filteri (fun j _ -> j <> i) stmts ])
+       stmts)
+  (* shrink each statement in place *)
+  @ List.concat
+      (List.mapi
+         (fun i s ->
+           List.map
+             (fun s' -> List.mapi (fun j old -> if j = i then s' else old) stmts)
+             (shrink_stmt s))
+         stmts)
+
+and shrink_stmt = function
+  | Assign _ | Table_write _ | Table_read _ -> []
+  | If (c, t, e) ->
+    (* emptying an arm loses that arm's effect, which is fine: candidates
+       only have to be smaller, not equivalent *)
+    (if e <> [] then [ If (c, t, []) ] else [])
+    @ (if t <> [] then [ If (c, [], e) ] else [])
+    @ List.map (fun t' -> If (c, t', e)) (shrink_block t)
+    @ List.map (fun e' -> If (c, t, e')) (shrink_block e)
+  | For (v, n, b) ->
+    (if n > 1 then [ For (v, 1, b) ] else [])
+    @ List.map (fun b' -> For (v, n, b')) (shrink_block b)
+  | Repeat (v, n, b) ->
+    (if n > 1 then [ Repeat (v, 1, b) ] else [])
+    @ List.map (fun b' -> Repeat (v, n, b')) (shrink_block b)
+
+let shrink p =
+  (if p.loops > 1 then [ { p with loops = 1 } ] else [])
+  @ List.map (fun body -> { p with body }) (shrink_block p.body)
+
+(* Greedy minimisation: keep taking the first strictly-smaller candidate
+   that still fails [still_fails], until no candidate does. *)
+let minimize ~still_fails p =
+  let rec go p =
+    match List.find_opt still_fails (shrink p) with
+    | Some p' -> go p'
+    | None -> p
+  in
+  if still_fails p then go p else p

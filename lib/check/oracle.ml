@@ -1,0 +1,206 @@
+(* The scheme × BTB-configuration differential oracle.
+
+   A dispatch scheme changes *when* things happen, never *what* the program
+   computes; a BTB configuration changes timing only. The oracle pins both
+   halves of that contract: it runs one program through every scheme and a
+   matrix of BTB shapes (ways, replacement policy, JTE cap, context-switch
+   interval) and asserts
+
+   - VM output and retired-bytecode count are identical across the whole
+     matrix (schemes included);
+   - architectural event counts (instruction stream shape, dispatch
+     instructions, branch/jump/return mix, cache accesses) are identical
+     across BTB configurations within each non-SCD scheme — those schemes
+     generate their streams without consulting the BTB at all;
+   - under SCD, the dispatch count (bop_count) is configuration-invariant
+     (every dispatch executes exactly one bop, hit or miss), and the
+     engine/BTB/pipeline views of the fast path agree: engine lookups =
+     JTE lookups, bop hits = engine hits = JTE hits, jru inserts = JTE
+     inserts — with retired bop events bounding engine lookups from above,
+     since a bop whose Rbop-pc check fails retires without consulting the
+     jump table;
+   - re-running any cell reproduces its result bit-for-bit.
+
+   Every SCD run executes with the invariant auditor installed (checked
+   mode), so BTB bookkeeping is validated at each architectural write. *)
+
+type cell = {
+  cell_label : string;
+  machine : Scd_uarch.Config.t;
+  context_switch_interval : int option;
+}
+
+(* BTB shapes spanning both replacement policies, capped and uncapped,
+   set-associative and fully associative, with and without context-switch
+   flushes. All derive from the paper's simulator machine, so cache and
+   predictor geometry stay fixed and only the BTB/flush knobs move. *)
+let cells =
+  let base = Scd_uarch.Config.simulator in
+  let btb entries ways replacement jte_cap =
+    { (Scd_uarch.Config.with_btb_entries base entries) with
+      btb_ways = ways;
+      btb_replacement = replacement;
+      jte_cap }
+  in
+  [
+    { cell_label = "sim-256e-2w-rr";
+      machine = btb 256 2 Scd_uarch.Btb.Round_robin None;
+      context_switch_interval = None };
+    { cell_label = "64e-4w-lru";
+      machine = btb 64 4 Scd_uarch.Btb.Lru None;
+      context_switch_interval = None };
+    { cell_label = "16e-fa-lru-cap8";
+      machine = btb 16 16 Scd_uarch.Btb.Lru (Some 8);
+      context_switch_interval = None };
+    { cell_label = "32e-2w-rr-cap4-cs2000";
+      machine = btb 32 2 Scd_uarch.Btb.Round_robin (Some 4);
+      context_switch_interval = Some 2000 };
+    { cell_label = "8e-2w-rr-cap2-cs500";
+      machine = btb 8 2 Scd_uarch.Btb.Round_robin (Some 2);
+      context_switch_interval = Some 500 };
+  ]
+
+(* The pipeline counters that only depend on the generated event stream,
+   not on predictor or BTB state. For non-SCD schemes the stream itself is
+   BTB-independent, so all of these must match across cells. *)
+let architectural_counters (s : Scd_uarch.Stats.t) =
+  [
+    ("instructions", s.instructions);
+    ("dispatch_instructions", s.dispatch_instructions);
+    ("cond_branches", s.cond_branches);
+    ("direct_jumps", s.direct_jumps);
+    ("indirect_jumps", s.indirect_jumps);
+    ("returns", s.returns);
+    ("bop_count", s.bop_count);
+    ("jru_count", s.jru_count);
+    ("icache_accesses", s.icache_accesses);
+    ("dcache_accesses", s.dcache_accesses);
+  ]
+
+type divergence = {
+  frontend : string;
+  scheme : Scd_core.Scheme.t;
+  where : string;  (** cell label(s) involved *)
+  message : string;
+}
+
+let divergence_to_string d =
+  Printf.sprintf "[%s/%s] %s: %s" d.frontend
+    (Scd_core.Scheme.name d.scheme)
+    d.where d.message
+
+let run_cell ~frontend ~scheme ~source cell =
+  let config =
+    { Scd_cosim.Driver.default_config with
+      frontend = Scd_cosim.Frontend.get frontend;
+      scheme;
+      machine = cell.machine;
+      context_switch_interval = cell.context_switch_interval }
+  in
+  Scd_cosim.Driver.run config ~source
+
+(* Identities between the three views of the SCD fast path inside one
+   result: pipeline events, engine counters and BTB counters describe the
+   same lookups and inserts and must agree exactly. *)
+let scd_identities (r : Scd_cosim.Result.t) =
+  match r.engine with
+  | None -> [ "SCD result carries no engine stats" ]
+  | Some e ->
+    let expect name a b =
+      if a <> b then Some (Printf.sprintf "%s (%d <> %d)" name a b) else None
+    in
+    let bound name a b =
+      if a < b then Some (Printf.sprintf "%s (%d < %d)" name a b) else None
+    in
+    List.filter_map Fun.id
+      [
+        (* a bop that fails the Rbop-pc check retires without a lookup *)
+        bound "bop_count < engine.bop_lookups" r.stats.bop_count e.bop_lookups;
+        expect "engine.bop_lookups <> btb.jte_lookups" e.bop_lookups
+          r.btb.jte_lookups;
+        expect "stats.bop_hits <> engine.bop_hits" r.stats.bop_hits e.bop_hits;
+        expect "engine.bop_hits <> btb.jte_hits" e.bop_hits r.btb.jte_hits;
+        expect "stats.jru_count <> engine.jru_inserts" r.stats.jru_count
+          e.jru_inserts;
+        expect "engine.jru_inserts <> btb.jte_inserts" e.jru_inserts
+          r.btb.jte_inserts;
+      ]
+
+(* Check one program (one frontend) over the full matrix. Returns every
+   divergence found, not just the first, so a report names all the broken
+   contracts at once. *)
+let check ~frontend ~source =
+  let divergences = ref [] in
+  let report scheme where fmt =
+    Printf.ksprintf
+      (fun message ->
+        divergences := { frontend; scheme; where; message } :: !divergences)
+      fmt
+  in
+  let reference : (Scd_core.Scheme.t * string * Scd_cosim.Result.t) option ref =
+    ref None
+  in
+  List.iter
+    (fun scheme ->
+      let scheme_reference = ref None in
+      List.iter
+        (fun cell ->
+          match run_cell ~frontend ~scheme ~source cell with
+          | exception e ->
+            report scheme cell.cell_label "run raised %s" (Printexc.to_string e)
+          | r ->
+            (* determinism: the same cell must reproduce bit-for-bit *)
+            let r2 = run_cell ~frontend ~scheme ~source cell in
+            if not (Scd_cosim.Result.equal r r2) then
+              report scheme cell.cell_label "re-run is not bit-identical";
+            (* VM semantics: output and bytecodes across the whole matrix *)
+            (match !reference with
+             | None -> reference := Some (scheme, cell.cell_label, r)
+             | Some (s0, l0, r0) ->
+               let against = Printf.sprintf "%s vs %s/%s" cell.cell_label
+                   (Scd_core.Scheme.name s0) l0
+               in
+               if r.output <> r0.output then
+                 report scheme against "VM output differs";
+               if r.bytecodes <> r0.bytecodes then
+                 report scheme against "retired bytecodes differ (%d vs %d)"
+                   r.bytecodes r0.bytecodes);
+            (* per-scheme invariants across BTB configurations *)
+            (match !scheme_reference with
+             | None -> scheme_reference := Some (cell.cell_label, r)
+             | Some (l0, (r0 : Scd_cosim.Result.t)) ->
+               let against = Printf.sprintf "%s vs %s" cell.cell_label l0 in
+               if r.code_bytes <> r0.code_bytes then
+                 report scheme against "code footprint differs (%d vs %d)"
+                   r.code_bytes r0.code_bytes;
+               if scheme = Scd_core.Scheme.Scd then begin
+                 (* only the dispatch count is config-invariant: the stream
+                    itself depends on which bops hit *)
+                 if r.stats.bop_count <> r0.stats.bop_count then
+                   report scheme against "bop_count differs (%d vs %d)"
+                     r.stats.bop_count r0.stats.bop_count
+               end
+               else
+                 List.iter2
+                   (fun (name, v) (name0, v0) ->
+                     assert (name = name0);
+                     if v <> v0 then
+                       report scheme against "%s differs (%d vs %d)" name v v0)
+                   (architectural_counters r.stats)
+                   (architectural_counters r0.stats));
+            (* intra-result identities for the SCD fast path *)
+            if scheme = Scd_core.Scheme.Scd then
+              List.iter
+                (fun m -> report scheme cell.cell_label "%s" m)
+                (scd_identities r))
+        cells)
+    Scd_core.Scheme.all;
+  List.rev !divergences
+
+(* Checked-mode wrapper: the auditor validates BTB bookkeeping at every
+   architectural write for the duration of the check. *)
+let check_audited ~frontend ~source =
+  Scd_core.Engine.set_auditor Audit.auditor;
+  Fun.protect
+    ~finally:(fun () -> Scd_core.Engine.set_auditor None)
+    (fun () -> check ~frontend ~source)

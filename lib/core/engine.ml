@@ -44,6 +44,15 @@ let create ?(tables = 1) ?context_switch_interval btb =
       };
   }
 
+(* Checked mode: when installed, the auditor runs after every architectural
+   BTB write ([jru] insertion and [jte_flush]) with the engine's BTB. The
+   correctness checker (Scd_check) installs an invariant auditor here so
+   that every co-simulated run validates population/cap/stats invariants at
+   each mutation; production runs pay a single ref read per write. *)
+let auditor : (Scd_uarch.Btb.t -> unit) option ref = ref None
+let set_auditor f = auditor := f
+let audit t = match !auditor with None -> () | Some f -> f t.btb
+
 let check_table t table =
   if table < 0 || table >= t.tables then
     invalid_arg (Printf.sprintf "Engine: branch ID %d out of range" table)
@@ -71,11 +80,13 @@ let jru ?(table = 0) t ~opcode ~target =
   | Some opcode ->
     check_opcode opcode;
     t.stats.jru_inserts <- t.stats.jru_inserts + 1;
-    Scd_uarch.Btb.insert t.btb ~jte:true ~key:(key ~table ~opcode) ~target
+    Scd_uarch.Btb.insert t.btb ~jte:true ~key:(key ~table ~opcode) ~target;
+    audit t
 
 let jte_flush t =
   t.stats.flushes <- t.stats.flushes + 1;
-  Scd_uarch.Btb.flush_jtes t.btb
+  Scd_uarch.Btb.flush_jtes t.btb;
+  audit t
 
 let retire t n =
   match t.context_switch_interval with

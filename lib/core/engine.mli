@@ -64,6 +64,15 @@ val stats_of_assoc : (string * int) list -> (stats, string) result
 (** Codec pair over one shared field table; decode of encode is the identity
     and a missing field is an [Error]. *)
 
+val set_auditor : (Scd_uarch.Btb.t -> unit) option -> unit
+(** Checked mode: install (or remove, with [None]) a process-wide auditor
+    invoked with the engine's BTB after every architectural write — each
+    [jru] insertion and each {!jte_flush}, context-switch flushes included.
+    The {!Scd_check} differential checker installs its invariant auditor
+    here so every co-simulated run is validated at each mutation; the hook
+    must raise to report a violation. Not domain-safe: intended for the
+    sequential checker and tests, not for pool runs. *)
+
 val exec_backend : ?table:int -> t -> Scd_isa.Exec.scd_backend
 (** Adapt the engine as the SCD backend of the ERV32 functional executor, so
     that execution-driven runs share the same finite BTB overlay. *)

@@ -111,11 +111,21 @@ let pick_victim t set_index ~eligible =
   (* Invalid entries are always the first choice. *)
   let rec find_invalid i =
     if i = t.ways then None
-    else if eligible set.(i) && not set.(i).valid then Some set.(i)
+    else if eligible set.(i) && not set.(i).valid then Some i
     else find_invalid (i + 1)
   in
   match find_invalid 0 with
-  | Some e -> Some e
+  | Some i ->
+    (* Filling an invalid way must move a round-robin pointer that is
+       sitting on it: otherwise the next conflict in this set would evict
+       the entry we are about to install — the freshest one — instead of
+       cycling through the older ways. *)
+    (match t.replacement with
+     | Round_robin ->
+       if t.rr_pointers.(set_index) = i then
+         t.rr_pointers.(set_index) <- (i + 1) mod t.ways
+     | Lru -> ());
+    Some set.(i)
   | None -> (
     match t.replacement with
     | Lru ->
@@ -142,10 +152,11 @@ let pick_victim t set_index ~eligible =
       in
       scan 0)
 
+(* [overwrite] installs an entry and maintains the JTE population; eviction
+   accounting belongs to the callers, which know *why* the victim lost its
+   way (capacity eviction vs cap-triggered replacement — the two are
+   disjoint counters, see the stats docs in btb.mli). *)
 let overwrite t e ~jte ~key ~target =
-  (* A valid JTE losing its way is an eviction (flushes are counted by the
-     engine separately); only JTE inserts ever pick a JTE victim. *)
-  if e.valid && e.is_jte then t.stats.jte_evictions <- t.stats.jte_evictions + 1;
   (* Maintain the JTE population across state changes. *)
   if e.valid && e.is_jte && not jte then t.jte_population <- t.jte_population - 1;
   if jte && not (e.valid && e.is_jte) then t.jte_population <- t.jte_population + 1;
@@ -179,9 +190,12 @@ let insert_jte t ~key ~target =
       (* JTE priority: any way is eligible, branch entries included. *)
       match pick_victim t set_index ~eligible:(fun _ -> true) with
       | Some e ->
-        if e.valid && not e.is_jte then
-          t.stats.branch_entries_evicted_by_jte <-
-            t.stats.branch_entries_evicted_by_jte + 1;
+        if e.valid then
+          if e.is_jte then
+            t.stats.jte_evictions <- t.stats.jte_evictions + 1
+          else
+            t.stats.branch_entries_evicted_by_jte <-
+              t.stats.branch_entries_evicted_by_jte + 1;
         overwrite t e ~jte:true ~key ~target
       | None -> assert false (* every way is eligible *)
     end
@@ -259,3 +273,22 @@ let stats_of_assoc assoc =
   | names -> Error ("missing BTB stats fields: " ^ String.concat ", " names)
 let entries t = t.sets * t.ways
 let ways t = t.ways
+let sets t = t.sets
+let replacement t = t.replacement
+let jte_cap t = t.jte_cap
+
+(* Read-only introspection for the correctness checker (Scd_check): a pure
+   snapshot of every way, in set-major order. *)
+type entry_view = {
+  view_valid : bool;
+  view_jte : bool;
+  view_tag : int;
+  view_target : int;
+}
+
+let view t =
+  Array.map
+    (Array.map (fun e ->
+         { view_valid = e.valid; view_jte = e.is_jte; view_tag = e.tag;
+           view_target = e.target }))
+    t.table

@@ -32,13 +32,16 @@ type stats = {
       (** Branch-entry insertions that found every candidate way holding a
           JTE and were dropped (the contention cost of the overlay). *)
   mutable jte_evictions : int;
-      (** Valid JTEs displaced from their way by a replacement decision
-          (necessarily by another JTE insertion, given JTE priority; cap
-          replacements included). {!flush_jtes} invalidations are not
-          evictions — the SCD engine counts flushes separately. *)
+      (** Valid JTEs displaced from their way by a below-cap JTE insertion
+          (necessarily by another JTE, given JTE priority). The three ways a
+          JTE can die are disjoint counters: capacity evictions here,
+          cap-triggered replacements in {!field-jte_cap_replacements}, and
+          {!flush_jtes} invalidations in the SCD engine's flush counters —
+          an event never bumps two of them. *)
   mutable jte_cap_replacements : int;
       (** JTE insertions that, at the cap, replaced another JTE instead of
-          growing the population. *)
+          growing the population. Cap replacements are {e not} counted as
+          {!field-jte_evictions}. *)
   mutable jte_cap_rejects : int;
       (** JTE insertions dropped because the cap was reached and no JTE lived
           in the target set. *)
@@ -68,6 +71,22 @@ val jte_population : t -> int
 val stats : t -> stats
 val entries : t -> int
 val ways : t -> int
+val sets : t -> int
+val replacement : t -> replacement
+val jte_cap : t -> int option
+
+type entry_view = {
+  view_valid : bool;
+  view_jte : bool;
+  view_tag : int;
+  view_target : int;
+}
+(** Read-only snapshot of one way, for auditing. *)
+
+val view : t -> entry_view array array
+(** Pure [sets × ways] snapshot of the table, for the {!Scd_check} invariant
+    auditor and reference-model comparison. No side effects on replacement
+    state or stats. *)
 
 val copy_stats : stats -> stats
 (** Independent snapshot of a stats record (see {!Scd_uarch.Stats.copy}). *)

@@ -1,0 +1,194 @@
+(* The checker checking itself: generation is deterministic, the shrinker
+   minimises, the stress harness detects a planted replacement bug, the
+   auditor rejects broken bookkeeping, and the oracle and fault suites pass
+   on a fixed seed corpus. *)
+
+open Scd_check
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Generator                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_gen_deterministic () =
+  Alcotest.(check string) "same seed, same source"
+    (Gen.source ~seed:7L) (Gen.source ~seed:7L);
+  check_bool "different seeds differ" true
+    (Gen.source ~seed:7L <> Gen.source ~seed:8L)
+
+(* every program in the fixed corpus runs to completion on both VMs with
+   identical output (generated loops are bounded by construction) *)
+let test_gen_corpus_terminates_and_agrees () =
+  for s = 0 to 19 do
+    let source = Gen.source ~seed:(Int64.of_int s) in
+    let rvm = Scd_rvm.Vm.run_string source in
+    let svm = Scd_svm.Vm.run_string source in
+    Alcotest.(check string)
+      (Printf.sprintf "seed %d: VMs agree" s)
+      rvm svm
+  done
+
+let rec count_fors_block stmts = List.fold_left (fun n s -> n + count_fors s) 0 stmts
+
+and count_fors = function
+  | Gen.For (_, _, b) -> 1 + count_fors_block b
+  | Gen.If (_, t, e) -> count_fors_block t + count_fors_block e
+  | Gen.Repeat (_, _, b) -> count_fors_block b
+  | Gen.Assign _ | Gen.Table_write _ | Gen.Table_read _ -> 0
+
+let test_shrinker_minimises () =
+  (* find a seed whose program has at least one for loop, then minimise
+     under "still contains a for loop" as the failure predicate *)
+  let rec find s =
+    let p = Gen.generate ~seed:(Int64.of_int s) in
+    if count_fors_block p.Gen.body > 0 then p else find (s + 1)
+  in
+  let p = find 0 in
+  let still_fails q = count_fors_block q.Gen.body > 0 in
+  let small = Gen.minimize ~still_fails p in
+  check_bool "minimal program keeps the property" true (still_fails small);
+  check_bool "no smaller candidate has it" true
+    (not (List.exists still_fails (Gen.shrink small)));
+  check_bool "not larger than the original" true (Gen.size small <= Gen.size p);
+  (* a single for loop around nothing is the fixpoint *)
+  check_int "exactly one for loop survives" 1 (count_fors_block small.Gen.body)
+
+let test_shrinker_identity_on_pass () =
+  let p = Gen.generate ~seed:3L in
+  let q = Gen.minimize ~still_fails:(fun _ -> false) p in
+  Alcotest.(check string) "passing program untouched" (Gen.render p)
+    (Gen.render q)
+
+(* ------------------------------------------------------------------ *)
+(* Stress harness and reference model                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_stress_clean_on_fixed_seeds () =
+  for s = 0 to 9 do
+    match Stress.run ~seed:(Int64.of_int (1000 + s)) () with
+    | None -> ()
+    | Some d -> Alcotest.failf "unexpected divergence: %s" d
+  done
+
+(* the harness must detect the historical round-robin fill bug, planted in
+   the model, within one seed *)
+let test_stress_detects_planted_rr_bug () =
+  let detected = ref false in
+  (try
+     for s = 0 to 4 do
+       if not !detected then
+         match Stress.run ~legacy_rr_fill:true ~seed:(Int64.of_int s) () with
+         | Some _ -> detected := true
+         | None -> ()
+     done
+   with _ -> detected := true);
+  check_bool "planted replacement bug detected" true !detected
+
+(* ------------------------------------------------------------------ *)
+(* Auditor                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_audit_accepts_healthy_table () =
+  let b = Scd_uarch.Btb.create ~entries:8 ~ways:2
+      ~replacement:Scd_uarch.Btb.Round_robin ~jte_cap:2 ()
+  in
+  for k = 0 to 7 do
+    Scd_uarch.Btb.insert b ~jte:(k land 1 = 0) ~key:(k lsl 2) ~target:k;
+    Audit.run b
+  done;
+  Scd_uarch.Btb.flush_jtes b;
+  Audit.run b
+
+let test_audit_rejects_broken_counters () =
+  let b = Scd_uarch.Btb.create ~entries:8 ~ways:2
+      ~replacement:Scd_uarch.Btb.Lru ()
+  in
+  (* forge an impossible history: evictions without a single insert *)
+  (Scd_uarch.Btb.stats b).jte_evictions <- 3;
+  check_bool "violation raised" true
+    (match Audit.run b with
+     | () -> false
+     | exception Audit.Violation _ -> true);
+  (Scd_uarch.Btb.stats b).jte_evictions <- 0;
+  (* cap counters may not move on an uncapped table *)
+  (Scd_uarch.Btb.stats b).jte_inserts <- 5;
+  (Scd_uarch.Btb.stats b).jte_cap_rejects <- 1;
+  check_bool "cap counter without a cap rejected" true
+    (match Audit.run b with
+     | () -> false
+     | exception Audit.Violation _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Oracle and faults on a fixed corpus                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_oracle_fixed_corpus () =
+  List.iter
+    (fun frontend ->
+      List.iter
+        (fun seed ->
+          let source = Gen.source ~seed in
+          match Oracle.check_audited ~frontend ~source with
+          | [] -> ()
+          | ds ->
+            Alcotest.failf "seed %Ld (%s): %s" seed frontend
+              (String.concat "; " (List.map Oracle.divergence_to_string ds)))
+        [ 1L; 2L ])
+    [ "lua"; "js" ]
+
+let test_faults_clean () =
+  List.iter
+    (fun frontend ->
+      match
+        Faults.check ~frontend ~source:"print(1 + 2)" ~seed:42L ()
+      with
+      | [] -> ()
+      | problems -> Alcotest.failf "%s" (String.concat "; " problems))
+    [ "lua"; "js" ]
+
+let test_check_end_to_end () =
+  let report = Check.run ~seeds:2 ~faults:true () in
+  check_bool "clean verdict" true (Check.ok report);
+  check_int "no divergences" 0 (List.length report.Check.divergences);
+  check_int "no reproducers" 0 (List.length report.Check.minimized);
+  check_int "stress ran" 2 report.Check.stress_runs;
+  check_int "programs ran" 2 report.Check.programs_checked;
+  check_bool "faults ran" true (report.Check.fault_cycles > 0);
+  check_bool "summary says passed" true
+    (String.length (Check.summary report) > 0
+     && String.sub (Check.summary report) 0 5 = "check")
+
+let () =
+  Alcotest.run "scd_check"
+    [
+      ( "gen",
+        [
+          Alcotest.test_case "deterministic" `Quick test_gen_deterministic;
+          Alcotest.test_case "corpus terminates, VMs agree" `Quick
+            test_gen_corpus_terminates_and_agrees;
+          Alcotest.test_case "shrinker minimises" `Quick test_shrinker_minimises;
+          Alcotest.test_case "shrinker leaves passing programs" `Quick
+            test_shrinker_identity_on_pass;
+        ] );
+      ( "stress",
+        [
+          Alcotest.test_case "clean on fixed seeds" `Quick
+            test_stress_clean_on_fixed_seeds;
+          Alcotest.test_case "detects planted rr bug" `Quick
+            test_stress_detects_planted_rr_bug;
+        ] );
+      ( "audit",
+        [
+          Alcotest.test_case "healthy table" `Quick test_audit_accepts_healthy_table;
+          Alcotest.test_case "broken counters" `Quick
+            test_audit_rejects_broken_counters;
+        ] );
+      ( "oracle",
+        [
+          Alcotest.test_case "fixed corpus" `Quick test_oracle_fixed_corpus;
+          Alcotest.test_case "fault suite" `Quick test_faults_clean;
+          Alcotest.test_case "end to end" `Quick test_check_end_to_end;
+        ] );
+    ]

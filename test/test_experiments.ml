@@ -129,7 +129,7 @@ let test_store_corrupt_entry_recomputed () =
   with_temp_store (fun store ->
       let r = Scd_cosim.Driver.run Scd_cosim.Driver.default_config ~source:tiny_source in
       Scd_experiments.Store.save store ~key:"k" r;
-      (* clobber the payload: load must treat it as a miss, verify must flag it *)
+      (* clobber the payload: load must treat it as a miss and quarantine it *)
       let file =
         Filename.concat (Scd_experiments.Store.dir store)
           (List.hd (Scd_experiments.Store.entries store))
@@ -137,11 +137,26 @@ let test_store_corrupt_entry_recomputed () =
       let oc = open_out file in
       output_string oc "scd-result 999\ngarbage\n";
       close_out oc;
-      check_bool "corrupt entry is a miss" true
-        (Scd_experiments.Store.load store ~key:"k" = None);
       let ok, bad = Scd_experiments.Store.verify store in
       check_int "verify sees no clean entries" 0 ok;
-      check_int "verify flags the corrupt one" 1 (List.length bad))
+      check_int "verify flags the corrupt one" 1 (List.length bad);
+      check_bool "corrupt entry is a miss" true
+        (Scd_experiments.Store.load store ~key:"k" = None);
+      check_int "corrupt load counted" 1 (Scd_experiments.Store.corrupt store);
+      check_int "corrupt load is also a miss" 1 (Scd_experiments.Store.misses store);
+      check_int "file quarantined away from the live set" 0
+        (List.length (Scd_experiments.Store.entries store));
+      check_int "quarantine file kept as evidence" 1
+        (List.length (Scd_experiments.Store.quarantined store));
+      (* the next save repopulates the cell and warm loads hit again *)
+      Scd_experiments.Store.save store ~key:"k" r;
+      (match Scd_experiments.Store.load store ~key:"k" with
+       | Some r' -> check_bool "re-saved cell round-trips" true (Scd_cosim.Result.equal r r')
+       | None -> Alcotest.fail "re-saved cell lost");
+      check_int "clear removes quarantined files too" 1
+        (Scd_experiments.Store.clear store);
+      check_int "no quarantine leftovers" 0
+        (List.length (Scd_experiments.Store.quarantined store)))
 
 (* The acceptance test for the cache layer: a warm process (simulated by
    dropping the in-memory layer but keeping the store) renders byte-identical

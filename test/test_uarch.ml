@@ -71,6 +71,86 @@ let test_btb_bad_geometry () =
     (Invalid_argument "Btb.create: entries must be a positive multiple of ways")
     (fun () -> ignore (Btb.create ~entries:10 ~ways:4 ~replacement:Lru ()))
 
+(* Regression for the round-robin fill bug: filling an invalid way must
+   advance a pointer sitting on it, so the freshest entry is not the next
+   conflict's victim. Pins the exact victim sequence on a 1-set 4-way
+   table across a flush/refill cycle. *)
+let test_btb_rr_fill_advances_pointer () =
+  let b = Btb.create ~entries:4 ~ways:4 ~replacement:Round_robin () in
+  let jkey i = i lsl 2 and bkey i = (0x100 + i) lsl 2 in
+  (* fill the set: two JTEs (ways 0-1), two branch entries (ways 2-3) *)
+  Btb.insert b ~jte:true ~key:(jkey 0) ~target:10;
+  Btb.insert b ~jte:true ~key:(jkey 1) ~target:11;
+  Btb.insert b ~jte:false ~key:(bkey 2) ~target:12;
+  Btb.insert b ~jte:false ~key:(bkey 3) ~target:13;
+  (* a context switch invalidates the JTE ways *)
+  Btb.flush_jtes b;
+  (* refill: each insert lands in an invalid way and must push the pointer
+     past it (the buggy version left the pointer parked on way 0) *)
+  Btb.insert b ~jte:true ~key:(jkey 4) ~target:14;
+  Btb.insert b ~jte:true ~key:(jkey 5) ~target:15;
+  (* the set is full again; the next JTE's victim must be the *oldest*
+     entry (a branch way), not the JTE installed two inserts ago *)
+  Btb.insert b ~jte:true ~key:(jkey 6) ~target:16;
+  Alcotest.(check (option int)) "fresh JTE survives the conflict" (Some 14)
+    (Btb.probe b ~jte:true ~key:(jkey 4));
+  Alcotest.(check (option int)) "second fresh JTE survives too" (Some 15)
+    (Btb.probe b ~jte:true ~key:(jkey 5));
+  check_bool "a branch way was the victim" true
+    (Btb.probe b ~jte:false ~key:(bkey 2) = None
+     || Btb.probe b ~jte:false ~key:(bkey 3) = None);
+  check_int "victim accounted as a branch eviction" 1
+    (Btb.stats b).branch_entries_evicted_by_jte;
+  check_int "no JTE eviction on the refill path" 0
+    (Btb.stats b).jte_evictions
+
+(* Regression for the eviction double count: a cap-triggered replacement
+   bumps jte_cap_replacements only, never jte_evictions. *)
+let test_btb_cap_replacement_not_eviction () =
+  let b = Btb.create ~entries:4 ~ways:4 ~replacement:Round_robin ~jte_cap:1 () in
+  Btb.insert b ~jte:true ~key:(1 lsl 2) ~target:1;
+  Btb.insert b ~jte:true ~key:(2 lsl 2) ~target:2;
+  check_int "population stays at the cap" 1 (Btb.jte_population b);
+  check_int "replacement counted" 1 (Btb.stats b).jte_cap_replacements;
+  check_int "replacement is not an eviction" 0 (Btb.stats b).jte_evictions;
+  (* uncapped displacement, by contrast, is an eviction *)
+  let u = Btb.create ~entries:2 ~ways:2 ~replacement:Round_robin () in
+  Btb.insert u ~jte:true ~key:(1 lsl 2) ~target:1;
+  Btb.insert u ~jte:true ~key:(2 lsl 2) ~target:2;
+  Btb.insert u ~jte:true ~key:(3 lsl 2) ~target:3;
+  check_int "displacement counted as eviction" 1 (Btb.stats u).jte_evictions;
+  check_int "displacement is not a cap replacement" 0
+    (Btb.stats u).jte_cap_replacements
+
+(* Random insert/lookup/flush sequences against the reference model and
+   the invariant auditor, across both replacement policies and cap
+   settings (the geometries listed in Scd_check.Stress). *)
+let prop_btb_matches_reference_model =
+  QCheck.Test.make ~name:"real BTB tracks the reference model" ~count:60
+    QCheck.(int_bound 0xFFFF)
+    (fun seed ->
+      match Scd_check.Stress.run ~ops:250 ~seed:(Int64.of_int seed) () with
+      | None -> true
+      | Some divergence -> QCheck.Test.fail_report divergence)
+
+let prop_btb_auditor_accepts_random_sequences =
+  QCheck.Test.make ~name:"auditor holds under random op sequences" ~count:100
+    QCheck.(pair (oneofl [ Btb.Round_robin; Btb.Lru ])
+              (pair (oneofl [ None; Some 2; Some 5 ])
+                 (small_list (pair bool (int_bound 127)))))
+    (fun (replacement, (jte_cap, operations)) ->
+      let b = Btb.create ~entries:16 ~ways:4 ~replacement ?jte_cap () in
+      List.iteri
+        (fun i (jte, k) ->
+          if i mod 9 = 8 then Btb.flush_jtes b
+          else if k land 1 = 0 then Btb.insert b ~jte ~key:(k lsl 2) ~target:k
+          else ignore (Btb.lookup b ~jte ~key:(k lsl 2));
+          match Scd_check.Audit.run b with
+          | () -> ()
+          | exception Scd_check.Audit.Violation m -> QCheck.Test.fail_report m)
+        operations;
+      true)
+
 let prop_btb_population_invariant =
   QCheck.Test.make ~name:"jte_population matches resident JTEs" ~count:200
     QCheck.(small_list (pair bool (int_bound 255)))
@@ -473,6 +553,12 @@ let () =
           Alcotest.test_case "lru" `Quick test_btb_lru_replacement;
           Alcotest.test_case "update existing" `Quick test_btb_update_existing;
           Alcotest.test_case "bad geometry" `Quick test_btb_bad_geometry;
+          Alcotest.test_case "rr fill advances pointer" `Quick
+            test_btb_rr_fill_advances_pointer;
+          Alcotest.test_case "cap replacement is not eviction" `Quick
+            test_btb_cap_replacement_not_eviction;
+          QCheck_alcotest.to_alcotest prop_btb_matches_reference_model;
+          QCheck_alcotest.to_alcotest prop_btb_auditor_accepts_random_sequences;
           QCheck_alcotest.to_alcotest prop_btb_population_invariant;
         ] );
       ( "direction",
