@@ -7,6 +7,7 @@
      dune exec bench/main.exe -- --only fig7,tab4
      dune exec bench/main.exe -- --jobs 4     # pooled parallel regeneration
      dune exec bench/main.exe -- --micro      # kernel microbenchmarks only
+     dune exec bench/main.exe -- --micro --check-budgets   # allocation gate
      dune exec bench/main.exe -- --csv        # machine-readable output
      dune exec bench/main.exe -- --json BENCH_2026-08-06.json
      dune exec bench/main.exe -- --cache      # persist cells in _scd_cache/
@@ -21,6 +22,9 @@
 type options = {
   quick : bool;
   micro : bool;
+  micro_quota : float;  (* seconds of samples per kernel per pass *)
+  check_budgets : bool;
+  budget_tolerance : float option;  (* None: Scd_obs.Budget.default_tolerance *)
   csv : bool;
   only : string list option;
   jobs : int;
@@ -30,6 +34,9 @@ type options = {
 
 let parse_args () =
   let quick = ref false and micro = ref false and csv = ref false in
+  let micro_quota = ref 1.0 in
+  let check_budgets = ref false in
+  let budget_tolerance = ref None in
   let only = ref None in
   let jobs = ref (Scd_util.Pool.default_jobs ()) in
   let json = ref None in
@@ -43,6 +50,21 @@ let parse_args () =
     | [] -> ()
     | "--quick" :: rest -> quick := true; go rest
     | "--micro" :: rest -> micro := true; go rest
+    | "--micro-quota" :: rest ->
+      let v, rest = operand "--micro-quota" rest in
+      (match float_of_string_opt v with
+       | Some q when q > 0.0 -> micro_quota := q
+       | Some _ | None ->
+         fail "--micro-quota requires a positive number of seconds, got %S" v);
+      go rest
+    | "--check-budgets" :: rest -> check_budgets := true; go rest
+    | "--budget-tolerance" :: rest ->
+      let v, rest = operand "--budget-tolerance" rest in
+      (match float_of_string_opt v with
+       | Some t when t >= 0.0 -> budget_tolerance := Some t
+       | Some _ | None ->
+         fail "--budget-tolerance requires a non-negative fraction, got %S" v);
+      go rest
     | "--csv" :: rest -> csv := true; go rest
     | "--only" :: rest ->
       let ids, rest = operand "--only" rest in
@@ -68,8 +90,11 @@ let parse_args () =
     | arg :: _ -> fail "unknown argument %s" arg
   in
   go (List.tl (Array.to_list Sys.argv));
-  { quick = !quick; micro = !micro; csv = !csv; only = !only; jobs = !jobs;
-    json = !json; cache = !cache }
+  if !check_budgets && not !micro then
+    fail "--check-budgets compares microbenchmark results: add --micro";
+  { quick = !quick; micro = !micro; micro_quota = !micro_quota;
+    check_budgets = !check_budgets; budget_tolerance = !budget_tolerance;
+    csv = !csv; only = !only; jobs = !jobs; json = !json; cache = !cache }
 
 (* ------------------------------------------------------------------ *)
 (* Experiment regeneration                                             *)
@@ -242,36 +267,94 @@ let micro_tests () =
            let m = Scd_isa.Exec.create program in
            ignore (Scd_isa.Exec.run m)))
   in
-  let cosim_small =
-    Test.make ~name:"cosim-fib10-scd"
+  (* the disabled host-profiler span: with no active profile the probe is
+     one ref load and match, so minor allocation must stay at zero — the
+     Prof counterpart of pipeline-scratch-probe-off *)
+  let noop = fun () -> () in
+  let prof_span_off =
+    Test.make ~name:"prof-span-off-1k"
+      (Staged.stage (fun () ->
+           for _ = 1 to 1000 do
+             Scd_obs.Prof.span "micro" noop
+           done))
+  in
+  (* and the enabled-path cost: clock + Gc.quick_stat samples per span.
+     The profile is activated inside the staged closure (bechamel runs
+     kernels sequentially, so a profile left active would leak into every
+     later micro); ~max_events:0 keeps the event log from growing across
+     the thousands of timed runs. *)
+  let prof_span_on =
+    let profile = Scd_obs.Prof.create ~max_events:0 () in
+    Test.make ~name:"prof-span-on-1k"
+      (Staged.stage (fun () ->
+           Scd_obs.Prof.activate profile;
+           for _ = 1 to 1000 do
+             Scd_obs.Prof.span "micro" noop
+           done;
+           Scd_obs.Prof.deactivate ()))
+  in
+  (* one full co-simulation per dispatch scheme, so the perf trajectory
+     (and the allocation budgets) track each scheme's end-to-end cost —
+     the ROADMAP's allocation-free-cosim work lands scheme by scheme *)
+  let fib10 =
+    "function fib(n) if n < 2 then return n end return fib(n-1) + fib(n-2) end print(fib(10))"
+  in
+  let cosim_micro scheme suffix =
+    Test.make ~name:("cosim-fib10-" ^ suffix)
       (Staged.stage (fun () ->
            ignore
              (Scd_cosim.Driver.run
-                { Scd_cosim.Driver.default_config with scheme = Scd_core.Scheme.Scd }
-                ~source:
-                  "function fib(n) if n < 2 then return n end return fib(n-1) + fib(n-2) end print(fib(10))")))
+                { Scd_cosim.Driver.default_config with scheme }
+                ~source:fib10)))
   in
   [ pipeline_consume; pipeline_consume_scratch; pipeline_scratch_probe_off;
-    pipeline_scratch_probe_on; btb_ops; engine_bop; rvm_interp; svm_interp;
-    direction; asm_exec; cosim_small ]
+    pipeline_scratch_probe_on; prof_span_off; prof_span_on; btb_ops;
+    engine_bop; rvm_interp; svm_interp; direction; asm_exec;
+    cosim_micro Scd_core.Scheme.Baseline "baseline";
+    cosim_micro Scd_core.Scheme.Jump_threading "jte";
+    cosim_micro Scd_core.Scheme.Vbbi "vbbi";
+    cosim_micro Scd_core.Scheme.Scd "scd" ]
 
-type micro_result = { name : string; ns_per_run : float; minor_words_per_run : float }
+type micro_result = {
+  name : string;
+  ns_per_run : float;
+  minor_words_per_run : float;
+  major_words_per_run : float;
+  promoted_words_per_run : float;
+}
 
-let run_micro () =
+let run_micro ~quota =
   let open Bechamel in
-  let instances = Toolkit.Instance.[ monotonic_clock; minor_allocated ] in
-  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 1.0) ~kde:(Some 500) () in
+  let cfg =
+    Benchmark.cfg ~limit:1000 ~quota:(Time.second quota) ~kde:(Some 500) ()
+  in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
   print_endline
-    "== Microbenchmarks (bechamel: monotonic clock, minor allocations) ==";
+    "== Microbenchmarks (bechamel: monotonic clock, GC allocation counters) ==";
   let results =
     List.concat_map
       (fun test ->
-        let raw = Benchmark.all cfg instances test in
-        let time = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
-        let minor = Analyze.all ols Toolkit.Instance.minor_allocated raw in
+        (* Two measurement passes per kernel: bechamel loads instances in
+           order and unloads in reverse, so with the clock and the GC
+           counters in one pass the clock window brackets the counter
+           sampling and ns/run is inflated by the Gc.minor_words calls.
+           Timing runs alone; the allocation counters share a second pass
+           (words are exact per run, so they cannot contaminate each
+           other). *)
+        let time_raw =
+          Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] test
+        in
+        let alloc_raw =
+          Benchmark.all cfg
+            Toolkit.Instance.[ minor_allocated; major_allocated; promoted ]
+            test
+        in
+        let time = Analyze.all ols Toolkit.Instance.monotonic_clock time_raw in
+        let minor = Analyze.all ols Toolkit.Instance.minor_allocated alloc_raw in
+        let major = Analyze.all ols Toolkit.Instance.major_allocated alloc_raw in
+        let promoted = Analyze.all ols Toolkit.Instance.promoted alloc_raw in
         let estimate tbl name =
           match Hashtbl.find_opt tbl name with
           | Some r -> (
@@ -287,17 +370,50 @@ let run_micro () =
         List.map
           (fun name ->
             { name; ns_per_run = estimate time name;
-              minor_words_per_run = estimate minor name })
+              minor_words_per_run = estimate minor name;
+              major_words_per_run = estimate major name;
+              promoted_words_per_run = estimate promoted name })
           names)
       (micro_tests ())
   in
   List.iter
     (fun r ->
-      Printf.printf "%-32s %12.1f ns/run %12.1f minor words/run\n" r.name
-        r.ns_per_run r.minor_words_per_run)
+      Printf.printf
+        "%-32s %12.1f ns/run %12.1f minor words/run %10.1f major %10.1f promoted\n"
+        r.name r.ns_per_run r.minor_words_per_run r.major_words_per_run
+        r.promoted_words_per_run)
     results;
   print_newline ();
   results
+
+(* ------------------------------------------------------------------ *)
+(* Allocation-budget gate (--check-budgets)                            *)
+(* ------------------------------------------------------------------ *)
+
+let check_budgets ~tolerance micro =
+  let measured =
+    List.map (fun r -> (r.name, r.minor_words_per_run)) micro
+  in
+  let verdicts = Scd_obs.Budget.check_measured ?tolerance measured in
+  print_endline "== Allocation budgets (minor words per run) ==";
+  Printf.printf "%-32s %12s %12s %12s  %s\n" "kernel" "budget" "limit"
+    "measured" "status";
+  List.iter
+    (fun (v : Scd_obs.Budget.verdict) ->
+      Printf.printf "%-32s %12.1f %12.1f %12s  %s\n" v.entry.name
+        v.entry.minor_words_per_run v.limit
+        (match v.measured with
+         | None -> "-"
+         | Some m -> Printf.sprintf "%.1f" m)
+        (Scd_obs.Budget.status_name v.status))
+    verdicts;
+  print_newline ();
+  let ok = Scd_obs.Budget.ok verdicts in
+  if not ok then
+    prerr_endline
+      "allocation budget exceeded: if the regression is deliberate, \
+       re-measure and update Scd_obs.Budget.table (lib/obs/budget.ml)";
+  ok
 
 (* ------------------------------------------------------------------ *)
 (* JSON perf trajectory (hand-rolled writer: no JSON dependency)       *)
@@ -324,8 +440,12 @@ let json_float f = if Float.is_nan f then "null" else Printf.sprintf "%.3f" f
    1 (implicit, PR 1): date/jobs/scale/experiments/total_seconds/micro;
    2: added the schema_version field itself;
    3: added the cache object (dir/hits/misses/stores, null without --cache);
-   4: added cache.corrupt (loads that quarantined a corrupt file). *)
-let json_schema_version = 4
+   4: added cache.corrupt (loads that quarantined a corrupt file);
+   5: added the host object (ocaml/word_size/os_type/recommended_domains —
+      allocation counts are only comparable across runs on the same word
+      size and runtime) and per-micro major_words_per_run /
+      promoted_words_per_run. *)
+let json_schema_version = 5
 
 let write_json path ~(opts : options) ~experiments ~total_seconds ~micro ~store =
   let tm = Unix.localtime (Unix.time ()) in
@@ -337,6 +457,15 @@ let write_json path ~(opts : options) ~experiments ~total_seconds ~micro ~store 
     (Printf.sprintf "  \"date\": \"%04d-%02d-%02dT%02d:%02d:%02d\",\n"
        (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
        tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"host\": { \"ocaml\": \"%s\", \"word_size\": %d, \
+        \"os_type\": \"%s\", \"recommended_domains\": %d },\n"
+       (json_escape Sys.ocaml_version) Sys.word_size
+       (json_escape Sys.os_type)
+       (Scd_util.Pool.default_jobs ()));
+  (* recommended_domains predates the host object; kept top-level too so
+     schema<5 consumers keep working *)
   Buffer.add_string buf
     (Printf.sprintf "  \"jobs\": %d,\n  \"recommended_domains\": %d,\n"
        opts.jobs (Scd_util.Pool.default_jobs ()));
@@ -373,9 +502,13 @@ let write_json path ~(opts : options) ~experiments ~total_seconds ~micro ~store 
       if i > 0 then Buffer.add_char buf ',';
       Buffer.add_string buf
         (Printf.sprintf
-           "\n    { \"name\": \"%s\", \"ns_per_run\": %s, \"minor_words_per_run\": %s }"
+           "\n    { \"name\": \"%s\", \"ns_per_run\": %s, \
+            \"minor_words_per_run\": %s, \"major_words_per_run\": %s, \
+            \"promoted_words_per_run\": %s }"
            (json_escape r.name) (json_float r.ns_per_run)
-           (json_float r.minor_words_per_run)))
+           (json_float r.minor_words_per_run)
+           (json_float r.major_words_per_run)
+           (json_float r.promoted_words_per_run)))
     micro;
   if micro <> [] then Buffer.add_string buf "\n  ";
   Buffer.add_string buf "]\n}\n";
@@ -394,7 +527,7 @@ let () =
      with Sys_error m ->
        Printf.eprintf "--json: cannot write %s (%s)\n" path m;
        exit 2));
-  let micro = if opts.micro then run_micro () else [] in
+  let micro = if opts.micro then run_micro ~quota:opts.micro_quota else [] in
   let store = Option.map Scd_experiments.Store.create opts.cache in
   Scd_experiments.Sweep.set_store store;
   (* --micro alone keeps its legacy microbenchmark-only behaviour;
@@ -430,4 +563,8 @@ let () =
    | None -> ()
    | Some path ->
      write_json path ~opts ~experiments:rendered ~total_seconds ~micro ~store);
-  Scd_experiments.Sweep.set_store None
+  Scd_experiments.Sweep.set_store None;
+  (* The budget gate runs last so a failing run still writes its --json
+     report (the evidence for updating the table). *)
+  if opts.check_budgets && not (check_budgets ~tolerance:opts.budget_tolerance micro)
+  then exit 1

@@ -4,6 +4,8 @@
      scdsim run --workload fibo --vm lua --scheme scd   co-simulate a script
      scdsim run --file prog.mina --scheme baseline
      scdsim trace fibo --interval 10000 --out t.json    telemetry run
+     scdsim prof fibo --runs 3 --json p.json -o t.json  host-runtime profile
+     scdsim budget BENCH.json [--tolerance T]           allocation budgets
      scdsim exp fig7 [--quick] [--csv] [--cache [DIR]]  regenerate a figure
      scdsim cache stats|clear|verify                    persistent sweep cache
      scdsim check [--seeds N] [-f F] [--faults]         differential checker
@@ -338,6 +340,345 @@ let trace_cmd =
              Chrome-trace export, per-site/per-opcode attribution")
     Term.(ret (const action $ workload $ vm $ scheme $ machine $ scale
                $ interval $ out $ csv $ attr $ context_switch $ multi_table))
+
+(* ------------------------------------------------------------------ *)
+(* prof: profile the simulator process itself                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Where `scdsim trace` observes the *simulated* core (cycles), `scdsim
+   prof` observes the *host* OCaml process running the simulation: wall
+   time and GC counter deltas per Scd_obs.Prof span (the driver phases —
+   setup, compile, layout, execute, snapshot — nested under one "run"
+   span per repetition). *)
+
+let host_info_json () =
+  Printf.sprintf
+    "{ \"ocaml\": %s, \"word_size\": %d, \"os_type\": %s, \
+     \"recommended_domains\": %d }"
+    (Scd_obs.Json.string Sys.ocaml_version)
+    Sys.word_size
+    (Scd_obs.Json.string Sys.os_type)
+    (Scd_util.Pool.default_jobs ())
+
+(* Depth-first over the span forest in first-completion order; every parent
+   gets an explicit "(unattributed)" row — its own time and allocation not
+   covered by a named child — placed before its children. *)
+type prof_row =
+  | Row_span of Scd_obs.Prof.span
+  | Row_unattributed of Scd_obs.Prof.span * int * float  (* wall_ns, minor *)
+
+let prof_rows profile =
+  let rows = ref [] in
+  let rec visit (s : Scd_obs.Prof.span) =
+    rows := Row_span s :: !rows;
+    match Scd_obs.Prof.children profile s with
+    | [] -> ()
+    | kids ->
+      let aw, am = Scd_obs.Prof.attributed profile s in
+      rows :=
+        Row_unattributed (s, s.wall_ns - aw, s.gc.minor_words -. am) :: !rows;
+      List.iter visit kids
+  in
+  List.iter visit (Scd_obs.Prof.roots profile);
+  List.rev !rows
+
+let prof_table profile =
+  let total_wall =
+    List.fold_left
+      (fun acc (s : Scd_obs.Prof.span) -> acc + s.wall_ns)
+      0 (Scd_obs.Prof.roots profile)
+  in
+  let pct ns =
+    Scd_util.Table.cell_percent
+      (if total_wall = 0 then 0.0
+       else 100.0 *. float_of_int ns /. float_of_int total_wall)
+  in
+  let t =
+    Scd_util.Table.make ~title:"host profile (wall clock + GC deltas per span)"
+      ~headers:
+        [ "span"; "calls"; "wall ms"; "wall%"; "p50 us"; "p99 us";
+          "minor words"; "promoted"; "major"; "minor gc"; "major gc" ]
+  in
+  List.iter
+    (function
+      | Row_span (s : Scd_obs.Prof.span) ->
+        Scd_util.Table.add_row t
+          [ String.make (2 * s.depth) ' ' ^ s.name;
+            string_of_int s.calls;
+            Printf.sprintf "%.3f" (float_of_int s.wall_ns /. 1e6);
+            pct s.wall_ns;
+            string_of_int (Scd_obs.Histogram.quantile s.latency 0.5);
+            string_of_int (Scd_obs.Histogram.quantile s.latency 0.99);
+            Printf.sprintf "%.0f" s.gc.minor_words;
+            Printf.sprintf "%.0f" s.gc.promoted_words;
+            Printf.sprintf "%.0f" s.gc.major_words;
+            string_of_int s.gc.minor_collections;
+            string_of_int s.gc.major_collections ]
+      | Row_unattributed ((s : Scd_obs.Prof.span), wall, minor) ->
+        Scd_util.Table.add_row t
+          [ String.make (2 * (s.depth + 1)) ' ' ^ "(unattributed)";
+            "-";
+            Printf.sprintf "%.3f" (float_of_int wall /. 1e6);
+            pct wall; "-"; "-";
+            Printf.sprintf "%.0f" minor;
+            "-"; "-"; "-"; "-" ])
+    (prof_rows profile);
+  t
+
+(* The per-root coverage summary behind the ">=95% attributed" acceptance
+   check: how much of the "run" span's wall time and minor allocation is
+   claimed by its named children, with the remainder stated explicitly. *)
+let prof_coverage profile =
+  Option.map
+    (fun (root : Scd_obs.Prof.span) ->
+      let aw, am = Scd_obs.Prof.attributed profile root in
+      (root, aw, am))
+    (Scd_obs.Prof.find profile "run")
+
+let prof_json profile ~workload ~vm ~scheme ~machine ~scale ~runs =
+  let open Scd_obs in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n  \"schema_version\": 1,\n";
+  Buffer.add_string b
+    (Printf.sprintf "  \"workload\": %s,\n  \"vm\": %s,\n  \"scheme\": %s,\n"
+       (Json.string workload)
+       (Json.string (Scd_cosim.Frontend.name vm))
+       (Json.string (Scd_core.Scheme.name scheme)));
+  Buffer.add_string b
+    (Printf.sprintf "  \"machine\": %s,\n  \"scale\": %s,\n  \"runs\": %d,\n"
+       (Json.string machine.Scd_uarch.Config.name)
+       (Json.string (Scd_workloads.Workload.scale_name scale))
+       runs);
+  Buffer.add_string b
+    (Printf.sprintf "  \"host\": %s,\n" (host_info_json ()));
+  (match prof_coverage profile with
+   | None -> ()
+   | Some (root, aw, am) ->
+     Buffer.add_string b
+       (Printf.sprintf
+          "  \"coverage\": { \"wall_ns\": %d, \"attributed_wall_ns\": %d, \
+           \"minor_words\": %s, \"attributed_minor_words\": %s },\n"
+          root.wall_ns aw
+          (Json.number root.gc.minor_words)
+          (Json.number am)));
+  Buffer.add_string b
+    (Printf.sprintf "  \"dropped_events\": %d,\n"
+       (Prof.dropped_events profile));
+  Buffer.add_string b "  \"spans\": [";
+  List.iteri
+    (fun i (s : Prof.span) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           "\n    { \"path\": %s, \"name\": %s, \"depth\": %d, \
+            \"calls\": %d, \"wall_ns\": %d, \"p50_us\": %d, \"p99_us\": %d, \
+            \"minor_words\": %s, \"promoted_words\": %s, \
+            \"major_words\": %s, \"minor_collections\": %d, \
+            \"major_collections\": %d, \"compactions\": %d }"
+           (Json.string s.path) (Json.string s.name) s.depth s.calls s.wall_ns
+           (Histogram.quantile s.latency 0.5)
+           (Histogram.quantile s.latency 0.99)
+           (Json.number s.gc.minor_words)
+           (Json.number s.gc.promoted_words)
+           (Json.number s.gc.major_words)
+           s.gc.minor_collections s.gc.major_collections s.gc.compactions))
+    (Prof.spans profile);
+  if Prof.spans profile <> [] then Buffer.add_string b "\n  ";
+  Buffer.add_string b "]\n}\n";
+  Buffer.contents b
+
+let prof_chrome_trace profile =
+  let tr = Scd_obs.Chrome_trace.create ~process_name:"scdsim host profiler" () in
+  (* host timeline: microseconds since profile creation (the trace format's
+     native unit — unlike `scdsim trace`, where "us" carries simulated
+     cycles) *)
+  Scd_obs.Prof.iter_events profile (fun (e : Scd_obs.Prof.event) ->
+      Scd_obs.Chrome_trace.complete tr ~name:e.ev_path
+        ~ts:(e.ev_start_ns / 1000) ~dur:(e.ev_dur_ns / 1000));
+  Scd_obs.Chrome_trace.add_other tr ~key:"host" ~json:(host_info_json ());
+  Scd_obs.Chrome_trace.add_other tr ~key:"timeline"
+    ~json:"\"host microseconds (not simulated cycles)\"";
+  Scd_obs.Chrome_trace.contents tr
+
+let prof_cmd =
+  let workload =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"WORKLOAD" ~doc:"Named benchmark workload (see 'scdsim list').")
+  in
+  let vm =
+    Arg.(value & opt vm_conv (Scd_cosim.Frontend.get "lua")
+         & info [ "vm" ] ~docv:"VM" ~doc:"Interpreter: lua (register) or js (stack).")
+  in
+  let scheme =
+    Arg.(value & opt scheme_conv Scd_core.Scheme.Scd
+         & info [ "s"; "scheme" ] ~docv:"SCHEME"
+             ~doc:"Dispatch scheme: baseline, jump-threading, vbbi, scd.")
+  in
+  let machine =
+    Arg.(value & opt machine_conv Scd_uarch.Config.simulator
+         & info [ "m"; "machine" ] ~docv:"MACHINE" ~doc:"sim, fpga or high-end.")
+  in
+  let scale =
+    Arg.(value & opt scale_conv Scd_workloads.Workload.Sim
+         & info [ "scale" ] ~docv:"SCALE" ~doc:"test, small, sim or fpga inputs.")
+  in
+  let runs =
+    Arg.(value & opt int 1
+         & info [ "runs" ] ~docv:"N"
+             ~doc:"Repeat the co-simulation N times under one profile \
+                   (steadies the per-phase latency percentiles).")
+  in
+  let json =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE" ~doc:"Write the profile as JSON.")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "out" ] ~docv:"FILE"
+             ~doc:"Write a Chrome trace-event timeline of the host spans \
+                   (chrome://tracing / Perfetto).")
+  in
+  let action workload vm scheme machine scale runs json out =
+    if runs < 1 then `Error (false, "--runs must be at least 1")
+    else
+      match Scd_workloads.Registry.find workload with
+      | None ->
+        `Error
+          (false,
+           Printf.sprintf "unknown workload %S; try: %s" workload
+             (String.concat ", " Scd_workloads.Registry.names))
+      | Some w ->
+        let source = Scd_workloads.Workload.source w scale in
+        let config =
+          { Scd_cosim.Driver.default_config with frontend = vm; scheme; machine }
+        in
+        let profile = Scd_obs.Prof.create () in
+        let outcome =
+          Scd_obs.Prof.activate profile;
+          Fun.protect ~finally:Scd_obs.Prof.deactivate (fun () ->
+              try
+                for _ = 1 to runs do
+                  ignore
+                    (Scd_obs.Prof.span "run" (fun () ->
+                         Scd_cosim.Driver.run config ~source)
+                      : Scd_cosim.Driver.result)
+                done;
+                Ok ()
+              with
+              | Scd_runtime.Value.Runtime_error m ->
+                Error ("runtime error: " ^ m)
+              | Scd_rvm.Compiler.Error m | Scd_svm.Compiler.Error m ->
+                Error ("compile error: " ^ m))
+        in
+        (match outcome with
+         | Error m -> `Error (false, m)
+         | Ok () ->
+           Printf.printf "workload          %s (%s scale, %s VM, %s)\n" w.name
+             (Scd_workloads.Workload.scale_name scale)
+             (Scd_cosim.Frontend.name vm)
+             (Scd_core.Scheme.name scheme);
+           Printf.printf "host              OCaml %s, %d-bit, %s, %d domains recommended\n"
+             Sys.ocaml_version Sys.word_size Sys.os_type
+             (Scd_util.Pool.default_jobs ());
+           Printf.printf "runs              %d\n\n" runs;
+           print_string (Scd_util.Table.render (prof_table profile));
+           (match prof_coverage profile with
+            | None -> ()
+            | Some (root, aw, am) ->
+              let pct part whole =
+                if whole <= 0.0 then 100.0 else 100.0 *. part /. whole
+              in
+              Printf.printf
+                "\ncoverage: %.1f%% of wall time attributed to named phases \
+                 (%.3f ms unattributed),\n          %.1f%% of minor words \
+                 (%.0f words unattributed)\n"
+                (pct (float_of_int aw) (float_of_int root.wall_ns))
+                (float_of_int (root.wall_ns - aw) /. 1e6)
+                (pct am root.gc.minor_words)
+                (root.gc.minor_words -. am));
+           (if Scd_obs.Prof.dropped_events profile > 0 then
+              Printf.printf "note: %d span events beyond the trace cap were dropped \
+                             (aggregates are complete)\n"
+                (Scd_obs.Prof.dropped_events profile));
+           let write_validated path doc what =
+             match Scd_obs.Json.validate doc with
+             | Error m ->
+               Error (Printf.sprintf "internal error: emitted %s is invalid: %s" what m)
+             | Ok () ->
+               write_file path doc;
+               Printf.printf "\nwrote %s\n" path;
+               Ok ()
+           in
+           let res =
+             match json with
+             | None -> Ok ()
+             | Some path ->
+               write_validated path
+                 (prof_json profile ~workload ~vm ~scheme ~machine ~scale ~runs)
+                 "profile JSON"
+           in
+           let res =
+             match res with
+             | Error _ as e -> e
+             | Ok () -> (
+               match out with
+               | None -> Ok ()
+               | Some path ->
+                 write_validated path (prof_chrome_trace profile) "trace JSON")
+           in
+           (match res with Error m -> `Error (false, m) | Ok () -> `Ok ()))
+  in
+  Cmd.v
+    (Cmd.info "prof"
+       ~doc:"Profile the simulator process: wall time and GC deltas per \
+             driver phase, with JSON and Chrome-trace export")
+    Term.(ret (const action $ workload $ vm $ scheme $ machine $ scale $ runs
+               $ json $ out))
+
+(* ------------------------------------------------------------------ *)
+(* budget: compare a bench --json report against allocation budgets    *)
+(* ------------------------------------------------------------------ *)
+
+let budget_cmd =
+  let report =
+    Arg.(required & pos 0 (some non_dir_file) None
+         & info [] ~docv:"REPORT" ~doc:"A bench --json report file.")
+  in
+  let tolerance =
+    Arg.(value & opt (some float) None
+         & info [ "tolerance" ] ~docv:"T"
+             ~doc:"Allowed fractional overrun before failing (default 0.10).")
+  in
+  let action report tolerance =
+    let ic = open_in_bin report in
+    let contents = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    match Scd_obs.Budget.check_report ?tolerance contents with
+    | Error m -> `Error (false, m)
+    | Ok verdicts ->
+      Printf.printf "%-32s %12s %12s %12s  %s\n" "kernel" "budget" "limit"
+        "measured" "status";
+      List.iter
+        (fun (v : Scd_obs.Budget.verdict) ->
+          Printf.printf "%-32s %12.1f %12.1f %12s  %s\n" v.entry.name
+            v.entry.minor_words_per_run v.limit
+            (match v.measured with
+             | None -> "-"
+             | Some m -> Printf.sprintf "%.1f" m)
+            (Scd_obs.Budget.status_name v.status))
+        verdicts;
+      if Scd_obs.Budget.ok verdicts then `Ok ()
+      else
+        `Error
+          (false,
+           "allocation budget exceeded (deliberate? update \
+            Scd_obs.Budget.table in lib/obs/budget.ml)")
+  in
+  Cmd.v
+    (Cmd.info "budget"
+       ~doc:"Check a bench --json report against the checked-in allocation \
+             budgets")
+    Term.(ret (const action $ report $ tolerance))
 
 (* ------------------------------------------------------------------ *)
 (* exp                                                                 *)
@@ -729,6 +1070,6 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; trace_cmd; exp_cmd; cache_cmd; check_cmd; list_cmd;
-            dispatch_cmd;
+          [ run_cmd; trace_cmd; prof_cmd; budget_cmd; exp_cmd; cache_cmd;
+            check_cmd; list_cmd; dispatch_cmd;
             assemble_cmd; exec_cmd ]))

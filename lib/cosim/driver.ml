@@ -411,44 +411,54 @@ let trace_callback exp = function
 
 (* ------------------------------------------------------------------ *)
 
+(* Each phase of [run] is a host-profiler span (Scd_obs.Prof): with no
+   profile active the span calls cost one ref load each per run; with
+   `scdsim prof` the phases' wall time and GC counter deltas are attributed
+   by name, nested under whatever span the caller opened. *)
 let run ?telemetry config ~source =
-  (* simulated heap addresses derive from table ids: restart the counter so
-     results do not depend on earlier runs in this process *)
-  Scd_runtime.Value.reset_table_ids ();
-  let machine = config.machine in
-  let btb =
-    Btb.create ~entries:machine.btb_entries ~ways:machine.btb_ways
-      ~replacement:machine.btb_replacement ?jte_cap:machine.jte_cap ()
+  let btb, engine, pipeline, (module F : Frontend.S), options, spec =
+    Scd_obs.Prof.span "setup" (fun () ->
+        (* simulated heap addresses derive from table ids: restart the
+           counter so results do not depend on earlier runs in this
+           process *)
+        Scd_runtime.Value.reset_table_ids ();
+        let machine = config.machine in
+        let btb =
+          Btb.create ~entries:machine.btb_entries ~ways:machine.btb_ways
+            ~replacement:machine.btb_replacement ?jte_cap:machine.jte_cap ()
+        in
+        let engine =
+          Scd_core.Engine.create
+            ~tables:(if config.multi_table then 3 else 1)
+            ?context_switch_interval:config.context_switch_interval btb
+        in
+        let indirect =
+          match config.indirect_override with
+          | Some scheme -> scheme
+          | None -> Scd_core.Scheme.indirect_scheme config.scheme
+        in
+        let pipeline = Pipeline.create ~btb ~indirect machine in
+        (* From here on the driver is VM-agnostic: everything
+           interpreter-specific lives behind [config.frontend]. *)
+        let (module F : Frontend.S) = config.frontend in
+        let options =
+          {
+            Frontend.superinstructions = config.superinstructions;
+            bytecode_replication = config.bytecode_replication;
+          }
+        in
+        (btb, engine, pipeline, (module F : Frontend.S), options,
+         F.spec options))
   in
-  let engine =
-    Scd_core.Engine.create
-      ~tables:(if config.multi_table then 3 else 1)
-      ?context_switch_interval:config.context_switch_interval btb
-  in
-  let indirect =
-    match config.indirect_override with
-    | Some scheme -> scheme
-    | None -> Scd_core.Scheme.indirect_scheme config.scheme
-  in
-  let pipeline = Pipeline.create ~btb ~indirect machine in
-  (* From here on the driver is VM-agnostic: everything
-     interpreter-specific lives behind [config.frontend]. *)
-  let (module F : Frontend.S) = config.frontend in
-  let options =
-    {
-      Frontend.superinstructions = config.superinstructions;
-      bytecode_replication = config.bytecode_replication;
-    }
-  in
-  let spec = F.spec options in
   (match telemetry with
    | None -> ()
    | Some tel -> Telemetry.attach tel ~pipeline ~engine);
-  let program = F.compile options source in
+  let program = Scd_obs.Prof.span "compile" (fun () -> F.compile options source) in
   let layout =
-    Layout.build ~spec ~scheme:config.scheme
-      ~fn_code_sizes:(F.fn_code_sizes program)
-      ~fn_const_counts:(F.fn_const_counts program)
+    Scd_obs.Prof.span "layout" (fun () ->
+        Layout.build ~spec ~scheme:config.scheme
+          ~fn_code_sizes:(F.fn_code_sizes program)
+          ~fn_const_counts:(F.fn_const_counts program))
   in
   let exp =
     {
@@ -468,23 +478,26 @@ let run ?telemetry config ~source =
     }
   in
   let ctx = Builtins.create_ctx ~seed:config.seed () in
-  F.run program ~ctx ~trace:(trace_callback exp telemetry);
+  Scd_obs.Prof.span "execute" (fun () ->
+      F.run program ~ctx ~trace:(trace_callback exp telemetry));
   (match telemetry with None -> () | Some tel -> Telemetry.finish tel);
   Atomic.incr run_counter;
   (* The result is a pure snapshot: copy every stats block out of the live
      simulation structures so callers (and the persistent cache) can hold
      it after this pipeline is gone. *)
-  {
-    stats = Stats.copy (Pipeline.stats pipeline);
-    btb = Btb.copy_stats (Btb.stats btb);
-    engine =
-      (match config.scheme with
-       | Scd -> Some (Scd_core.Engine.copy_stats (Scd_core.Engine.stats engine))
-       | _ -> None);
-    bytecodes = exp.bytecodes;
-    output = Builtins.output ctx;
-    code_bytes = Layout.code_bytes layout;
-  }
+  Scd_obs.Prof.span "snapshot" (fun () ->
+      {
+        stats = Stats.copy (Pipeline.stats pipeline);
+        btb = Btb.copy_stats (Btb.stats btb);
+        engine =
+          (match config.scheme with
+           | Scd ->
+             Some (Scd_core.Engine.copy_stats (Scd_core.Engine.stats engine))
+           | _ -> None);
+        bytecodes = exp.bytecodes;
+        output = Builtins.output ctx;
+        code_bytes = Layout.code_bytes layout;
+      })
 
 let cycles r = r.stats.Stats.cycles
 let instructions r = r.stats.Stats.instructions

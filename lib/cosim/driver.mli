@@ -85,7 +85,13 @@ val run : ?telemetry:Telemetry.t -> run_config -> source:string -> result
     cycles/instructions/mispredictions are attributed to its dispatch site
     and opcode (see {!Telemetry}). Each telemetry value records exactly one
     run. Without it, the driver's hot path is unchanged (allocation-free,
-    probe disabled). *)
+    probe disabled).
+
+    Host profiling: each phase runs under a {!Scd_obs.Prof} span —
+    ["setup"] (BTB/engine/pipeline construction), ["compile"], ["layout"],
+    ["execute"] (the VM run driving the timing model) and ["snapshot"] —
+    nested below whatever span the caller opened (e.g. [scdsim prof]'s
+    ["run"]). With no profile active each span costs one ref load. *)
 
 val cycles : result -> int
 val instructions : result -> int

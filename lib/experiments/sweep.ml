@@ -39,10 +39,19 @@ let insert_memory key r =
   Mutex.protect cache_mutex (fun () -> Hashtbl.replace cache key r)
 
 (* Memory first, then disk; a disk hit is promoted into memory so the
-   store's hit/miss counters see each key at most once per process. *)
+   store's hit/miss counters see each key at most once per process.
+
+   The lookup is a Prof leaf probe whose label depends on the outcome
+   (sweep-hit-memory / sweep-hit-disk): under `scdsim prof` the span
+   calls-vs-sweep-compute ratio gives the cache hit rate, and each tier's
+   latency histogram gives cell-lookup percentiles. A full miss abandons
+   the leaf — the compute that follows is measured by its own span. *)
 let find_cached key =
+  let lf = Scd_obs.Prof.leaf_begin () in
   match find_memory key with
-  | Some _ as hit -> hit
+  | Some _ as hit ->
+    Scd_obs.Prof.leaf_end lf "sweep-hit-memory";
+    hit
   | None -> (
     match !store with
     | None -> None
@@ -50,6 +59,7 @@ let find_cached key =
       match Store.load s ~key with
       | Some r ->
         insert_memory key r;
+        Scd_obs.Prof.leaf_end lf "sweep-hit-disk";
         Some r
       | None -> None))
 
@@ -89,8 +99,11 @@ let sanitize_key = Store.mangle
 
 (* Every cell computation funnels through here so that --sample covers the
    standard sweeps, the custom-config runs and the cache-miss fallbacks
-   alike. *)
+   alike. The sweep-compute span wraps the whole cell (driver phases nest
+   under it); its calls count against the hit leaves above for the cache
+   hit rate, and its latency histogram is the cell-latency distribution. *)
 let run_driver ~key (config : Driver.run_config) ~source =
+  Scd_obs.Prof.span "sweep-compute" @@ fun () ->
   match !sample_dir with
   | None -> Driver.run config ~source
   | Some dir ->

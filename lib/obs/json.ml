@@ -24,12 +24,20 @@ let number v =
 let int = string_of_int
 
 (* ------------------------------------------------------------------ *)
-(* Validator: recursive-descent over the byte string                   *)
+(* Parser: recursive-descent over the byte string                      *)
 (* ------------------------------------------------------------------ *)
+
+type value =
+  | Null
+  | Bool of bool
+  | Number of float
+  | String of string
+  | Array of value list
+  | Object of (string * value) list
 
 exception Bad of int * string
 
-let validate s =
+let parse s =
   let n = String.length s in
   let pos = ref 0 in
   let fail msg = raise (Bad (!pos, msg)) in
@@ -56,8 +64,23 @@ let validate s =
         | _ -> fail (Printf.sprintf "bad literal (expected %s)" word))
       word
   in
+  (* Decode a BMP code point as UTF-8; the emitters above only escape
+     control characters, so surrogate pairs are not reassembled. *)
+  let add_utf8 buf cp =
+    if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+    else if cp < 0x800 then begin
+      Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+  in
   let parse_string () =
     expect '"';
+    let buf = Buffer.create 16 in
     let closed = ref false in
     while not !closed do
       match peek () with
@@ -68,18 +91,38 @@ let validate s =
       | Some '\\' -> (
         advance ();
         match peek () with
-        | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') -> advance ()
+        | Some '"' -> advance (); Buffer.add_char buf '"'
+        | Some '\\' -> advance (); Buffer.add_char buf '\\'
+        | Some '/' -> advance (); Buffer.add_char buf '/'
+        | Some 'b' -> advance (); Buffer.add_char buf '\b'
+        | Some 'f' -> advance (); Buffer.add_char buf '\012'
+        | Some 'n' -> advance (); Buffer.add_char buf '\n'
+        | Some 'r' -> advance (); Buffer.add_char buf '\r'
+        | Some 't' -> advance (); Buffer.add_char buf '\t'
         | Some 'u' ->
           advance ();
+          let cp = ref 0 in
           for _ = 1 to 4 do
             match peek () with
-            | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
+            | Some ('0' .. '9' as c) ->
+              cp := (!cp * 16) + (Char.code c - Char.code '0');
+              advance ()
+            | Some ('a' .. 'f' as c) ->
+              cp := (!cp * 16) + (Char.code c - Char.code 'a' + 10);
+              advance ()
+            | Some ('A' .. 'F' as c) ->
+              cp := (!cp * 16) + (Char.code c - Char.code 'A' + 10);
+              advance ()
             | _ -> fail "bad \\u escape"
-          done
+          done;
+          add_utf8 buf !cp
         | _ -> fail "bad escape")
       | Some c when Char.code c < 0x20 -> fail "control character in string"
-      | Some _ -> advance ()
-    done
+      | Some c ->
+        advance ();
+        Buffer.add_char buf c
+    done;
+    Buffer.contents buf
   in
   let digits () =
     let start = !pos in
@@ -89,6 +132,7 @@ let validate s =
     if !pos = start then fail "expected digit"
   in
   let parse_number () =
+    let start = !pos in
     (match peek () with Some '-' -> advance () | _ -> ());
     (match peek () with
      | Some '0' -> advance ()
@@ -99,12 +143,13 @@ let validate s =
        advance ();
        digits ()
      | _ -> ());
-    match peek () with
-    | Some ('e' | 'E') ->
-      advance ();
-      (match peek () with Some ('+' | '-') -> advance () | _ -> ());
-      digits ()
-    | _ -> ()
+    (match peek () with
+     | Some ('e' | 'E') ->
+       advance ();
+       (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+       digits ()
+     | _ -> ());
+    float_of_string (String.sub s start (!pos - start))
   in
   let rec parse_value () =
     skip_ws ();
@@ -113,15 +158,20 @@ let validate s =
     | Some '{' ->
       advance ();
       skip_ws ();
-      if peek () = Some '}' then advance ()
+      if peek () = Some '}' then begin
+        advance ();
+        Object []
+      end
       else begin
+        let members = ref [] in
         let more = ref true in
         while !more do
           skip_ws ();
-          parse_string ();
+          let key = parse_string () in
           skip_ws ();
           expect ':';
-          parse_value ();
+          let v = parse_value () in
+          members := (key, v) :: !members;
           skip_ws ();
           match peek () with
           | Some ',' -> advance ()
@@ -129,16 +179,21 @@ let validate s =
             advance ();
             more := false
           | _ -> fail "expected , or } in object"
-        done
+        done;
+        Object (List.rev !members)
       end
     | Some '[' ->
       advance ();
       skip_ws ();
-      if peek () = Some ']' then advance ()
+      if peek () = Some ']' then begin
+        advance ();
+        Array []
+      end
       else begin
+        let items = ref [] in
         let more = ref true in
         while !more do
-          parse_value ();
+          items := parse_value () :: !items;
           skip_ws ();
           match peek () with
           | Some ',' -> advance ()
@@ -146,18 +201,39 @@ let validate s =
             advance ();
             more := false
           | _ -> fail "expected , or ] in array"
-        done
+        done;
+        Array (List.rev !items)
       end
-    | Some '"' -> parse_string ()
-    | Some 't' -> literal "true"
-    | Some 'f' -> literal "false"
-    | Some 'n' -> literal "null"
-    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some '"' -> String (parse_string ())
+    | Some 't' ->
+      literal "true";
+      Bool true
+    | Some 'f' ->
+      literal "false";
+      Bool false
+    | Some 'n' ->
+      literal "null";
+      Null
+    | Some ('-' | '0' .. '9') -> parse_number () |> fun v -> Number v
     | Some c -> fail (Printf.sprintf "unexpected character %C" c)
   in
   try
-    parse_value ();
+    let v = parse_value () in
     skip_ws ();
     if !pos <> n then Error (Printf.sprintf "trailing data at offset %d" !pos)
-    else Ok ()
+    else Ok v
   with Bad (at, msg) -> Error (Printf.sprintf "%s at offset %d" msg at)
+
+let validate s = match parse s with Ok _ -> Ok () | Error e -> Error e
+
+(* ------------------------------------------------------------------ *)
+(* Accessors over parsed values                                        *)
+(* ------------------------------------------------------------------ *)
+
+let member key = function
+  | Object members -> List.assoc_opt key members
+  | _ -> None
+
+let get_string = function String s -> Some s | _ -> None
+let get_number = function Number v -> Some v | _ -> None
+let get_list = function Array items -> Some items | _ -> None

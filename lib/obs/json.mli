@@ -1,9 +1,11 @@
-(** Minimal JSON emission helpers and a syntax validator.
+(** Minimal JSON emission helpers, a parser and a syntax validator.
 
     The repository has no JSON dependency; exporters build their output with
-    a [Buffer] and these escaping/number helpers, and the validator lets
-    tests (and the [scdsim trace] command itself) check that emitted
-    documents are well-formed RFC 8259 JSON before they are written out. *)
+    a [Buffer] and these escaping/number helpers, the validator lets tests
+    (and the [scdsim trace]/[scdsim prof] commands themselves) check that
+    emitted documents are well-formed RFC 8259 JSON before they are written
+    out, and the parser lets consumers — the {!Budget} comparator loading a
+    bench [--json] report, round-trip smoke tests — read them back. *)
 
 val escape : string -> string
 (** Escape a string for inclusion between double quotes. *)
@@ -17,7 +19,28 @@ val number : float -> string
 
 val int : int -> string
 
+type value =
+  | Null
+  | Bool of bool
+  | Number of float
+  | String of string
+  | Array of value list
+  | Object of (string * value) list
+(** Parsed JSON. Object members keep document order; duplicate keys keep
+    their first occurrence for {!member}. *)
+
+val parse : string -> (value, string) result
+(** Parse the whole input as exactly one JSON value (surrounded by optional
+    whitespace). On failure the error names the byte offset. String escapes
+    are decoded ([\uXXXX] as UTF-8; surrogate pairs are not reassembled). *)
+
 val validate : string -> (unit, string) result
-(** Check that the whole input is exactly one well-formed JSON value
-    (surrounded by optional whitespace). On failure the error names the
-    byte offset. *)
+(** [parse] with the value thrown away: a pure well-formedness check. *)
+
+val member : string -> value -> value option
+(** [member k (Object _)] is the value bound to [k], if any; [None] on
+    non-objects. *)
+
+val get_string : value -> string option
+val get_number : value -> float option
+val get_list : value -> value list option

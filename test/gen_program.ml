@@ -83,13 +83,17 @@ let rec statement depth =
           map2
             (fun v k -> Printf.sprintf "%s = t[%d] or 0" v k)
             variable (int_range 1 5) );
+        (* The counter name is keyed to the nesting depth, never random: in
+           repeat-until, a [local] declared in the body is in scope in the
+           condition, so a nested repeat reusing its parent's name would
+           shadow it there and the outer loop could never terminate. *)
         ( 1,
-          map3
-            (fun v n body ->
+          map2
+            (fun n body ->
+              let v = if depth mod 2 = 0 then "r" else "s" in
               Printf.sprintf
                 "local %s = 0 repeat %s = %s + 1 %s until %s >= %d" v v v body
                 v n)
-            (oneofl [ "r"; "s" ])
             (int_range 1 6)
             (statement (depth - 1)) );
         ( 1,

@@ -174,6 +174,56 @@ let test_json_printers () =
   check_bool "escaped string validates" true
     (Json.validate (Json.string "tab\there\x01") = Ok ())
 
+let test_json_parse_accessors () =
+  let doc =
+    {|{"host": {"ocaml": "5.1.1", "word_size": 64},
+       "micro": [{"name": "k", "minor_words_per_run": 12.5}],
+       "esc": "\u0041\n"}|}
+  in
+  match Json.parse doc with
+  | Error e -> Alcotest.fail ("parse failed: " ^ e)
+  | Ok v ->
+    let host = Option.get (Json.member "host" v) in
+    Alcotest.(check (option string))
+      "nested string" (Some "5.1.1")
+      (Option.bind (Json.member "ocaml" host) Json.get_string);
+    check_bool "nested number" true
+      (Option.bind (Json.member "word_size" host) Json.get_number = Some 64.0);
+    (match Option.bind (Json.member "micro" v) Json.get_list with
+     | Some [ item ] ->
+       Alcotest.(check (option string))
+         "array element member" (Some "k")
+         (Option.bind (Json.member "name" item) Json.get_string);
+       check_bool "fractional number" true
+         (Option.bind (Json.member "minor_words_per_run" item) Json.get_number
+          = Some 12.5)
+     | _ -> Alcotest.fail "micro should be a one-element array");
+    Alcotest.(check (option string))
+      "\\uXXXX escape decodes" (Some "A\n")
+      (Option.bind (Json.member "esc" v) Json.get_string);
+    check_bool "missing member" true (Json.member "nope" v = None);
+    check_bool "member on non-object" true
+      (Json.member "x" (Json.String "s") = None);
+    check_bool "get_string on number" true (Json.get_string (Json.Number 1.0) = None)
+
+let test_json_parse_roundtrips_own_emitters () =
+  (* Documents built with the emission helpers must come back intact. *)
+  let doc =
+    Printf.sprintf "{ \"s\": %s, \"n\": %s, \"i\": %s }"
+      (Json.string "tab\there \x01 quote\"")
+      (Json.number 2.5) (Json.int (-7))
+  in
+  match Json.parse doc with
+  | Error e -> Alcotest.fail ("emitted JSON rejected: " ^ e)
+  | Ok v ->
+    Alcotest.(check (option string))
+      "escaped string round-trips" (Some "tab\there \x01 quote\"")
+      (Option.bind (Json.member "s" v) Json.get_string);
+    check_bool "float round-trips" true
+      (Option.bind (Json.member "n" v) Json.get_number = Some 2.5);
+    check_bool "int round-trips" true
+      (Option.bind (Json.member "i" v) Json.get_number = Some (-7.0))
+
 (* ------------------------------------------------------------------ *)
 (* Probe                                                               *)
 (* ------------------------------------------------------------------ *)
@@ -458,6 +508,299 @@ let test_telemetry_reattach_rejected () =
         (Driver.run ~telemetry:tel Driver.default_config ~source:fib_script))
 
 (* ------------------------------------------------------------------ *)
+(* Prof: host-runtime profiler                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Every test deactivates via Fun.protect so a failure cannot leak an
+   active profile into later tests (spans are process-global). *)
+let with_profile ?max_events f =
+  let p = Prof.create ?max_events () in
+  Prof.activate p;
+  Fun.protect ~finally:Prof.deactivate (fun () -> f p);
+  p
+
+let test_prof_nesting_and_delta_sum () =
+  let p =
+    with_profile (fun _ ->
+        for _ = 1 to 3 do
+          Prof.span "a" (fun () ->
+              Prof.span "b" (fun () ->
+                  ignore (Sys.opaque_identity (Array.make 100 0))))
+        done)
+  in
+  let a : Prof.span = Option.get (Prof.find p "a") in
+  let b : Prof.span = Option.get (Prof.find p "a/b") in
+  check_int "parent depth" 0 a.depth;
+  check_int "child depth" 1 b.depth;
+  check_int "parent calls" 3 a.calls;
+  check_int "child calls" 3 b.calls;
+  Alcotest.(check string) "leaf name" "b" b.name;
+  check_bool "child allocated its arrays" true (b.gc.minor_words >= 300.0);
+  (* delta-sum identity: a child's totals are contained in its parent's *)
+  check_bool "child wall <= parent wall" true (b.wall_ns <= a.wall_ns);
+  check_bool "child minor words <= parent's" true
+    (b.gc.minor_words <= a.gc.minor_words);
+  check_bool "child latency samples" true (Histogram.count b.latency = 3);
+  (* tree readers *)
+  (match Prof.roots p with
+   | [ r ] -> check_bool "single root is a" true (r == a)
+   | _ -> Alcotest.fail "expected exactly one root");
+  (match Prof.children p a with
+   | [ c ] -> check_bool "a's only child is b" true (c == b)
+   | _ -> Alcotest.fail "expected exactly one child");
+  let aw, am = Prof.attributed p a in
+  check_int "attributed wall is b's" b.wall_ns aw;
+  check_float "attributed minor words are b's" b.gc.minor_words am;
+  (* completion order: children complete before their parents *)
+  (match Prof.spans p with
+   | [ first; second ] ->
+     check_bool "b completed first" true (first == b && second == a)
+   | _ -> Alcotest.fail "expected exactly two spans")
+
+let test_prof_exception_unwind () =
+  let p =
+    with_profile (fun _ ->
+        (try
+           Prof.span "outer" (fun () ->
+               Prof.span "inner" (fun () -> raise Exit))
+         with Exit -> ());
+        Prof.span "after" ignore)
+  in
+  let outer : Prof.span = Option.get (Prof.find p "outer") in
+  let inner : Prof.span = Option.get (Prof.find p "outer/inner") in
+  check_int "outer recorded despite raise" 1 outer.calls;
+  check_int "inner recorded despite raise" 1 inner.calls;
+  (* the stack unwound fully: the next span is a fresh root *)
+  let after : Prof.span = Option.get (Prof.find p "after") in
+  check_int "stack unwound to the root" 0 after.depth
+
+let test_prof_disabled_is_allocation_free () =
+  check_bool "no profile active" false (Prof.enabled ());
+  let noop = fun () -> () in
+  (* warm-up, then measure: the disabled path must not allocate *)
+  for _ = 1 to 100 do
+    Prof.span "x" noop
+  done;
+  let m0 = Gc.minor_words () in
+  for _ = 1 to 10_000 do
+    Prof.span "x" noop
+  done;
+  let delta = Gc.minor_words () -. m0 in
+  check_bool
+    (Printf.sprintf "10k disabled spans allocate nothing (delta %.0f words)"
+       delta)
+    true (delta < 256.0);
+  (* the disabled leaf path hands out one shared token *)
+  let l0 = Prof.leaf_begin () in
+  let m0 = Gc.minor_words () in
+  for _ = 1 to 10_000 do
+    Prof.leaf_end (Prof.leaf_begin ()) "x"
+  done;
+  let delta = Gc.minor_words () -. m0 in
+  check_bool
+    (Printf.sprintf "10k disabled leaves allocate nothing (delta %.0f words)"
+       delta)
+    true (delta < 256.0);
+  check_bool "shared disabled token" true (l0 == Prof.leaf_begin ())
+
+let test_prof_leaf_names_at_end () =
+  let p =
+    with_profile (fun _ ->
+        let l = Prof.leaf_begin () in
+        ignore (Sys.opaque_identity (Array.make 50 0));
+        Prof.leaf_end l "hit";
+        Prof.span "s" (fun () -> Prof.leaf_end (Prof.leaf_begin ()) "hit"))
+  in
+  let root_hit : Prof.span = Option.get (Prof.find p "hit") in
+  check_int "root leaf depth" 0 root_hit.depth;
+  check_int "root leaf calls" 1 root_hit.calls;
+  check_bool "leaf saw the allocation" true (root_hit.gc.minor_words >= 50.0);
+  let nested : Prof.span = Option.get (Prof.find p "s/hit") in
+  check_int "leaf nests under the open span" 1 nested.depth
+
+let test_prof_activate_conflict () =
+  let p = Prof.create () and q = Prof.create () in
+  Prof.activate p;
+  Fun.protect ~finally:Prof.deactivate (fun () ->
+      Prof.activate p;  (* same profile: idempotent *)
+      check_bool "still enabled" true (Prof.enabled ());
+      Alcotest.check_raises "a second profile is rejected"
+        (Invalid_argument "Prof.activate: another profile is active")
+        (fun () -> Prof.activate q));
+  check_bool "deactivated" false (Prof.enabled ())
+
+let test_prof_event_cap () =
+  let p =
+    with_profile ~max_events:2 (fun _ ->
+        for _ = 1 to 5 do
+          Prof.span "e" ignore
+        done)
+  in
+  let n = ref 0 in
+  Prof.iter_events p (fun _ -> incr n);
+  check_int "events capped" 2 !n;
+  check_int "overflow counted" 3 (Prof.dropped_events p);
+  let e : Prof.span = Option.get (Prof.find p "e") in
+  check_int "aggregation is unbounded" 5 e.calls
+
+let test_prof_driver_phase_coverage () =
+  (* The acceptance check behind `scdsim prof`: the driver's named phase
+     spans must claim >=95% of a co-simulated run's minor words (allocation
+     is deterministic, unlike wall time, so the bound cannot flake). *)
+  let p =
+    with_profile (fun _ ->
+        ignore
+          (Prof.span "run" (fun () ->
+               Scd_cosim.Driver.run Scd_cosim.Driver.default_config
+                 ~source:fib_script)
+            : Scd_cosim.Driver.result))
+  in
+  let root : Prof.span = Option.get (Prof.find p "run") in
+  List.iter
+    (fun phase ->
+      check_bool (phase ^ " phase recorded") true
+        (Prof.find p ("run/" ^ phase) <> None))
+    [ "setup"; "compile"; "layout"; "execute"; "snapshot" ];
+  check_bool "the run allocated substantially" true
+    (root.gc.minor_words > 10_000.0);
+  let aw, am = Prof.attributed p root in
+  check_bool "attributed wall <= root wall" true (aw <= root.wall_ns);
+  check_bool "attributed minor words <= root's" true
+    (am <= root.gc.minor_words);
+  check_bool
+    (Printf.sprintf ">=95%% of minor words attributed (%.1f%%)"
+       (100.0 *. am /. root.gc.minor_words))
+    true
+    (am >= 0.95 *. root.gc.minor_words)
+
+let test_prof_sweep_cache_tiers () =
+  Scd_experiments.Sweep.clear ();
+  let w = Option.get (Scd_workloads.Registry.find "fibo") in
+  let run () =
+    ignore
+      (Scd_experiments.Sweep.run ~scale:Scd_workloads.Workload.Test "lua"
+         Scd_core.Scheme.Baseline w
+        : Scd_cosim.Driver.result)
+  in
+  let p =
+    with_profile (fun _ ->
+        run ();  (* cold: compute *)
+        run ())  (* warm: memory hit *)
+  in
+  let compute : Prof.span = Option.get (Prof.find p "sweep-compute") in
+  check_int "one cell computed" 1 compute.calls;
+  let hit : Prof.span = Option.get (Prof.find p "sweep-hit-memory") in
+  check_int "one memory hit" 1 hit.calls;
+  check_bool "no store attached, so no disk tier" true
+    (Prof.find p "sweep-hit-disk" = None);
+  (* driver phases nest under the compute span *)
+  check_bool "phases nest under sweep-compute" true
+    (Prof.find p "sweep-compute/execute" <> None)
+
+(* ------------------------------------------------------------------ *)
+(* Budget: allocation-budget comparator                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Injectable table so the tests don't depend on the checked-in numbers.
+   hot-kernel's budget plays the calibration convention (measured * 1.05,
+   here for a steady value of ~5714 words/run). *)
+let test_budgets =
+  [ { Budget.name = "hot-kernel"; minor_words_per_run = 6000.0 };
+    { Budget.name = "zero-kernel"; minor_words_per_run = 0.0 } ]
+
+let statuses ?tolerance measured =
+  List.map
+    (fun (v : Budget.verdict) -> (v.entry.Budget.name, v.status))
+    (Budget.check_measured ?tolerance ~budgets:test_budgets measured)
+
+let test_budget_pass_fail () =
+  (* limit = 6000 * 1.10 + 64 = 6664 *)
+  check_bool "limit math" true
+    (abs_float
+       (Budget.limit { Budget.name = "hot-kernel"; minor_words_per_run = 6000.0 }
+       -. 6664.0)
+     < 1e-6);
+  check_bool "at the limit passes" true
+    (statuses [ ("hot-kernel", 6664.0); ("zero-kernel", 0.0) ]
+     = [ ("hot-kernel", Budget.Pass); ("zero-kernel", Budget.Pass) ]);
+  check_bool "just over the limit fails" true
+    (List.assoc "hot-kernel" (statuses [ ("hot-kernel", 6665.0); ("zero-kernel", 0.0) ])
+     = Budget.Fail);
+  (* the planted-regression scenario: +25% over the steady value the
+     budget was calibrated from (5714 * 1.25 = 7143) must fail *)
+  check_bool "+25 percent allocation regression fails" true
+    (List.assoc "hot-kernel" (statuses [ ("hot-kernel", 7143.0); ("zero-kernel", 0.0) ])
+     = Budget.Fail);
+  check_bool "ok requires every pass" false
+    (Budget.ok
+       (Budget.check_measured ~budgets:test_budgets
+          [ ("hot-kernel", 7143.0); ("zero-kernel", 0.0) ]))
+
+let test_budget_tolerance_and_slack () =
+  (* tolerance 0: limit drops to 6064 *)
+  check_bool "tight tolerance fails sooner" true
+    (List.assoc "hot-kernel"
+       (statuses ~tolerance:0.0 [ ("hot-kernel", 6100.0); ("zero-kernel", 0.0) ])
+     = Budget.Fail);
+  check_bool "default tolerance absorbs the same value" true
+    (List.assoc "hot-kernel" (statuses [ ("hot-kernel", 6100.0); ("zero-kernel", 0.0) ])
+     = Budget.Pass);
+  (* zero-word budgets only get the absolute slack *)
+  check_bool "slack absorbs counter noise" true
+    (List.assoc "zero-kernel" (statuses [ ("hot-kernel", 0.0); ("zero-kernel", 64.0) ])
+     = Budget.Pass);
+  check_bool "slack is a hard edge" true
+    (List.assoc "zero-kernel" (statuses [ ("hot-kernel", 0.0); ("zero-kernel", 65.0) ])
+     = Budget.Fail)
+
+let test_budget_missing_micro_fails () =
+  let vs = Budget.check_measured ~budgets:test_budgets [ ("hot-kernel", 1.0) ] in
+  check_bool "absent micro is Missing" true
+    (List.assoc "zero-kernel" (List.map (fun (v : Budget.verdict) -> (v.entry.Budget.name, v.status)) vs)
+     = Budget.Missing);
+  check_bool "Missing fails the gate" false (Budget.ok vs)
+
+let test_budget_check_report () =
+  let report =
+    {|{"schema_version": 5,
+       "micro": [
+         {"name": "hot-kernel", "ns_per_run": 12.0, "minor_words_per_run": 6000},
+         {"name": "zero-kernel", "minor_words_per_run": 0},
+         {"name": "unbudgeted-extra", "minor_words_per_run": 1e9}]}|}
+  in
+  (match Budget.check_report ~budgets:test_budgets report with
+   | Error e -> Alcotest.fail ("report rejected: " ^ e)
+   | Ok vs ->
+     check_int "one verdict per budget entry" 2 (List.length vs);
+     check_bool "report passes" true (Budget.ok vs));
+  (match Budget.check_report ~budgets:test_budgets "{ not json" with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "malformed JSON accepted");
+  match Budget.check_report ~budgets:test_budgets {|{"schema_version": 5}|} with
+  | Error e -> check_bool "error names the missing array" true (contains ~needle:"micro" e)
+  | Ok _ -> Alcotest.fail "report without micro array accepted"
+
+let test_budget_checked_in_table () =
+  (* the real table: names unique, ceilings non-negative, find agrees *)
+  let names = List.map (fun (e : Budget.entry) -> e.Budget.name) Budget.table in
+  check_int "no duplicate names" (List.length names)
+    (List.length (List.sort_uniq compare names));
+  List.iter
+    (fun (e : Budget.entry) ->
+      check_bool (e.Budget.name ^ " ceiling non-negative") true
+        (e.minor_words_per_run >= 0.0);
+      check_bool (e.Budget.name ^ " findable") true
+        (Budget.find e.Budget.name = Some e))
+    Budget.table;
+  check_bool "unknown name" true (Budget.find "no-such-kernel" = None);
+  (* the per-scheme cosim micros the bench suite emits are all budgeted *)
+  List.iter
+    (fun scheme ->
+      let n = "cosim-fib10-" ^ scheme in
+      check_bool (n ^ " budgeted") true (Budget.find n <> None))
+    [ "baseline"; "jte"; "vbbi"; "scd" ]
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "scd_obs"
@@ -484,6 +827,37 @@ let () =
           Alcotest.test_case "valid documents" `Quick test_json_valid;
           Alcotest.test_case "invalid documents" `Quick test_json_invalid;
           Alcotest.test_case "printers" `Quick test_json_printers;
+          Alcotest.test_case "parse accessors" `Quick test_json_parse_accessors;
+          Alcotest.test_case "parse roundtrips emitters" `Quick
+            test_json_parse_roundtrips_own_emitters;
+        ] );
+      ( "prof",
+        [
+          Alcotest.test_case "nesting and delta sums" `Quick
+            test_prof_nesting_and_delta_sum;
+          Alcotest.test_case "exception unwind" `Quick
+            test_prof_exception_unwind;
+          Alcotest.test_case "disabled path allocates nothing" `Quick
+            test_prof_disabled_is_allocation_free;
+          Alcotest.test_case "leaf probes" `Quick test_prof_leaf_names_at_end;
+          Alcotest.test_case "activate conflict" `Quick
+            test_prof_activate_conflict;
+          Alcotest.test_case "event cap" `Quick test_prof_event_cap;
+          Alcotest.test_case "driver phase coverage" `Quick
+            test_prof_driver_phase_coverage;
+          Alcotest.test_case "sweep cache tiers" `Quick
+            test_prof_sweep_cache_tiers;
+        ] );
+      ( "budget",
+        [
+          Alcotest.test_case "pass and fail" `Quick test_budget_pass_fail;
+          Alcotest.test_case "tolerance and slack" `Quick
+            test_budget_tolerance_and_slack;
+          Alcotest.test_case "missing micro fails" `Quick
+            test_budget_missing_micro_fails;
+          Alcotest.test_case "check_report" `Quick test_budget_check_report;
+          Alcotest.test_case "checked-in table" `Quick
+            test_budget_checked_in_table;
         ] );
       ( "probe",
         [
