@@ -179,12 +179,25 @@ let stack_slot_addr _t slot = stack_base + (8 * slot)
 
 let bytecode_addr t ~fn ~pc = bytecode_base + t.fn_code_offsets.(fn) + pc
 
+(* Allocation-free address mapping over the flat access encoding
+   ({!Trace.access_kind} / [access_a] / [access_b]); the write flag travels
+   separately in the trace record. *)
+let access_addr_flat t ~kind ~a ~b =
+  if kind = Trace.acc_reg then stack_slot_addr t a
+  else if kind = Trace.acc_const then const_base + t.fn_const_offsets.(a) + (8 * b)
+  else if kind = Trace.acc_global then globals_base + (16 * (a land 0xFFFF))
+  else if kind = Trace.acc_table_slot then
+    heap_base + (512 * (a land 8191)) + (8 * (b land 63))
+  else string_base + (64 * (a land 0xFFFF)) + (b land 63)
+
 let access_addr t (access : Trace.access) =
   match access with
   | Reg { slot; write } -> (stack_slot_addr t slot, write)
-  | Const { fn; index } -> (const_base + t.fn_const_offsets.(fn) + (8 * index), false)
-  | Global { name_hash; write } -> (globals_base + (16 * (name_hash land 0xFFFF)), write)
+  | Const { fn; index } ->
+    (access_addr_flat t ~kind:Trace.acc_const ~a:fn ~b:index, false)
+  | Global { name_hash; write } ->
+    (access_addr_flat t ~kind:Trace.acc_global ~a:name_hash ~b:0, write)
   | Table_slot { id; slot; write } ->
-    (heap_base + (512 * (id land 8191)) + (8 * (slot land 63)), write)
+    (access_addr_flat t ~kind:Trace.acc_table_slot ~a:id ~b:slot, write)
   | Str_bytes { id_hash; offset } ->
-    (string_base + (64 * (id_hash land 0xFFFF)) + (offset land 63), false)
+    (access_addr_flat t ~kind:Trace.acc_str_bytes ~a:id_hash ~b:offset, false)

@@ -69,5 +69,10 @@ val jump_table_entry : t -> int -> int
 val vm_state_addr : t -> int
 val stack_slot_addr : t -> int -> int
 val bytecode_addr : t -> fn:int -> pc:int -> int
+val access_addr_flat : t -> kind:int -> a:int -> b:int -> int
+(** Simulated address for a flat-encoded trace access
+    ({!Scd_runtime.Trace.access_kind} and its [a]/[b] payloads); the write
+    flag travels separately. Allocation-free. *)
+
 val access_addr : t -> Scd_runtime.Trace.access -> int * bool
-(** Simulated address and write flag for a trace access. *)
+(** Simulated address and write flag for a boxed trace access. *)

@@ -63,25 +63,33 @@ let check_opcode opcode =
 
 type outcome = Hit of int | Miss
 
-let bop ?(table = 0) t ~opcode =
+let no_target = Scd_uarch.Btb.no_target
+
+let bop_target ?(table = 0) t ~opcode =
   check_table t table;
   check_opcode opcode;
   t.stats.bop_lookups <- t.stats.bop_lookups + 1;
-  match Scd_uarch.Btb.lookup t.btb ~jte:true ~key:(key ~table ~opcode) with
-  | Some target ->
-    t.stats.bop_hits <- t.stats.bop_hits + 1;
-    Hit target
-  | None -> Miss
+  let target = Scd_uarch.Btb.lookup_target t.btb ~jte:true ~key:(key ~table ~opcode) in
+  if target != no_target then t.stats.bop_hits <- t.stats.bop_hits + 1;
+  target
 
-let jru ?(table = 0) t ~opcode ~target =
+let bop ?table t ~opcode =
+  let target = bop_target ?table t ~opcode in
+  if target == no_target then Miss else Hit target
+
+(* [opcode < 0] means Rop was invalid: jru behaves as a plain indirect
+   jump and inserts nothing. *)
+let jru_code ?(table = 0) t ~opcode ~target =
   check_table t table;
-  match opcode with
-  | None -> () (* Rop invalid: jru behaves as a plain indirect jump *)
-  | Some opcode ->
+  if opcode >= 0 then begin
     check_opcode opcode;
     t.stats.jru_inserts <- t.stats.jru_inserts + 1;
     Scd_uarch.Btb.insert t.btb ~jte:true ~key:(key ~table ~opcode) ~target;
     audit t
+  end
+
+let jru ?table t ~opcode ~target =
+  jru_code ?table t ~opcode:(match opcode with None -> -1 | Some o -> o) ~target
 
 let jte_flush t =
   t.stats.flushes <- t.stats.flushes + 1;

@@ -39,12 +39,23 @@ val create :
 
 type outcome = Hit of int | Miss
 
+val no_target : int
+(** Miss sentinel for {!bop_target} (equals {!Scd_uarch.Btb.no_target}). *)
+
+val bop_target : ?table:int -> t -> opcode:int -> int
+(** Allocation-free architectural [bop] lookup for [opcode] in [table]
+    (default 0): the JTE target on a hit, {!no_target} on a miss. *)
+
 val bop : ?table:int -> t -> opcode:int -> outcome
-(** Architectural [bop] lookup for [opcode] in [table] (default 0). *)
+(** Boxing shim over {!bop_target}. *)
+
+val jru_code : ?table:int -> t -> opcode:int -> target:int -> unit
+(** Allocation-free architectural [jru]: insert a JTE when [opcode] is
+    non-negative (i.e. Rop was valid), honouring JTE priority and the BTB's
+    JTE cap; a negative opcode inserts nothing. *)
 
 val jru : ?table:int -> t -> opcode:int option -> target:int -> unit
-(** Architectural [jru]: insert a JTE when [opcode] is [Some] (i.e. Rop was
-    valid), honouring JTE priority and the BTB's JTE cap. *)
+(** Shim over {!jru_code} ([None] maps to a negative opcode). *)
 
 val jte_flush : t -> unit
 

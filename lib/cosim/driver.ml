@@ -28,13 +28,6 @@ let default_config =
     seed = 0x5EED_2016L;
   }
 
-(* Deprecated closed-variant VM selector, kept only so pre-registry callers
-   have a migration path; new code resolves frontends by name. *)
-type vm_choice = Lua | Js
-
-let vm_name = function Lua -> "lua" | Js -> "js"
-let frontend_of_vm vm = Frontend.get (vm_name vm)
-
 type result = Result.t = {
   stats : Stats.t;
   btb : Btb.stats;
@@ -64,15 +57,31 @@ type expander = {
   multi_table : bool;
       (* Section IV: one (Rop, Rmask, Rbop-pc) set per dispatch site, each
          with its own branch-ID-tagged jump table. *)
+  boxed : bool;
+      (* Legacy event path: decode each tape cell into a boxed [Event.t] and
+         feed {!Pipeline.consume}. Only the differential tests turn this on;
+         it must produce bit-identical results to the flat path. *)
+  rle : bool;
+      (* Emit straight-line plain instructions as one [tag_plain_run] cell
+         instead of one cell each. Off on the boxed path (runs have no boxed
+         form) and under a context-switch interval (retire bookkeeping is
+         counted per instruction at flush). *)
   mutable prev_opcode : int;  (* -1 before the first dispatch *)
   last_bop_pcs : int array;  (* Rbop-pc, per branch ID *)
   mutable bytecodes : int;
   mutable retired_since_cs : int;
+  mutable epc : int;
+      (* Emission cursor: the native PC the next emitted instruction will
+         carry. A mutable field rather than a [ref] so positioning costs no
+         allocation per bytecode. *)
+  tape : Event.tape;
+      (* The per-driver flat event buffer: every retired instruction of the
+         current batch is four ints written in place, drained in order by
+         the pipeline at the next flush point — no [Event.t] is allocated
+         per instruction. *)
   scratch : Event.scratch;
-      (* The per-driver staging record for the allocation-free hot path:
-         every retired instruction is written into this one mutable record
-         and consumed synchronously by the pipeline — no [Event.t] is
-         allocated per instruction. *)
+      (* Decode staging for the context-switch flush loop, which must
+         interleave retire bookkeeping between cells. *)
 }
 
 let table_of_site = function
@@ -85,145 +94,146 @@ let table_of_site = function
 let rop_distance (spec : Spec.t) =
   spec.dispatch.fetch_instrs - 1 + spec.dispatch.operand_decode_instrs
 
-(* Pipeline hand-off plus context-switch bookkeeping; every emit helper
-   below funnels through here after overwriting [exp.scratch] in place. *)
-let account exp =
-  Pipeline.consume_scratch exp.pipeline exp.scratch;
-  match exp.cs_interval with
-  | None -> ()
-  | Some interval ->
-    exp.retired_since_cs <- exp.retired_since_cs + 1;
-    if exp.retired_since_cs >= interval then begin
-      exp.retired_since_cs <- 0;
-      Scd_core.Engine.retire exp.engine interval
-    end
+(* Drain the tape through the pipeline, in emission order, then reset it.
 
-let scratch_base exp ~dispatch ~sets_rop ~tag pc =
-  let s = exp.scratch in
-  s.Event.s_pc <- pc;
-  s.s_tag <- tag;
-  s.s_dispatch <- dispatch;
-  s.s_sets_rop <- sets_rop;
-  (* The scratch record is reused for every retired instruction; a payload
-     field written by an earlier tag must not survive into a later one that
-     does not overwrite it. Restore [Event.scratch_create]'s defaults here
-     so the record a consumer sees is always identical to a freshly
-     allocated event — the differential test in test_uarch checks this. *)
-  s.s_addr <- 0;
-  s.s_taken <- false;
-  s.s_target <- 0;
-  s.s_hint <- -1;
-  s.s_opcode <- -1;
-  s.s_hit <- false;
-  s.s_indirect <- false;
-  s
+   Flush points are chosen so the total order of BTB operations is the same
+   as if every event had been consumed at emission time: before every
+   {!Scd_core.Engine.bop}/{!Scd_core.Engine.jru} (the engine reads and
+   writes the shared BTB) and at the end of each bytecode. Under a
+   context-switch interval the retire bookkeeping runs between cells, so an
+   engine-triggered JTE flush lands at the exact event boundary it did when
+   events were consumed one at a time. *)
+let flush exp =
+  let tape = exp.tape in
+  let cells = Event.tape_cells tape in
+  if cells > 0 then begin
+    (match exp.cs_interval with
+     | None ->
+       if exp.boxed then
+         for i = 0 to cells - 1 do
+           Pipeline.consume exp.pipeline (Event.tape_to_event tape i)
+         done
+       else Pipeline.consume_tape exp.pipeline tape
+     | Some interval ->
+       for i = 0 to cells - 1 do
+         (if exp.boxed then
+            Pipeline.consume exp.pipeline (Event.tape_to_event tape i)
+          else begin
+            Event.tape_load_scratch tape i exp.scratch;
+            Pipeline.consume_scratch exp.pipeline exp.scratch
+          end);
+         exp.retired_since_cs <- exp.retired_since_cs + 1;
+         if exp.retired_since_cs >= interval then begin
+           exp.retired_since_cs <- 0;
+           Scd_core.Engine.retire exp.engine interval
+         end
+       done);
+    Event.tape_clear tape
+  end
+
+(* Every emit helper appends one 4-int cell; payload defaults (arg1 = 0,
+   arg2 = -1) mirror [Event.scratch_create] so a decoded cell is identical
+   to a freshly allocated event. *)
 
 let emit_plain exp ~dispatch pc =
-  let (_ : Event.scratch) =
-    scratch_base exp ~dispatch ~sets_rop:false ~tag:Event.tag_plain pc
-  in
-  account exp
+  Event.tape_push exp.tape ~pc
+    ~flags:(Event.tag_plain lor (if dispatch then Event.flag_dispatch else 0))
+    ~arg1:0 ~arg2:(-1)
 
 let emit_mem exp ~dispatch ~sets_rop ~write pc ~addr =
-  let s =
-    scratch_base exp ~dispatch ~sets_rop
-      ~tag:(if write then Event.tag_mem_write else Event.tag_mem_read)
-      pc
+  let flags =
+    (if write then Event.tag_mem_write else Event.tag_mem_read)
+    lor (if dispatch then Event.flag_dispatch else 0)
+    lor if sets_rop then Event.flag_sets_rop else 0
   in
-  s.Event.s_addr <- addr;
-  account exp
+  Event.tape_push exp.tape ~pc ~flags ~arg1:addr ~arg2:(-1)
 
 let emit_cond_branch exp ~dispatch pc ~taken ~target =
-  let s =
-    scratch_base exp ~dispatch ~sets_rop:false ~tag:Event.tag_cond_branch pc
+  let flags =
+    Event.tag_cond_branch
+    lor (if dispatch then Event.flag_dispatch else 0)
+    lor if taken then Event.flag_taken else 0
   in
-  s.Event.s_taken <- taken;
-  s.s_target <- target;
-  account exp
+  Event.tape_push exp.tape ~pc ~flags ~arg1:target ~arg2:(-1)
 
 let emit_jump exp pc ~target =
-  let s =
-    scratch_base exp ~dispatch:false ~sets_rop:false ~tag:Event.tag_jump pc
-  in
-  s.Event.s_target <- target;
-  account exp
+  Event.tape_push exp.tape ~pc ~flags:Event.tag_jump ~arg1:target ~arg2:(-1)
 
 (* [hint = -1] means no compiler hint (non-VBBI schemes). *)
 let emit_ind_jump exp ~dispatch pc ~target ~hint =
-  let s =
-    scratch_base exp ~dispatch ~sets_rop:false ~tag:Event.tag_ind_jump pc
+  let flags =
+    Event.tag_ind_jump lor if dispatch then Event.flag_dispatch else 0
   in
-  s.Event.s_target <- target;
-  s.s_hint <- hint;
-  account exp
+  Event.tape_push exp.tape ~pc ~flags ~arg1:target ~arg2:hint
 
 (* All simulated runtime-helper calls are direct. *)
 let emit_call exp pc ~target =
-  let s =
-    scratch_base exp ~dispatch:false ~sets_rop:false ~tag:Event.tag_call pc
-  in
-  s.Event.s_target <- target;
-  s.s_indirect <- false;
-  account exp
+  Event.tape_push exp.tape ~pc ~flags:Event.tag_call ~arg1:target ~arg2:(-1)
 
 let emit_return exp pc ~target =
-  let s =
-    scratch_base exp ~dispatch:false ~sets_rop:false ~tag:Event.tag_return pc
-  in
-  s.Event.s_target <- target;
-  account exp
+  Event.tape_push exp.tape ~pc ~flags:Event.tag_return ~arg1:target ~arg2:(-1)
 
 let emit_bop exp pc ~opcode ~hit ~target =
-  let s =
-    scratch_base exp ~dispatch:true ~sets_rop:false ~tag:Event.tag_bop pc
+  let flags =
+    Event.tag_bop lor Event.flag_dispatch
+    lor if hit then Event.flag_hit else 0
   in
-  s.Event.s_opcode <- opcode;
-  s.s_hit <- hit;
-  s.s_target <- target;
-  account exp
+  Event.tape_push exp.tape ~pc ~flags ~arg1:target ~arg2:opcode
 
 let emit_jru exp pc ~opcode ~target =
-  let s =
-    scratch_base exp ~dispatch:true ~sets_rop:false ~tag:Event.tag_jru pc
-  in
-  s.Event.s_opcode <- opcode;
-  s.s_target <- target;
-  account exp
+  Event.tape_push exp.tape ~pc
+    ~flags:(Event.tag_jru lor Event.flag_dispatch)
+    ~arg1:target ~arg2:opcode
 
-(* Emit [n] dispatcher instructions starting at [!pc], the first being a
-   VM-state load and the last (optionally) a VM-state store. *)
-let emit_vm_bookkeeping exp pc ~step n ~store_last =
+(* Emit [n] consecutive plain instructions from the cursor: one
+   [tag_plain_run] cell on the RLE path, [n] plain cells otherwise. *)
+let emit_plain_run exp ~dispatch ~step n =
+  if n > 0 then begin
+    (if exp.rle then
+       Event.tape_push_run exp.tape ~pc:exp.epc ~dispatch ~count:n
+         ~stride:step
+     else
+       for k = 0 to n - 1 do
+         emit_plain exp ~dispatch (exp.epc + (k * step))
+       done);
+    exp.epc <- exp.epc + (n * step)
+  end
+
+(* Emit [n] dispatcher instructions starting at the cursor, the first being
+   a VM-state load and the last (optionally) a VM-state store. *)
+let emit_vm_bookkeeping exp ~step n ~store_last =
   let vm_state = Layout.vm_state_addr exp.layout in
-  for k = 0 to n - 1 do
-    if k = 0 then
-      emit_mem exp ~dispatch:true ~sets_rop:false ~write:false !pc ~addr:vm_state
-    else if store_last && k = n - 1 then
-      emit_mem exp ~dispatch:true ~sets_rop:false ~write:true !pc ~addr:vm_state
-    else emit_plain exp ~dispatch:true !pc;
-    pc := !pc + step
-  done
+  if n > 0 then begin
+    emit_mem exp ~dispatch:true ~sets_rop:false ~write:false exp.epc
+      ~addr:vm_state;
+    exp.epc <- exp.epc + step;
+    let store = store_last && n > 1 in
+    emit_plain_run exp ~dispatch:true ~step (n - 1 - if store then 1 else 0);
+    if store then begin
+      emit_mem exp ~dispatch:true ~sets_rop:false ~write:true exp.epc
+        ~addr:vm_state;
+      exp.epc <- exp.epc + step
+    end
+  end
 
-let emit_plain_dispatch exp pc ~step n =
-  for _ = 1 to n do
-    emit_plain exp ~dispatch:true !pc;
-    pc := !pc + step
-  done
+let emit_plain_dispatch exp ~step n = emit_plain_run exp ~dispatch:true ~step n
 
 (* The tail of the slow/baseline dispatcher: opcode decode, bound check,
-   jump-table target computation. Returns with [pc] at the jump slot. *)
-let emit_decode_to_target exp pc ~step ~opcode =
+   jump-table target computation. Returns with the cursor at the jump
+   slot. *)
+let emit_decode_to_target exp ~step ~opcode =
   let d = exp.spec.dispatch in
-  emit_plain_dispatch exp pc ~step d.decode_instrs;
+  emit_plain_dispatch exp ~step d.decode_instrs;
   (* bound check: compare + never-taken branch to the error arm *)
-  emit_plain_dispatch exp pc ~step (max 0 (d.bound_check_instrs - 1));
-  emit_cond_branch exp ~dispatch:true !pc ~taken:false
+  emit_plain_dispatch exp ~step (max 0 (d.bound_check_instrs - 1));
+  emit_cond_branch exp ~dispatch:true exp.epc ~taken:false
     ~target:(Layout.default_handler exp.layout);
-  pc := !pc + step;
+  exp.epc <- exp.epc + step;
   (* target calculation, ending with the jump-table load *)
-  emit_plain_dispatch exp pc ~step (max 0 (d.target_calc_instrs - 1));
-  emit_mem exp ~dispatch:true ~sets_rop:false ~write:false !pc
+  emit_plain_dispatch exp ~step (max 0 (d.target_calc_instrs - 1));
+  emit_mem exp ~dispatch:true ~sets_rop:false ~write:false exp.epc
     ~addr:(Layout.jump_table_entry exp.layout opcode);
-  pc := !pc + step
+  exp.epc <- exp.epc + step
 
 (* Dispatch reaching the handler of [opcode] for the bytecode at
    [fetch_addr]. [base] is where this dispatcher's code lives; [overhead]
@@ -231,24 +241,27 @@ let emit_decode_to_target exp pc ~step ~opcode =
    only). *)
 let emit_dispatch exp ~base ~step ~overhead ~site ~opcode ~fetch_addr =
   let d = exp.spec.dispatch in
-  let pc = ref base in
+  exp.epc <- base;
   if overhead then
-    emit_vm_bookkeeping exp pc ~step d.loop_overhead_instrs ~store_last:false;
+    emit_vm_bookkeeping exp ~step d.loop_overhead_instrs ~store_last:false;
   (* fetch: load vm.pc, load the bytecode, bump, store vm.pc *)
   let vm_state = Layout.vm_state_addr exp.layout in
-  emit_mem exp ~dispatch:true ~sets_rop:false ~write:false !pc ~addr:vm_state;
-  pc := !pc + 4;
+  emit_mem exp ~dispatch:true ~sets_rop:false ~write:false exp.epc
+    ~addr:vm_state;
+  exp.epc <- exp.epc + 4;
   let scd = exp.scheme = Scd_core.Scheme.Scd in
-  emit_mem exp ~dispatch:true ~sets_rop:scd ~write:false !pc ~addr:fetch_addr;
-  pc := !pc + step;
-  emit_plain_dispatch exp pc ~step (max 0 (d.fetch_instrs - 3));
-  emit_mem exp ~dispatch:true ~sets_rop:false ~write:true !pc ~addr:vm_state;
-  pc := !pc + step;
-  emit_plain_dispatch exp pc ~step d.operand_decode_instrs;
+  emit_mem exp ~dispatch:true ~sets_rop:scd ~write:false exp.epc
+    ~addr:fetch_addr;
+  exp.epc <- exp.epc + step;
+  emit_plain_dispatch exp ~step (max 0 (d.fetch_instrs - 3));
+  emit_mem exp ~dispatch:true ~sets_rop:false ~write:true exp.epc
+    ~addr:vm_state;
+  exp.epc <- exp.epc + step;
+  emit_plain_dispatch exp ~step d.operand_decode_instrs;
   let handler = Layout.handler_entry exp.layout opcode in
   match exp.scheme with
   | Scd ->
-    let bop_pc = !pc in
+    let bop_pc = exp.epc in
     (* Section IV: with multiple tables each dispatch site has its own
        Rbop-pc register; with one table the sites share it and thrash. *)
     let table = if exp.multi_table then table_of_site site else 0 in
@@ -259,86 +272,90 @@ let emit_dispatch exp ~base ~step ~overhead ~site ~opcode ~fetch_addr =
       | `Stall -> true (* the pipeline charges bubbles instead *)
       | `Fall_through -> rop_distance exp.spec >= (Pipeline.config exp.pipeline).rop_gap
     in
-    let outcome =
+    (* The engine reads the shared BTB: drain pending events first so the
+       architecturally-visible operation order matches per-event
+       consumption. *)
+    flush exp;
+    let target =
       (* Table I: a hit needs Rbop-pc == PC as well as a valid JTE. *)
-      if same_site && rop_ready then Scd_core.Engine.bop ~table exp.engine ~opcode
-      else Scd_core.Engine.Miss
+      if same_site && rop_ready then
+        Scd_core.Engine.bop_target ~table exp.engine ~opcode
+      else Scd_core.Engine.no_target
     in
-    (match outcome with
-     | Scd_core.Engine.Hit target ->
-       emit_bop exp bop_pc ~opcode ~hit:true ~target
-     | Scd_core.Engine.Miss ->
-       emit_bop exp bop_pc ~opcode ~hit:false ~target:(bop_pc + 4);
-       pc := bop_pc + step;
-       emit_decode_to_target exp pc ~step ~opcode;
-       (* jru: indirect jump + JTE insertion *)
-       Scd_core.Engine.jru ~table exp.engine ~opcode:(Some opcode) ~target:handler;
-       emit_jru exp !pc ~opcode ~target:handler)
+    if target <> Scd_core.Engine.no_target then
+      emit_bop exp bop_pc ~opcode ~hit:true ~target
+    else begin
+      emit_bop exp bop_pc ~opcode ~hit:false ~target:(bop_pc + 4);
+      exp.epc <- bop_pc + step;
+      emit_decode_to_target exp ~step ~opcode;
+      (* jru: indirect jump + JTE insertion *)
+      flush exp;
+      Scd_core.Engine.jru_code ~table exp.engine ~opcode ~target:handler;
+      emit_jru exp exp.epc ~opcode ~target:handler
+    end
   | Baseline | Jump_threading | Vbbi ->
-    emit_decode_to_target exp pc ~step ~opcode;
+    emit_decode_to_target exp ~step ~opcode;
     let hint = match exp.scheme with Vbbi -> opcode | _ -> -1 in
-    emit_ind_jump exp ~dispatch:true !pc ~target:handler ~hint
+    emit_ind_jump exp ~dispatch:true exp.epc ~target:handler ~hint
+
+(* Runtime helper / builtin library call appended to a handler body. *)
+let emit_blob exp (b : Spec.rt_blob) =
+  let target = Layout.blob_entry exp.layout b.blob_id in
+  emit_call exp exp.epc ~target;
+  let return_to = exp.epc + 4 in
+  exp.epc <- target;
+  (* The body is a fixed pattern: [load_every - 1] plain instructions then
+     one load, repeated, with a trailing plain run. *)
+  let mems = b.body_instrs / b.load_every in
+  for m = 0 to mems - 1 do
+    emit_plain_run exp ~dispatch:false ~step:Layout.hot_stride
+      (b.load_every - 1);
+    (* helper-internal data traffic lands near the VM stack top *)
+    let k = ((m + 1) * b.load_every) - 1 in
+    emit_mem exp ~dispatch:false ~sets_rop:false ~write:false exp.epc
+      ~addr:(Layout.stack_slot_addr exp.layout (k land 31));
+    exp.epc <- exp.epc + Layout.hot_stride
+  done;
+  emit_plain_run exp ~dispatch:false ~step:Layout.hot_stride
+    (b.body_instrs - (mems * b.load_every));
+  emit_return exp exp.epc ~target:return_to
 
 (* Handler body for one bytecode event. *)
 let emit_handler exp (tr : Trace.t) =
   let opcode = tr.opcode in
   let spec_handler = exp.spec.handler opcode in
-  let entry = Layout.handler_entry exp.layout opcode in
-  let pc = ref entry in
-  let accesses = tr.accesses in
+  exp.epc <- Layout.handler_entry exp.layout opcode;
   let body = spec_handler.body_instrs in
   (* Data accesses occupy the first slots; a control-dependent branch, if
      any, sits at the end of the body. *)
-  let n_acc = List.length accesses in
-  let acc = ref accesses in
-  let branch_pos = if spec_handler.ctrl_branch then body - 1 else -1 in
-  for k = 0 to body - 1 do
-    (if k = branch_pos then begin
-       let taken =
-         match tr.ctrl with
-         | Trace.Branch { taken; _ } -> taken
-         | _ -> false
-       in
-       emit_cond_branch exp ~dispatch:false !pc ~taken
-         ~target:(!pc + (2 * Layout.hot_stride))
-     end
-     else if k < n_acc then begin
-       match !acc with
-       | a :: rest ->
-         acc := rest;
-         let addr, write = Layout.access_addr exp.layout a in
-         emit_mem exp ~dispatch:false ~sets_rop:false ~write !pc ~addr
-       | [] -> emit_plain exp ~dispatch:false !pc
-     end
-     else emit_plain exp ~dispatch:false !pc);
-    pc := !pc + Layout.hot_stride
+  let n_acc = Trace.access_count tr in
+  (* A control-dependent branch, if any, claims the last body slot even
+     from a data access; the slots before it are accesses then plains. *)
+  let slots = if spec_handler.ctrl_branch then body - 1 else body in
+  let mems = min n_acc slots in
+  for k = 0 to mems - 1 do
+    let addr =
+      Layout.access_addr_flat exp.layout ~kind:(Trace.access_kind tr k)
+        ~a:(Trace.access_a tr k) ~b:(Trace.access_b tr k)
+    in
+    emit_mem exp ~dispatch:false ~sets_rop:false
+      ~write:(Trace.access_write tr k) exp.epc ~addr;
+    exp.epc <- exp.epc + Layout.hot_stride
   done;
+  emit_plain_run exp ~dispatch:false ~step:Layout.hot_stride (slots - mems);
+  if spec_handler.ctrl_branch then begin
+    let taken = tr.ctrl_kind = Trace.ctrl_branch && tr.ctrl_taken in
+    emit_cond_branch exp ~dispatch:false exp.epc ~taken
+      ~target:(exp.epc + (2 * Layout.hot_stride));
+    exp.epc <- exp.epc + Layout.hot_stride
+  end;
   (* Runtime helper / builtin library call. *)
-  let blob =
-    match tr.ctrl with
-    | Trace.Call { callee } when callee < 0 -> Some (exp.spec.builtin_blob (-1 - callee))
-    | _ -> (
-      match spec_handler.rt_call with
-      | Some id -> Some exp.spec.blobs.(id)
-      | None -> None)
-  in
-  (match blob with
-   | None -> ()
-   | Some b ->
-     let target = Layout.blob_entry exp.layout b.blob_id in
-     emit_call exp !pc ~target;
-     let return_to = !pc + 4 in
-     pc := !pc + 4;
-     let bpc = ref target in
-     for k = 0 to b.body_instrs - 1 do
-       if k mod b.load_every = b.load_every - 1 then
-         (* helper-internal data traffic lands near the VM stack top *)
-         emit_mem exp ~dispatch:false ~sets_rop:false ~write:false !bpc
-           ~addr:(Layout.stack_slot_addr exp.layout (k land 31))
-       else emit_plain exp ~dispatch:false !bpc;
-       bpc := !bpc + Layout.hot_stride
-     done;
-     emit_return exp !bpc ~target:return_to)
+  if tr.ctrl_kind = Trace.ctrl_call && tr.ctrl_arg < 0 then
+    emit_blob exp (exp.spec.builtin_blob (-1 - tr.ctrl_arg))
+  else
+    match spec_handler.rt_call with
+    | Some id -> emit_blob exp exp.spec.blobs.(id)
+    | None -> ()
 
 let emit_tail exp opcode =
   match exp.scheme with
@@ -380,7 +397,9 @@ let on_bytecode exp (tr : Trace.t) =
   emit_handler exp tr;
   (* 3. the tail jump back to a dispatch site (replicas handled in step 1) *)
   emit_tail exp tr.opcode;
-  exp.prev_opcode <- tr.opcode
+  exp.prev_opcode <- tr.opcode;
+  (* 4. drain this bytecode's batch through the timing model *)
+  flush exp
 
 (* Telemetry wrapper: measure the whole bytecode's expansion (dispatch +
    handler + tail all happen inside [on_bytecode]) and attribute the deltas
@@ -415,7 +434,7 @@ let trace_callback exp = function
    profile active the span calls cost one ref load each per run; with
    `scdsim prof` the phases' wall time and GC counter deltas are attributed
    by name, nested under whatever span the caller opened. *)
-let run ?telemetry config ~source =
+let run ?telemetry ?(event_path = `Flat) config ~source =
   let btb, engine, pipeline, (module F : Frontend.S), options, spec =
     Scd_obs.Prof.span "setup" (fun () ->
         (* simulated heap addresses derive from table ids: restart the
@@ -470,10 +489,14 @@ let run ?telemetry config ~source =
       stride = F.stride;
       cs_interval = config.context_switch_interval;
       multi_table = config.multi_table;
+      boxed = event_path = `Boxed;
+      rle = event_path = `Flat && config.context_switch_interval = None;
       prev_opcode = -1;
       last_bop_pcs = Array.make 3 (-1);
       bytecodes = 0;
       retired_since_cs = 0;
+      epc = 0;
+      tape = Event.tape_create ~capacity:256 ();
       scratch = Event.scratch_create ();
     }
   in

@@ -50,17 +50,6 @@ type run_config = {
 val default_config : run_config
 (** Lua VM, baseline scheme, the paper's simulator machine. *)
 
-type vm_choice = Lua | Js
-(** @deprecated Closed-variant VM selector from before the {!Frontend}
-    registry existed. Use frontend names (["lua"], ["js"]) instead. *)
-
-val vm_name : vm_choice -> string
-(** @deprecated The frontend's registry name. *)
-
-val frontend_of_vm : vm_choice -> Frontend.t
-(** @deprecated Bridge for pre-registry callers:
-    [frontend_of_vm Lua = Frontend.get "lua"]. *)
-
 type result = Result.t = {
   stats : Scd_uarch.Stats.t;
   btb : Scd_uarch.Btb.stats;
@@ -77,8 +66,20 @@ val runs : unit -> int
     domains). The persistent-cache tests assert a warm sweep leaves this
     unchanged. *)
 
-val run : ?telemetry:Telemetry.t -> run_config -> source:string -> result
+val run :
+  ?telemetry:Telemetry.t ->
+  ?event_path:[ `Flat | `Boxed ] ->
+  run_config ->
+  source:string ->
+  result
 (** Compile and co-simulate [source]. Raises on script errors.
+
+    [event_path] selects how expanded events reach the timing model.
+    [`Flat] (the default) drains the preallocated flat event tape —
+    allocation-free per bytecode. [`Boxed] decodes every tape cell into a
+    boxed {!Scd_isa.Event.t} and feeds {!Scd_uarch.Pipeline.consume}: the
+    legacy delivery path, kept so the differential tests can assert the two
+    paths produce bit-identical results.
 
     [telemetry], when given, is attached for the duration of the run: the
     pipeline probe samples interval time series, and every bytecode's

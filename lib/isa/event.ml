@@ -42,6 +42,14 @@ let tag_bop = 8
 let tag_jru = 9
 let tag_jte_flush = 10
 
+(* Tape-only tag: a run of [arg1] consecutive Plain instructions starting at
+   [pc] and spaced [arg2] bytes apart, all sharing the cell's dispatch flag.
+   The driver emits runs instead of individual Plain cells on the flat path,
+   so straight-line handler code costs one cell instead of dozens; the
+   pipeline consumes a run in aggregate with identical stats, cycles and
+   cache/TLB traffic. Never appears as a boxed {!type-t}. *)
+let tag_plain_run = 11
+
 type scratch = {
   mutable s_pc : int;
   mutable s_tag : int;
@@ -114,6 +122,117 @@ let load_scratch s t =
     s.s_opcode <- (match opcode with None -> -1 | Some o -> o);
     s.s_target <- target
   | Jte_flush -> s.s_tag <- tag_jte_flush
+
+(* ------------------------------------------------------------------ *)
+(* Flat event tape                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* One event = [cell_words] consecutive ints:
+   [pc; flags; arg1; arg2] where [flags] packs the tag in bits 0-3 and the
+   booleans in bits 4-8, [arg1] is the memory address (mem tags) or branch
+   target (control tags), and [arg2] is the hint ([tag_ind_jump]) or opcode
+   ([tag_bop]/[tag_jru]), [-1] = none. The buffer is preallocated and
+   written in place, so steady-state emission allocates nothing; it doubles
+   (rarely, only until the largest burst has been seen) on overflow. *)
+
+let cell_words = 4
+let flag_dispatch = 0x10
+let flag_sets_rop = 0x20
+let flag_taken = 0x40
+let flag_hit = 0x80
+let flag_indirect = 0x100
+
+type tape = { mutable buf : int array; mutable len : int (* in words *) }
+
+let tape_create ?(capacity = 64) () =
+  if capacity <= 0 then invalid_arg "Event.tape_create: capacity";
+  { buf = Array.make (capacity * cell_words) 0; len = 0 }
+
+let tape_clear tape = tape.len <- 0
+let tape_cells tape = tape.len / cell_words
+
+let[@inline never] tape_grow tape =
+  let buf = Array.make (2 * Array.length tape.buf) 0 in
+  Array.blit tape.buf 0 buf 0 tape.len;
+  tape.buf <- buf
+
+let tape_push tape ~pc ~flags ~arg1 ~arg2 =
+  if tape.len + cell_words > Array.length tape.buf then tape_grow tape;
+  let buf = tape.buf and i = tape.len in
+  buf.(i) <- pc;
+  buf.(i + 1) <- flags;
+  buf.(i + 2) <- arg1;
+  buf.(i + 3) <- arg2;
+  tape.len <- i + cell_words
+
+let tape_push_run tape ~pc ~dispatch ~count ~stride =
+  tape_push tape ~pc
+    ~flags:(tag_plain_run lor if dispatch then flag_dispatch else 0)
+    ~arg1:count ~arg2:stride
+
+(* Raw cell accessors, for consumers that dispatch on the tag before paying
+   for a full scratch decode (the plain-run fast path). *)
+let tape_cell_tag tape i = tape.buf.((i * cell_words) + 1) land 0xF
+let tape_cell_pc tape i = tape.buf.(i * cell_words)
+let tape_cell_dispatch tape i =
+  tape.buf.((i * cell_words) + 1) land flag_dispatch <> 0
+let tape_cell_arg1 tape i = tape.buf.((i * cell_words) + 2)
+let tape_cell_arg2 tape i = tape.buf.((i * cell_words) + 3)
+
+(* Decode cell [i] into a scratch record. [arg1]/[arg2] are stored into
+   both fields they can mean (branch-free); consumers only read the fields
+   the tag defines, as documented on {!type-scratch}. *)
+let tape_load_scratch tape i (s : scratch) =
+  let base = i * cell_words in
+  let buf = tape.buf in
+  s.s_pc <- buf.(base);
+  let flags = buf.(base + 1) in
+  s.s_tag <- flags land 0xF;
+  s.s_dispatch <- flags land flag_dispatch <> 0;
+  s.s_sets_rop <- flags land flag_sets_rop <> 0;
+  s.s_taken <- flags land flag_taken <> 0;
+  s.s_hit <- flags land flag_hit <> 0;
+  s.s_indirect <- flags land flag_indirect <> 0;
+  let arg1 = buf.(base + 2) and arg2 = buf.(base + 3) in
+  s.s_addr <- arg1;
+  s.s_target <- arg1;
+  s.s_hint <- arg2;
+  s.s_opcode <- arg2
+
+(* Boxed decode of cell [i], for the legacy-path differential shim. *)
+let tape_to_event tape i =
+  let base = i * cell_words in
+  let buf = tape.buf in
+  let pc = buf.(base) in
+  let flags = buf.(base + 1) in
+  let arg1 = buf.(base + 2) and arg2 = buf.(base + 3) in
+  let tag = flags land 0xF in
+  if tag = tag_plain_run then
+    invalid_arg "Event.tape_to_event: plain-run cell on the boxed path";
+  let kind =
+    if tag = tag_plain then Plain
+    else if tag = tag_mem_read then Mem_read { addr = arg1 }
+    else if tag = tag_mem_write then Mem_write { addr = arg1 }
+    else if tag = tag_cond_branch then
+      Cond_branch { taken = flags land flag_taken <> 0; target = arg1 }
+    else if tag = tag_jump then Jump { target = arg1 }
+    else if tag = tag_ind_jump then
+      Ind_jump { target = arg1; hint = (if arg2 < 0 then None else Some arg2) }
+    else if tag = tag_call then
+      Call { target = arg1; indirect = flags land flag_indirect <> 0 }
+    else if tag = tag_return then Return { target = arg1 }
+    else if tag = tag_bop then
+      Bop { opcode = arg2; hit = flags land flag_hit <> 0; target = arg1 }
+    else if tag = tag_jru then
+      Jru { opcode = (if arg2 < 0 then None else Some arg2); target = arg1 }
+    else Jte_flush
+  in
+  {
+    pc;
+    kind;
+    dispatch = flags land flag_dispatch <> 0;
+    sets_rop = flags land flag_sets_rop <> 0;
+  }
 
 let pp fmt t =
   let k =

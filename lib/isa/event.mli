@@ -87,6 +87,13 @@ val tag_bop : int
 val tag_jru : int
 val tag_jte_flush : int
 
+val tag_plain_run : int
+(** Tape-only: a run of [arg1] consecutive plain instructions starting at
+    the cell's [pc], spaced [arg2] bytes apart, sharing its dispatch flag.
+    Consumed in aggregate by {!Scd_uarch.Pipeline.consume_tape} with
+    bit-identical stats, cycles and cache/TLB traffic; never decoded into a
+    boxed {!type-t}. *)
+
 val scratch_create : unit -> scratch
 (** A fresh scratch holding a plain event at PC 0. *)
 
@@ -95,5 +102,57 @@ val scratch_is_control : scratch -> bool
 
 val load_scratch : scratch -> t -> unit
 (** Overwrite [scratch] with the contents of a boxed event. *)
+
+(** {2 Flat event tape}
+
+    A [tape] is a preallocated flat [int array] of 4-word cells —
+    [pc; flags; arg1; arg2] — written in place by a trace producer and
+    consumed by index ({!Scd_uarch.Pipeline.consume_tape}). [flags] packs
+    the [tag_*] constant in bits 0-3 and dispatch / sets_rop / taken / hit /
+    indirect in bits 4-8; [arg1] is the memory address (mem tags) or branch
+    target (control tags); [arg2] is the hint or opcode, [-1] = none. The
+    producer batches the events of one bytecode and the consumer drains them
+    in order, so steady-state event delivery touches no boxed values at
+    all. The buffer doubles on overflow, which stops happening once the
+    largest per-batch burst has been seen. *)
+
+type tape
+
+val cell_words : int
+(** Words per cell (4). *)
+
+val flag_dispatch : int
+val flag_sets_rop : int
+val flag_taken : int
+val flag_hit : int
+val flag_indirect : int
+
+val tape_create : ?capacity:int -> unit -> tape
+(** [capacity] is in cells (default 64). *)
+
+val tape_clear : tape -> unit
+val tape_cells : tape -> int
+
+val tape_push : tape -> pc:int -> flags:int -> arg1:int -> arg2:int -> unit
+(** Append one cell; allocation-free unless the buffer must grow. *)
+
+val tape_push_run : tape -> pc:int -> dispatch:bool -> count:int -> stride:int -> unit
+(** Append one {!tag_plain_run} cell covering [count] plain instructions
+    spaced [stride] bytes apart. *)
+
+val tape_cell_tag : tape -> int -> int
+val tape_cell_pc : tape -> int -> int
+val tape_cell_dispatch : tape -> int -> bool
+val tape_cell_arg1 : tape -> int -> int
+val tape_cell_arg2 : tape -> int -> int
+(** Raw accessors for cell [i], for consumers that dispatch on the tag
+    before paying for a full scratch decode. *)
+
+val tape_load_scratch : tape -> int -> scratch -> unit
+(** Decode cell [i] into [scratch] without allocating. *)
+
+val tape_to_event : tape -> int -> t
+(** Boxed decode of cell [i] (for differential testing of the legacy
+    path). *)
 
 val pp : Format.formatter -> t -> unit

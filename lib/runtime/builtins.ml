@@ -8,6 +8,10 @@ let create_ctx ?(seed = 0x5EED_2016L) () =
 let output ctx = Buffer.contents ctx.buffer
 let reset_output ctx = Buffer.clear ctx.buffer
 
+let reset_ctx ?(seed = 0x5EED_2016L) ctx =
+  Buffer.clear ctx.buffer;
+  ctx.rng <- Rng.create seed
+
 type builtin = {
   name : string;
   arity : int option;

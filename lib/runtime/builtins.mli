@@ -13,6 +13,10 @@ val output : ctx -> string
 
 val reset_output : ctx -> unit
 
+val reset_ctx : ?seed:int64 -> ctx -> unit
+(** Restore a context to its post-{!create_ctx} state (empty output buffer,
+    generator reseeded), so one context can be reused across runs. *)
+
 type builtin = {
   name : string;
   arity : int option;  (** [None] = variadic. *)

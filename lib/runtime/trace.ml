@@ -3,8 +3,13 @@
     Both interpreters report one of these per executed bytecode. The
     co-simulator expands each event into the native-instruction stream of
     the interpreter binary (dispatch sequence + handler body), using the
-    [accesses] to derive data addresses and [ctrl] to resolve
+    accesses to derive data addresses and the control outcome to resolve
     handler-internal branch outcomes and the next bytecode fetch address. *)
+
+(* Boxed descriptions, kept as the readable exchange format for tests and
+   non-hot tooling. The interpreters themselves no longer build these: they
+   fill one reusable flat {!t} per VM (below) and hand it to the sink, so a
+   traced run allocates nothing per bytecode. *)
 
 type access =
   | Reg of { slot : int; write : bool }
@@ -26,12 +31,148 @@ type ctrl =
           for a builtin. *)
   | Ret
 
+(* Access kind codes for the flat representation; [acc_kind] returns one of
+   these. Payload mapping ([a], [b]):
+   [acc_reg]        slot, -         [acc_const]      fn, index
+   [acc_global]     name_hash, -    [acc_table_slot] id, slot
+   [acc_str_bytes]  id_hash, offset *)
+let acc_reg = 0
+let acc_const = 1
+let acc_global = 2
+let acc_table_slot = 3
+let acc_str_bytes = 4
+
+(* Control kind codes; [ctrl_arg] is the branch/jump target or callee. *)
+let ctrl_seq = 0
+let ctrl_branch = 1
+let ctrl_jump = 2
+let ctrl_call = 3
+let ctrl_ret = 4
+
+(* The flat, reusable event record. Accesses live in parallel int arrays
+   ([acc_kinds] packs the kind in bits 0-2 and the write flag in bit 3);
+   control is three scalar fields. The owning VM overwrites the record in
+   place for every bytecode and the sink reads it synchronously, so sinks
+   that retain events must {!copy} them. *)
 type t = {
-  fn : int;  (** Proto id of the currently-executing function. *)
-  pc : int;  (** Bytecode index (register VM) or byte offset (stack VM). *)
-  opcode : int;
-  accesses : access list;
-  ctrl : ctrl;
+  mutable fn : int;  (** Proto id of the currently-executing function. *)
+  mutable pc : int;
+      (** Bytecode index (register VM) or byte offset (stack VM). *)
+  mutable opcode : int;
+  mutable n_accesses : int;
+  mutable acc_kinds : int array;
+  mutable acc_a : int array;
+  mutable acc_b : int array;
+  mutable ctrl_kind : int;
+  mutable ctrl_taken : bool;
+  mutable ctrl_arg : int;
 }
 
 type sink = t -> unit
+
+let write_bit = 8
+
+let create () =
+  {
+    fn = 0;
+    pc = 0;
+    opcode = 0;
+    n_accesses = 0;
+    acc_kinds = Array.make 8 0;
+    acc_a = Array.make 8 0;
+    acc_b = Array.make 8 0;
+    ctrl_kind = ctrl_seq;
+    ctrl_taken = false;
+    ctrl_arg = 0;
+  }
+
+(* Begin a fresh event in place: no accesses yet, control [Seq]. *)
+let start t ~fn ~pc ~opcode =
+  t.fn <- fn;
+  t.pc <- pc;
+  t.opcode <- opcode;
+  t.n_accesses <- 0;
+  t.ctrl_kind <- ctrl_seq;
+  t.ctrl_taken <- false;
+  t.ctrl_arg <- 0
+
+let[@inline never] grow t =
+  let n = Array.length t.acc_kinds in
+  let extend a = let b = Array.make (2 * n) 0 in Array.blit a 0 b 0 n; b in
+  t.acc_kinds <- extend t.acc_kinds;
+  t.acc_a <- extend t.acc_a;
+  t.acc_b <- extend t.acc_b
+
+let add t kind a b =
+  if t.n_accesses = Array.length t.acc_kinds then grow t;
+  let i = t.n_accesses in
+  t.acc_kinds.(i) <- kind;
+  t.acc_a.(i) <- a;
+  t.acc_b.(i) <- b;
+  t.n_accesses <- i + 1
+
+let add_reg t ~slot ~write =
+  add t (if write then acc_reg lor write_bit else acc_reg) slot 0
+
+let add_const t ~fn ~index = add t acc_const fn index
+
+let add_global t ~name_hash ~write =
+  add t (if write then acc_global lor write_bit else acc_global) name_hash 0
+
+let add_table_slot t ~id ~slot ~write =
+  add t (if write then acc_table_slot lor write_bit else acc_table_slot) id slot
+
+let add_str_bytes t ~id_hash ~offset = add t acc_str_bytes id_hash offset
+
+let set_branch t ~taken ~target =
+  t.ctrl_kind <- ctrl_branch;
+  t.ctrl_taken <- taken;
+  t.ctrl_arg <- target
+
+let set_jump t ~target =
+  t.ctrl_kind <- ctrl_jump;
+  t.ctrl_arg <- target
+
+let set_call t ~callee =
+  t.ctrl_kind <- ctrl_call;
+  t.ctrl_arg <- callee
+
+let set_ret t = t.ctrl_kind <- ctrl_ret
+
+(* --- flat readers --------------------------------------------------- *)
+
+let access_count t = t.n_accesses
+let access_kind t i = t.acc_kinds.(i) land 7
+let access_write t i = t.acc_kinds.(i) land write_bit <> 0
+let access_a t i = t.acc_a.(i)
+let access_b t i = t.acc_b.(i)
+
+(* --- boxed views ---------------------------------------------------- *)
+
+let access t i =
+  let a = t.acc_a.(i) and b = t.acc_b.(i) in
+  let write = access_write t i in
+  let kind = access_kind t i in
+  if kind = acc_reg then Reg { slot = a; write }
+  else if kind = acc_const then Const { fn = a; index = b }
+  else if kind = acc_global then Global { name_hash = a; write }
+  else if kind = acc_table_slot then Table_slot { id = a; slot = b; write }
+  else Str_bytes { id_hash = a; offset = b }
+
+let accesses t = List.init t.n_accesses (access t)
+
+let ctrl t =
+  if t.ctrl_kind = ctrl_seq then Seq
+  else if t.ctrl_kind = ctrl_branch then
+    Branch { taken = t.ctrl_taken; target = t.ctrl_arg }
+  else if t.ctrl_kind = ctrl_jump then Jump { target = t.ctrl_arg }
+  else if t.ctrl_kind = ctrl_call then Call { callee = t.ctrl_arg }
+  else Ret
+
+let copy t =
+  {
+    t with
+    acc_kinds = Array.copy t.acc_kinds;
+    acc_a = Array.copy t.acc_a;
+    acc_b = Array.copy t.acc_b;
+  }

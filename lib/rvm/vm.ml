@@ -15,17 +15,21 @@ type t = {
   mutable stack : Value.t array;
   mutable frames : frame list;
   trace : Trace.sink option;
+  tr : Trace.t;  (** Reusable flat trace record, overwritten per bytecode. *)
   mutable steps : int;
   max_steps : int;
 }
 
-let create ?ctx ?trace ?(max_steps = 200_000_000) program =
-  let ctx = match ctx with Some c -> c | None -> Builtins.create_ctx () in
-  let globals = Hashtbl.create 64 in
+let register_builtins globals =
   List.iteri
     (fun id (b : Builtins.builtin) ->
       Hashtbl.replace globals b.name (Value.Func (-1 - id)))
-    Builtins.all;
+    Builtins.all
+
+let create ?ctx ?trace ?(max_steps = 200_000_000) program =
+  let ctx = match ctx with Some c -> c | None -> Builtins.create_ctx () in
+  let globals = Hashtbl.create 64 in
+  register_builtins globals;
   {
     program;
     ctx;
@@ -33,9 +37,20 @@ let create ?ctx ?trace ?(max_steps = 200_000_000) program =
     stack = Array.make 256 Value.Nil;
     frames = [];
     trace;
+    tr = Trace.create ();
     steps = 0;
     max_steps;
   }
+
+(* Restore post-[create] state so one VM (and its compiled program) can be
+   re-run; lets steady-state benchmarks skip setup allocation. *)
+let reset ?seed t =
+  Hashtbl.reset t.globals;
+  register_builtins t.globals;
+  Array.fill t.stack 0 (Array.length t.stack) Value.Nil;
+  t.frames <- [];
+  t.steps <- 0;
+  Builtins.reset_ctx ?seed t.ctx
 
 let steps t = t.steps
 let ctx t = t.ctx
@@ -62,23 +77,22 @@ let push_frame t ~proto_id ~ret_slot ~args_from ~num_args =
   done;
   t.frames <- { proto; base; pc = 0; ret_slot } :: t.frames
 
-(* --- trace helpers ------------------------------------------------- *)
+(* --- trace helpers -------------------------------------------------
+   All write into the VM's reusable flat record; nothing here allocates.
+   Arms call them only under [if t.tracing]-style guards, preserving the
+   exact access order the boxed lists used to carry. *)
 
-let table_slot_of_key table key ~write =
-  Trace.Table_slot
-    {
-      id = Value.table_id table;
-      slot = Value.hash_key key land 63;
-      write;
-    }
+let table_slot_of_key tr table key ~write =
+  Trace.add_table_slot tr ~id:(Value.table_id table)
+    ~slot:(Value.hash_key key land 63) ~write
 
-let rk_access frame (rk : rk) =
+let rk_access tr frame (rk : rk) =
   match rk with
-  | R r -> Trace.Reg { slot = frame.base + r; write = false }
-  | K i -> Trace.Const { fn = frame.proto.id; index = i }
+  | R r -> Trace.add_reg tr ~slot:(frame.base + r) ~write:false
+  | K i -> Trace.add_const tr ~fn:frame.proto.id ~index:i
 
-let reg_read frame r = Trace.Reg { slot = frame.base + r; write = false }
-let reg_write frame r = Trace.Reg { slot = frame.base + r; write = true }
+let reg_read tr frame r = Trace.add_reg tr ~slot:(frame.base + r) ~write:false
+let reg_write tr frame r = Trace.add_reg tr ~slot:(frame.base + r) ~write:true
 
 let global_hash name = Hashtbl.hash name land 0xFFFF
 
@@ -104,6 +118,23 @@ let for_continue counter limit step =
 
 (* ------------------------------------------------------------------ *)
 
+(* Tracing protocol: each arm executes its semantics first, then — only
+   when a sink is attached — [begin_trace]s the reusable record
+   (pre-execution pc, override-aware opcode, ctrl [Seq]), adds its accesses
+   and control in the same order the boxed lists used to carry, and
+   [fire]s the sink. With no sink attached an arm runs zero trace code;
+   both helpers are top-level so the traced path allocates nothing. *)
+let begin_trace t frame ~pc ~instr =
+  let overrides = frame.proto.opcode_overrides in
+  let opcode =
+    if Array.length overrides > pc && overrides.(pc) >= 0 then overrides.(pc)
+    else opcode_of_instr instr
+  in
+  Trace.start t.tr ~fn:frame.proto.id ~pc ~opcode;
+  t.tr
+
+let fire t = match t.trace with Some sink -> sink t.tr | None -> ()
+
 let step t frame =
   let instr = frame.proto.code.(frame.pc) in
   let pc_of_instr = frame.pc in
@@ -112,132 +143,204 @@ let step t frame =
   let base = frame.base in
   let set r v = stack.(base + r) <- v in
   let get r = stack.(base + r) in
-  (* Executed first so the event reflects pre-execution pc; ctrl and
-     accesses are computed in the same match as the semantics below to
-     avoid duplicating the interpretation logic. *)
-  let emit accesses ctrl =
-    match t.trace with
-    | None -> ()
-    | Some sink ->
-      let overrides = frame.proto.opcode_overrides in
-      let opcode =
-        if Array.length overrides > pc_of_instr && overrides.(pc_of_instr) >= 0
-        then overrides.(pc_of_instr)
-        else opcode_of_instr instr
-      in
-      sink
-        { Trace.fn = frame.proto.id; pc = pc_of_instr; opcode; accesses; ctrl }
-  in
+  let tracing = t.trace <> None in
   match instr with
   | MOVE (a, b) ->
     set a (get b);
-    emit [ reg_read frame b; reg_write frame a ] Seq
+    if tracing then begin
+      let tr = begin_trace t frame ~pc:pc_of_instr ~instr in
+      reg_read tr frame b;
+      reg_write tr frame a;
+      fire t
+    end
   | LOADK (a, k) ->
     set a frame.proto.consts.(k);
-    emit [ Const { fn = frame.proto.id; index = k }; reg_write frame a ] Seq
+    if tracing then begin
+      let tr = begin_trace t frame ~pc:pc_of_instr ~instr in
+      Trace.add_const tr ~fn:frame.proto.id ~index:k;
+      reg_write tr frame a;
+      fire t
+    end
   | LOADINT (a, i) ->
     set a (Value.Int i);
-    emit [ reg_write frame a ] Seq
+    if tracing then begin
+      let tr = begin_trace t frame ~pc:pc_of_instr ~instr in
+      reg_write tr frame a;
+      fire t
+    end
   | LOADBOOL (a, b) ->
     set a (Value.Bool b);
-    emit [ reg_write frame a ] Seq
+    if tracing then begin
+      let tr = begin_trace t frame ~pc:pc_of_instr ~instr in
+      reg_write tr frame a;
+      fire t
+    end
   | LOADNIL a ->
     set a Value.Nil;
-    emit [ reg_write frame a ] Seq
+    if tracing then begin
+      let tr = begin_trace t frame ~pc:pc_of_instr ~instr in
+      reg_write tr frame a;
+      fire t
+    end
   | GETGLOBAL (a, k) -> (
     match frame.proto.consts.(k) with
     | Value.Str name ->
       let v = Option.value ~default:Value.Nil (Hashtbl.find_opt t.globals name) in
       set a v;
-      emit
-        [ Const { fn = frame.proto.id; index = k };
-          Global { name_hash = global_hash name; write = false };
-          reg_write frame a ]
-        Seq
+      if tracing then begin
+        let tr = begin_trace t frame ~pc:pc_of_instr ~instr in
+        Trace.add_const tr ~fn:frame.proto.id ~index:k;
+        Trace.add_global tr ~name_hash:(global_hash name) ~write:false;
+        reg_write tr frame a;
+        fire t
+      end
     | _ -> error "GETGLOBAL: constant is not a name")
   | SETGLOBAL (a, k) -> (
     match frame.proto.consts.(k) with
     | Value.Str name ->
       Hashtbl.replace t.globals name (get a);
-      emit
-        [ reg_read frame a;
-          Const { fn = frame.proto.id; index = k };
-          Global { name_hash = global_hash name; write = true } ]
-        Seq
+      if tracing then begin
+        let tr = begin_trace t frame ~pc:pc_of_instr ~instr in
+        reg_read tr frame a;
+        Trace.add_const tr ~fn:frame.proto.id ~index:k;
+        Trace.add_global tr ~name_hash:(global_hash name) ~write:true;
+        fire t
+      end
     | _ -> error "SETGLOBAL: constant is not a name")
   | GETTABLE (a, b, c) ->
     let tbl = Value.table_of (get b) in
     let key = rk_value t frame c in
     set a (Value.table_get tbl key);
-    emit
-      [ reg_read frame b; rk_access frame c;
-        table_slot_of_key tbl key ~write:false; reg_write frame a ]
-      Seq
+    if tracing then begin
+      let tr = begin_trace t frame ~pc:pc_of_instr ~instr in
+      reg_read tr frame b;
+      rk_access tr frame c;
+      table_slot_of_key tr tbl key ~write:false;
+      reg_write tr frame a;
+      fire t
+    end
   | SETTABLE (a, bk, cv) ->
     let tbl = Value.table_of (get a) in
     let key = rk_value t frame bk in
     let v = rk_value t frame cv in
     Value.table_set tbl key v;
-    emit
-      [ reg_read frame a; rk_access frame bk; rk_access frame cv;
-        table_slot_of_key tbl key ~write:true ]
-      Seq
+    if tracing then begin
+      let tr = begin_trace t frame ~pc:pc_of_instr ~instr in
+      reg_read tr frame a;
+      rk_access tr frame bk;
+      rk_access tr frame cv;
+      table_slot_of_key tr tbl key ~write:true;
+      fire t
+    end
   | NEWTABLE a ->
     set a (Value.new_table ());
-    emit [ reg_write frame a ] Seq
+    if tracing then begin
+      let tr = begin_trace t frame ~pc:pc_of_instr ~instr in
+      reg_write tr frame a;
+      fire t
+    end
   | ARITH (op, a, b, c) ->
     set a (Value.arith (arith_op op) (rk_value t frame b) (rk_value t frame c));
-    emit [ rk_access frame b; rk_access frame c; reg_write frame a ] Seq
+    if tracing then begin
+      let tr = begin_trace t frame ~pc:pc_of_instr ~instr in
+      rk_access tr frame b;
+      rk_access tr frame c;
+      reg_write tr frame a;
+      fire t
+    end
   | UNM (a, b) ->
     set a (Value.neg (get b));
-    emit [ reg_read frame b; reg_write frame a ] Seq
+    if tracing then begin
+      let tr = begin_trace t frame ~pc:pc_of_instr ~instr in
+      reg_read tr frame b;
+      reg_write tr frame a;
+      fire t
+    end
   | NOT (a, b) ->
     set a (Value.Bool (not (Value.truthy (get b))));
-    emit [ reg_read frame b; reg_write frame a ] Seq
+    if tracing then begin
+      let tr = begin_trace t frame ~pc:pc_of_instr ~instr in
+      reg_read tr frame b;
+      reg_write tr frame a;
+      fire t
+    end
   | LEN (a, b) ->
     set a (Value.length (get b));
-    emit [ reg_read frame b; reg_write frame a ] Seq
+    if tracing then begin
+      let tr = begin_trace t frame ~pc:pc_of_instr ~instr in
+      reg_read tr frame b;
+      reg_write tr frame a;
+      fire t
+    end
   | CONCAT (a, b, c) ->
     let vb = rk_value t frame b and vc = rk_value t frame c in
     set a (Value.concat vb vc);
-    emit
-      [ rk_access frame b; rk_access frame c; reg_write frame a ]
-      Seq
+    if tracing then begin
+      let tr = begin_trace t frame ~pc:pc_of_instr ~instr in
+      rk_access tr frame b;
+      rk_access tr frame c;
+      reg_write tr frame a;
+      fire t
+    end
   | JMP d ->
     frame.pc <- frame.pc + d;
-    emit [] (Jump { target = frame.pc })
+    if tracing then begin
+      let tr = begin_trace t frame ~pc:pc_of_instr ~instr in
+      Trace.set_jump tr ~target:frame.pc;
+      fire t
+    end
   | EQ (flag, b, c) ->
     let r = Value.equal (rk_value t frame b) (rk_value t frame c) in
     let skip = r <> flag in
     if skip then frame.pc <- frame.pc + 1;
-    emit
-      [ rk_access frame b; rk_access frame c ]
-      (Branch { taken = skip; target = frame.pc })
+    if tracing then begin
+      let tr = begin_trace t frame ~pc:pc_of_instr ~instr in
+      rk_access tr frame b;
+      rk_access tr frame c;
+      Trace.set_branch tr ~taken:skip ~target:frame.pc;
+      fire t
+    end
   | LT (flag, b, c) ->
     let r = Value.compare_lt (rk_value t frame b) (rk_value t frame c) in
     let skip = r <> flag in
     if skip then frame.pc <- frame.pc + 1;
-    emit
-      [ rk_access frame b; rk_access frame c ]
-      (Branch { taken = skip; target = frame.pc })
+    if tracing then begin
+      let tr = begin_trace t frame ~pc:pc_of_instr ~instr in
+      rk_access tr frame b;
+      rk_access tr frame c;
+      Trace.set_branch tr ~taken:skip ~target:frame.pc;
+      fire t
+    end
   | LE (flag, b, c) ->
     let r = Value.compare_le (rk_value t frame b) (rk_value t frame c) in
     let skip = r <> flag in
     if skip then frame.pc <- frame.pc + 1;
-    emit
-      [ rk_access frame b; rk_access frame c ]
-      (Branch { taken = skip; target = frame.pc })
+    if tracing then begin
+      let tr = begin_trace t frame ~pc:pc_of_instr ~instr in
+      rk_access tr frame b;
+      rk_access tr frame c;
+      Trace.set_branch tr ~taken:skip ~target:frame.pc;
+      fire t
+    end
   | TEST (a, flag) ->
     let skip = Value.truthy (get a) <> flag in
     if skip then frame.pc <- frame.pc + 1;
-    emit [ reg_read frame a ] (Branch { taken = skip; target = frame.pc })
+    if tracing then begin
+      let tr = begin_trace t frame ~pc:pc_of_instr ~instr in
+      reg_read tr frame a;
+      Trace.set_branch tr ~taken:skip ~target:frame.pc;
+      fire t
+    end
   | CALL (a, nargs) -> (
     let callee = get a in
     match callee with
     | Value.Func id when id >= 0 ->
-      emit
-        [ reg_read frame a ]
-        (Call { callee = id });
+      if tracing then begin
+        let tr = begin_trace t frame ~pc:pc_of_instr ~instr in
+        reg_read tr frame a;
+        Trace.set_call tr ~callee:id;
+        fire t
+      end;
       push_frame t ~proto_id:id ~ret_slot:(base + a) ~args_from:(base + a + 1)
         ~num_args:nargs
     | Value.Func id ->
@@ -249,12 +352,22 @@ let step t frame =
          error "%s: expected %d arguments, got %d" builtin.name arity nargs
        | _ -> ());
       let args = List.init nargs (fun i -> get (a + 1 + i)) in
-      emit [ reg_read frame a ] (Call { callee = id });
+      if tracing then begin
+        let tr = begin_trace t frame ~pc:pc_of_instr ~instr in
+        reg_read tr frame a;
+        Trace.set_call tr ~callee:id;
+        fire t
+      end;
       set a (builtin.fn t.ctx args)
     | v -> error "attempt to call a %s value" (Value.type_name v))
   | RETURN (a, has_value) ->
     let result = if has_value then get a else Value.Nil in
-    emit (if has_value then [ reg_read frame a ] else []) Ret;
+    if tracing then begin
+      let tr = begin_trace t frame ~pc:pc_of_instr ~instr in
+      if has_value then reg_read tr frame a;
+      Trace.set_ret tr;
+      fire t
+    end;
     (match t.frames with
      | [] -> assert false
      | finished :: rest ->
@@ -262,7 +375,11 @@ let step t frame =
        if rest <> [] then t.stack.(finished.ret_slot) <- result)
   | CLOSURE (a, pid) ->
     set a (Value.Func pid);
-    emit [ reg_write frame a ] Seq
+    if tracing then begin
+      let tr = begin_trace t frame ~pc:pc_of_instr ~instr in
+      reg_write tr frame a;
+      fire t
+    end
   | FORPREP (a, d) ->
     (* Validate and normalise the control values, then jump to FORLOOP. *)
     let check name v =
@@ -279,36 +396,58 @@ let step t frame =
        starts the first iteration. *)
     set a (Value.arith `Sub (get a) (get (a + 2)));
     frame.pc <- frame.pc + d;
-    emit
-      [ reg_read frame a; reg_read frame (a + 1); reg_read frame (a + 2);
-        reg_write frame a ]
-      (Jump { target = frame.pc })
+    if tracing then begin
+      let tr = begin_trace t frame ~pc:pc_of_instr ~instr in
+      reg_read tr frame a;
+      reg_read tr frame (a + 1);
+      reg_read tr frame (a + 2);
+      reg_write tr frame a;
+      Trace.set_jump tr ~target:frame.pc;
+      fire t
+    end
   | EQJMP (flag, b, c, d) ->
     let taken = Value.equal (rk_value t frame b) (rk_value t frame c) = flag in
     if taken then frame.pc <- frame.pc + d;
-    emit
-      [ rk_access frame b; rk_access frame c ]
-      (Branch { taken; target = frame.pc })
+    if tracing then begin
+      let tr = begin_trace t frame ~pc:pc_of_instr ~instr in
+      rk_access tr frame b;
+      rk_access tr frame c;
+      Trace.set_branch tr ~taken ~target:frame.pc;
+      fire t
+    end
   | LTJMP (flag, b, c, d) ->
     let taken =
       Value.compare_lt (rk_value t frame b) (rk_value t frame c) = flag
     in
     if taken then frame.pc <- frame.pc + d;
-    emit
-      [ rk_access frame b; rk_access frame c ]
-      (Branch { taken; target = frame.pc })
+    if tracing then begin
+      let tr = begin_trace t frame ~pc:pc_of_instr ~instr in
+      rk_access tr frame b;
+      rk_access tr frame c;
+      Trace.set_branch tr ~taken ~target:frame.pc;
+      fire t
+    end
   | LEJMP (flag, b, c, d) ->
     let taken =
       Value.compare_le (rk_value t frame b) (rk_value t frame c) = flag
     in
     if taken then frame.pc <- frame.pc + d;
-    emit
-      [ rk_access frame b; rk_access frame c ]
-      (Branch { taken; target = frame.pc })
+    if tracing then begin
+      let tr = begin_trace t frame ~pc:pc_of_instr ~instr in
+      rk_access tr frame b;
+      rk_access tr frame c;
+      Trace.set_branch tr ~taken ~target:frame.pc;
+      fire t
+    end
   | TESTJMP (a, flag, d) ->
     let taken = Value.truthy (get a) = flag in
     if taken then frame.pc <- frame.pc + d;
-    emit [ reg_read frame a ] (Branch { taken; target = frame.pc })
+    if tracing then begin
+      let tr = begin_trace t frame ~pc:pc_of_instr ~instr in
+      reg_read tr frame a;
+      Trace.set_branch tr ~taken ~target:frame.pc;
+      fire t
+    end
   | FORLOOP (a, d) ->
     let counter = Value.arith `Add (get a) (get (a + 2)) in
     set a counter;
@@ -317,10 +456,16 @@ let step t frame =
       set (a + 3) counter;
       frame.pc <- frame.pc + d
     end;
-    emit
-      [ reg_read frame a; reg_read frame (a + 1); reg_read frame (a + 2);
-        reg_write frame a; reg_write frame (a + 3) ]
-      (Branch { taken = continue; target = frame.pc })
+    if tracing then begin
+      let tr = begin_trace t frame ~pc:pc_of_instr ~instr in
+      reg_read tr frame a;
+      reg_read tr frame (a + 1);
+      reg_read tr frame (a + 2);
+      reg_write tr frame a;
+      reg_write tr frame (a + 3);
+      Trace.set_branch tr ~taken:continue ~target:frame.pc;
+      fire t
+    end
 
 let run t =
   push_frame t ~proto_id:0 ~ret_slot:0 ~args_from:0 ~num_args:0;

@@ -21,6 +21,12 @@ val create :
 (** [max_steps] (default 200 million) bounds execution; exceeding it raises
     [Runtime_error]. Globals are pre-populated with every builtin. *)
 
+val reset : ?seed:int64 -> t -> unit
+(** Restore a VM to its post-{!create} state (stack, frames, globals, step
+    counter and builtin context), so one VM and its compiled program can be
+    {!run} repeatedly — steady-state benchmarks reuse the VM instead of
+    paying setup allocation per run. *)
+
 val run : t -> unit
 (** Execute the main chunk to completion. Raises
     {!Scd_runtime.Value.Runtime_error} on a dynamic error. *)

@@ -15,17 +15,21 @@ type t = {
   mutable stack : Value.t array;
   mutable frames : frame list;
   trace : Trace.sink option;
+  tr : Trace.t;  (** Reusable flat trace record, overwritten per bytecode. *)
   mutable steps : int;
   max_steps : int;
 }
 
-let create ?ctx ?trace ?(max_steps = 200_000_000) program =
-  let ctx = match ctx with Some c -> c | None -> Builtins.create_ctx () in
-  let globals = Hashtbl.create 64 in
+let register_builtins globals =
   List.iteri
     (fun id (b : Builtins.builtin) ->
       Hashtbl.replace globals b.name (Value.Func (-1 - id)))
-    Builtins.all;
+    Builtins.all
+
+let create ?ctx ?trace ?(max_steps = 200_000_000) program =
+  let ctx = match ctx with Some c -> c | None -> Builtins.create_ctx () in
+  let globals = Hashtbl.create 64 in
+  register_builtins globals;
   {
     program;
     ctx;
@@ -33,9 +37,20 @@ let create ?ctx ?trace ?(max_steps = 200_000_000) program =
     stack = Array.make 256 Value.Nil;
     frames = [];
     trace;
+    tr = Trace.create ();
     steps = 0;
     max_steps;
   }
+
+(* Restore post-[create] state so one VM (and its compiled program) can be
+   re-run; lets steady-state benchmarks skip setup allocation. *)
+let reset ?seed t =
+  Hashtbl.reset t.globals;
+  register_builtins t.globals;
+  Array.fill t.stack 0 (Array.length t.stack) Value.Nil;
+  t.frames <- [];
+  t.steps <- 0;
+  Builtins.reset_ctx ?seed t.ctx
 
 let steps t = t.steps
 let ctx t = t.ctx
@@ -63,10 +78,6 @@ let push_frame t ~proto_id ~locals_base ~num_args =
 
 let global_hash name = Hashtbl.hash name land 0xFFFF
 
-let table_slot_of_key table key ~write =
-  Trace.Table_slot
-    { id = Value.table_id table; slot = Value.hash_key key land 63; write }
-
 (* --- immediate readers --------------------------------------------- *)
 
 let u8 frame =
@@ -92,6 +103,84 @@ let i32 frame =
   let v = b0 lor (b1 lsl 8) lor (b2 lsl 16) lor (b3 lsl 24) in
   if v land 0x8000_0000 <> 0 then v - (1 lsl 32) else v
 
+(* --- operand stack -------------------------------------------------- *)
+
+let vpush t frame v =
+  ensure_stack t (frame.sp + 1);
+  t.stack.(frame.sp) <- v;
+  frame.sp <- frame.sp + 1
+
+let vpop t frame =
+  frame.sp <- frame.sp - 1;
+  t.stack.(frame.sp)
+
+(* --- tracing --------------------------------------------------------
+   Same protocol as the register VM: semantics first, then — only when a
+   sink is attached — fill the reusable flat record (same access order the
+   boxed lists used to carry) and fire the sink. Top-level helpers so the
+   traced path allocates nothing. *)
+
+let begin_trace t frame ~pc ~opcode =
+  Trace.start t.tr ~fn:frame.proto.id ~pc ~opcode;
+  t.tr
+
+let fire t = match t.trace with Some sink -> sink t.tr | None -> ()
+
+let trace_table_slot tr table key ~write =
+  Trace.add_table_slot tr ~id:(Value.table_id table)
+    ~slot:(Value.hash_key key land 63) ~write
+
+(* Binary stack ops: pop b, pop a, push (f a b). Trace reads the two input
+   slots where they sat and writes the result slot. *)
+let binary t frame ~pc ~opcode f =
+  let b = vpop t frame in
+  let a = vpop t frame in
+  vpush t frame (f a b);
+  if t.trace <> None then begin
+    let tr = begin_trace t frame ~pc ~opcode in
+    Trace.add_reg tr ~slot:(frame.sp - 2) ~write:false;
+    Trace.add_reg tr ~slot:frame.sp ~write:false;
+    Trace.add_reg tr ~slot:(frame.sp - 1) ~write:true;
+    fire t
+  end
+
+(* Eta-expanded arithmetic/comparison wrappers: statically-allocated
+   closures, so passing them to [binary] costs nothing per bytecode. *)
+let v_add a b = Value.arith `Add a b
+let v_sub a b = Value.arith `Sub a b
+let v_mul a b = Value.arith `Mul a b
+let v_div a b = Value.arith `Div a b
+let v_idiv a b = Value.arith `Idiv a b
+let v_mod a b = Value.arith `Mod a b
+let v_eq a b = Value.Bool (Value.equal a b)
+let v_ne a b = Value.Bool (not (Value.equal a b))
+let v_lt a b = Value.Bool (Value.compare_lt a b)
+let v_le a b = Value.Bool (Value.compare_le a b)
+let v_gt a b = Value.Bool (Value.compare_lt b a)
+let v_ge a b = Value.Bool (Value.compare_le b a)
+
+(* Unary stack ops: pop, push (f v); trace reads and writes the top slot. *)
+let unary t frame ~pc ~opcode f =
+  vpush t frame (f (vpop t frame));
+  if t.trace <> None then begin
+    let tr = begin_trace t frame ~pc ~opcode in
+    Trace.add_reg tr ~slot:(frame.sp - 1) ~write:false;
+    Trace.add_reg tr ~slot:(frame.sp - 1) ~write:true;
+    fire t
+  end
+
+let v_neg v = Value.neg v
+let v_not v = Value.Bool (not (Value.truthy v))
+let v_len v = Value.length v
+
+(* Pure pushes: trace writes the new top slot. *)
+let trace_push t frame ~pc ~opcode =
+  if t.trace <> None then begin
+    let tr = begin_trace t frame ~pc ~opcode in
+    Trace.add_reg tr ~slot:(frame.sp - 1) ~write:true;
+    fire t
+  end
+
 (* ------------------------------------------------------------------ *)
 
 let step t frame =
@@ -100,165 +189,166 @@ let step t frame =
   let op = op_of_opcode opcode in
   frame.pc <- frame.pc + 1;
   let stack = t.stack in
-  let push v =
-    ensure_stack t (frame.sp + 1);
-    t.stack.(frame.sp) <- v;
-    frame.sp <- frame.sp + 1
-  in
-  let pop () =
-    frame.sp <- frame.sp - 1;
-    t.stack.(frame.sp)
-  in
-  let top_slot k = frame.sp - 1 - k in
-  let emit accesses ctrl =
-    match t.trace with
-    | None -> ()
-    | Some sink ->
-      sink
-        { Trace.fn = frame.proto.id; pc = opcode_pc; opcode; accesses; ctrl }
-  in
-  let stk_read k = Trace.Reg { slot = top_slot k; write = false } in
-  let stk_write k = Trace.Reg { slot = top_slot k; write = true } in
-  let binary f =
-    let b = pop () in
-    let a = pop () in
-    push (f a b);
-    (* reads the two inputs where they sat, writes the result slot *)
-    emit [ stk_read 1; Trace.Reg { slot = frame.sp; write = false }; stk_write 0 ] Seq
-  in
-  let compare_op f =
-    let b = pop () in
-    let a = pop () in
-    push (Value.Bool (f a b));
-    emit [ stk_read 1; Trace.Reg { slot = frame.sp; write = false }; stk_write 0 ] Seq
-  in
+  let tracing = t.trace <> None in
   match op with
-  | NOP -> emit [] Seq
+  | NOP ->
+    if tracing then begin
+      let (_ : Trace.t) = begin_trace t frame ~pc:opcode_pc ~opcode in
+      fire t
+    end
   | PUSH_NIL ->
-    push Value.Nil;
-    emit [ stk_write 0 ] Seq
+    vpush t frame Value.Nil;
+    trace_push t frame ~pc:opcode_pc ~opcode
   | PUSH_TRUE ->
-    push (Value.Bool true);
-    emit [ stk_write 0 ] Seq
+    vpush t frame (Value.Bool true);
+    trace_push t frame ~pc:opcode_pc ~opcode
   | PUSH_FALSE ->
-    push (Value.Bool false);
-    emit [ stk_write 0 ] Seq
+    vpush t frame (Value.Bool false);
+    trace_push t frame ~pc:opcode_pc ~opcode
   | PUSH_INT8 ->
-    push (Value.Int (i8 frame));
-    emit [ stk_write 0 ] Seq
+    vpush t frame (Value.Int (i8 frame));
+    trace_push t frame ~pc:opcode_pc ~opcode
   | PUSH_INT32 ->
-    push (Value.Int (i32 frame));
-    emit [ stk_write 0 ] Seq
+    vpush t frame (Value.Int (i32 frame));
+    trace_push t frame ~pc:opcode_pc ~opcode
   | PUSH_CONST ->
     let k = u16 frame in
-    push frame.proto.consts.(k);
-    emit [ Const { fn = frame.proto.id; index = k }; stk_write 0 ] Seq
+    vpush t frame frame.proto.consts.(k);
+    if tracing then begin
+      let tr = begin_trace t frame ~pc:opcode_pc ~opcode in
+      Trace.add_const tr ~fn:frame.proto.id ~index:k;
+      Trace.add_reg tr ~slot:(frame.sp - 1) ~write:true;
+      fire t
+    end
   | GET_LOCAL ->
     let slot = u8 frame in
-    push stack.(frame.locals_base + slot);
-    emit
-      [ Reg { slot = frame.locals_base + slot; write = false }; stk_write 0 ]
-      Seq
+    vpush t frame stack.(frame.locals_base + slot);
+    if tracing then begin
+      let tr = begin_trace t frame ~pc:opcode_pc ~opcode in
+      Trace.add_reg tr ~slot:(frame.locals_base + slot) ~write:false;
+      Trace.add_reg tr ~slot:(frame.sp - 1) ~write:true;
+      fire t
+    end
   | SET_LOCAL ->
     let slot = u8 frame in
-    let v = pop () in
+    let v = vpop t frame in
     stack.(frame.locals_base + slot) <- v;
-    emit
-      [ Trace.Reg { slot = frame.sp; write = false };
-        Reg { slot = frame.locals_base + slot; write = true } ]
-      Seq
+    if tracing then begin
+      let tr = begin_trace t frame ~pc:opcode_pc ~opcode in
+      Trace.add_reg tr ~slot:frame.sp ~write:false;
+      Trace.add_reg tr ~slot:(frame.locals_base + slot) ~write:true;
+      fire t
+    end
   | GET_GLOBAL -> (
     let k = u16 frame in
     match frame.proto.consts.(k) with
     | Value.Str name ->
-      push (Option.value ~default:Value.Nil (Hashtbl.find_opt t.globals name));
-      emit
-        [ Const { fn = frame.proto.id; index = k };
-          Global { name_hash = global_hash name; write = false };
-          stk_write 0 ]
-        Seq
+      vpush t frame
+        (Option.value ~default:Value.Nil (Hashtbl.find_opt t.globals name));
+      if tracing then begin
+        let tr = begin_trace t frame ~pc:opcode_pc ~opcode in
+        Trace.add_const tr ~fn:frame.proto.id ~index:k;
+        Trace.add_global tr ~name_hash:(global_hash name) ~write:false;
+        Trace.add_reg tr ~slot:(frame.sp - 1) ~write:true;
+        fire t
+      end
     | _ -> error "GET_GLOBAL: constant is not a name")
   | SET_GLOBAL -> (
     let k = u16 frame in
     match frame.proto.consts.(k) with
     | Value.Str name ->
-      Hashtbl.replace t.globals name (pop ());
-      emit
-        [ Trace.Reg { slot = frame.sp; write = false };
-          Const { fn = frame.proto.id; index = k };
-          Global { name_hash = global_hash name; write = true } ]
-        Seq
+      Hashtbl.replace t.globals name (vpop t frame);
+      if tracing then begin
+        let tr = begin_trace t frame ~pc:opcode_pc ~opcode in
+        Trace.add_reg tr ~slot:frame.sp ~write:false;
+        Trace.add_const tr ~fn:frame.proto.id ~index:k;
+        Trace.add_global tr ~name_hash:(global_hash name) ~write:true;
+        fire t
+      end
     | _ -> error "SET_GLOBAL: constant is not a name")
   | GET_ELEM ->
-    let key = pop () in
-    let tbl = Value.table_of (pop ()) in
-    push (Value.table_get tbl key);
-    emit
-      [ stk_read 0; Trace.Reg { slot = frame.sp; write = false };
-        table_slot_of_key tbl key ~write:false; stk_write 0 ]
-      Seq
+    let key = vpop t frame in
+    let tbl = Value.table_of (vpop t frame) in
+    vpush t frame (Value.table_get tbl key);
+    if tracing then begin
+      let tr = begin_trace t frame ~pc:opcode_pc ~opcode in
+      Trace.add_reg tr ~slot:(frame.sp - 1) ~write:false;
+      Trace.add_reg tr ~slot:frame.sp ~write:false;
+      trace_table_slot tr tbl key ~write:false;
+      Trace.add_reg tr ~slot:(frame.sp - 1) ~write:true;
+      fire t
+    end
   | SET_ELEM ->
-    let v = pop () in
-    let key = pop () in
-    let tbl = Value.table_of (pop ()) in
+    let v = vpop t frame in
+    let key = vpop t frame in
+    let tbl = Value.table_of (vpop t frame) in
     Value.table_set tbl key v;
-    emit
-      [ Trace.Reg { slot = frame.sp; write = false };
-        Trace.Reg { slot = frame.sp + 1; write = false };
-        Trace.Reg { slot = frame.sp + 2; write = false };
-        table_slot_of_key tbl key ~write:true ]
-      Seq
+    if tracing then begin
+      let tr = begin_trace t frame ~pc:opcode_pc ~opcode in
+      Trace.add_reg tr ~slot:frame.sp ~write:false;
+      Trace.add_reg tr ~slot:(frame.sp + 1) ~write:false;
+      Trace.add_reg tr ~slot:(frame.sp + 2) ~write:false;
+      trace_table_slot tr tbl key ~write:true;
+      fire t
+    end
   | NEW_OBJ ->
-    push (Value.new_table ());
-    emit [ stk_write 0 ] Seq
-  | ADD -> binary (Value.arith `Add)
-  | SUB -> binary (Value.arith `Sub)
-  | MUL -> binary (Value.arith `Mul)
-  | DIV -> binary (Value.arith `Div)
-  | IDIV -> binary (Value.arith `Idiv)
-  | MOD -> binary (Value.arith `Mod)
-  | NEG ->
-    push (Value.neg (pop ()));
-    emit [ stk_read 0; stk_write 0 ] Seq
-  | NOT_OP ->
-    push (Value.Bool (not (Value.truthy (pop ()))));
-    emit [ stk_read 0; stk_write 0 ] Seq
-  | LEN_OP ->
-    push (Value.length (pop ()));
-    emit [ stk_read 0; stk_write 0 ] Seq
-  | CONCAT -> binary Value.concat
-  | EQ -> compare_op Value.equal
-  | NE -> compare_op (fun a b -> not (Value.equal a b))
-  | LT_OP -> compare_op Value.compare_lt
-  | LE_OP -> compare_op Value.compare_le
-  | GT_OP -> compare_op (fun a b -> Value.compare_lt b a)
-  | GE_OP -> compare_op (fun a b -> Value.compare_le b a)
+    vpush t frame (Value.new_table ());
+    trace_push t frame ~pc:opcode_pc ~opcode
+  | ADD -> binary t frame ~pc:opcode_pc ~opcode v_add
+  | SUB -> binary t frame ~pc:opcode_pc ~opcode v_sub
+  | MUL -> binary t frame ~pc:opcode_pc ~opcode v_mul
+  | DIV -> binary t frame ~pc:opcode_pc ~opcode v_div
+  | IDIV -> binary t frame ~pc:opcode_pc ~opcode v_idiv
+  | MOD -> binary t frame ~pc:opcode_pc ~opcode v_mod
+  | NEG -> unary t frame ~pc:opcode_pc ~opcode v_neg
+  | NOT_OP -> unary t frame ~pc:opcode_pc ~opcode v_not
+  | LEN_OP -> unary t frame ~pc:opcode_pc ~opcode v_len
+  | CONCAT -> binary t frame ~pc:opcode_pc ~opcode Value.concat
+  | EQ -> binary t frame ~pc:opcode_pc ~opcode v_eq
+  | NE -> binary t frame ~pc:opcode_pc ~opcode v_ne
+  | LT_OP -> binary t frame ~pc:opcode_pc ~opcode v_lt
+  | LE_OP -> binary t frame ~pc:opcode_pc ~opcode v_le
+  | GT_OP -> binary t frame ~pc:opcode_pc ~opcode v_gt
+  | GE_OP -> binary t frame ~pc:opcode_pc ~opcode v_ge
   | JUMP ->
     let d = i16 frame in
     frame.pc <- frame.pc + d;
-    emit [] (Jump { target = frame.pc })
+    if tracing then begin
+      let tr = begin_trace t frame ~pc:opcode_pc ~opcode in
+      Trace.set_jump tr ~target:frame.pc;
+      fire t
+    end
   | JUMP_IF_FALSE ->
     let d = i16 frame in
-    let taken = not (Value.truthy (pop ())) in
+    let taken = not (Value.truthy (vpop t frame)) in
     if taken then frame.pc <- frame.pc + d;
-    emit
-      [ Trace.Reg { slot = frame.sp; write = false } ]
-      (Branch { taken; target = frame.pc })
+    if tracing then begin
+      let tr = begin_trace t frame ~pc:opcode_pc ~opcode in
+      Trace.add_reg tr ~slot:frame.sp ~write:false;
+      Trace.set_branch tr ~taken ~target:frame.pc;
+      fire t
+    end
   | JUMP_IF_TRUE ->
     let d = i16 frame in
-    let taken = Value.truthy (pop ()) in
+    let taken = Value.truthy (vpop t frame) in
     if taken then frame.pc <- frame.pc + d;
-    emit
-      [ Trace.Reg { slot = frame.sp; write = false } ]
-      (Branch { taken; target = frame.pc })
+    if tracing then begin
+      let tr = begin_trace t frame ~pc:opcode_pc ~opcode in
+      Trace.add_reg tr ~slot:frame.sp ~write:false;
+      Trace.set_branch tr ~taken ~target:frame.pc;
+      fire t
+    end
   | CALL -> (
     let nargs = u8 frame in
     let callee_slot = frame.sp - nargs - 1 in
     match stack.(callee_slot) with
     | Value.Func id when id >= 0 ->
-      emit
-        [ Trace.Reg { slot = callee_slot; write = false } ]
-        (Call { callee = id });
+      if tracing then begin
+        let tr = begin_trace t frame ~pc:opcode_pc ~opcode in
+        Trace.add_reg tr ~slot:callee_slot ~write:false;
+        Trace.set_call tr ~callee:id;
+        fire t
+      end;
       (* Arguments become the callee's first locals in place. *)
       frame.sp <- callee_slot;
       push_frame t ~proto_id:id ~locals_base:(callee_slot + 1) ~num_args:nargs
@@ -270,17 +360,25 @@ let step t frame =
          error "%s: expected %d arguments, got %d" builtin.name arity nargs
        | _ -> ());
       let args = List.init nargs (fun i -> stack.(callee_slot + 1 + i)) in
-      emit
-        [ Trace.Reg { slot = callee_slot; write = false } ]
-        (Call { callee = id });
+      if tracing then begin
+        let tr = begin_trace t frame ~pc:opcode_pc ~opcode in
+        Trace.add_reg tr ~slot:callee_slot ~write:false;
+        Trace.set_call tr ~callee:id;
+        fire t
+      end;
       let result = builtin.fn t.ctx args in
       frame.sp <- callee_slot;
       stack.(callee_slot) <- result;
       frame.sp <- callee_slot + 1
     | v -> error "attempt to call a %s value" (Value.type_name v))
   | RETURN_VAL | RETURN_NIL ->
-    let result = if op = RETURN_VAL then pop () else Value.Nil in
-    emit (if op = RETURN_VAL then [ stk_read 0 ] else []) Ret;
+    let result = if op = RETURN_VAL then vpop t frame else Value.Nil in
+    if tracing then begin
+      let tr = begin_trace t frame ~pc:opcode_pc ~opcode in
+      if op = RETURN_VAL then Trace.add_reg tr ~slot:(frame.sp - 1) ~write:false;
+      Trace.set_ret tr;
+      fire t
+    end;
     (match t.frames with
      | [] -> assert false
      | finished :: rest ->
@@ -294,15 +392,23 @@ let step t frame =
           caller.sp <- result_slot + 1))
   | CLOSURE ->
     let pid = u16 frame in
-    push (Value.Func pid);
-    emit [ stk_write 0 ] Seq
+    vpush t frame (Value.Func pid);
+    trace_push t frame ~pc:opcode_pc ~opcode
   | POP ->
-    ignore (pop ());
-    emit [] Seq
+    ignore (vpop t frame);
+    if tracing then begin
+      let (_ : Trace.t) = begin_trace t frame ~pc:opcode_pc ~opcode in
+      fire t
+    end
   | DUP ->
     let v = stack.(frame.sp - 1) in
-    push v;
-    emit [ stk_read 1; stk_write 0 ] Seq
+    vpush t frame v;
+    if tracing then begin
+      let tr = begin_trace t frame ~pc:opcode_pc ~opcode in
+      Trace.add_reg tr ~slot:(frame.sp - 2) ~write:false;
+      Trace.add_reg tr ~slot:(frame.sp - 1) ~write:true;
+      fire t
+    end
 
 let run t =
   push_frame t ~proto_id:0 ~locals_base:0 ~num_args:0;

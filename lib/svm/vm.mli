@@ -20,6 +20,12 @@ val create :
   Bytecode.program ->
   t
 
+val reset : ?seed:int64 -> t -> unit
+(** Restore a VM to its post-{!create} state (stack, frames, globals, step
+    counter and builtin context), so one VM and its compiled program can be
+    {!run} repeatedly — steady-state benchmarks reuse the VM instead of
+    paying setup allocation per run. *)
+
 val run : t -> unit
 val steps : t -> int
 val ctx : t -> Scd_runtime.Builtins.ctx

@@ -7,17 +7,24 @@ type geometry = {
   hit_latency : int;
 }
 
-type line = { mutable valid : bool; mutable tag : int; mutable stamp : int }
-
 type stats = { mutable accesses : int; mutable misses : int }
 
+(* Struct-of-arrays storage: way [w] of set [s] lives at slot [s * ways + w]
+   in three parallel int arrays. An invalid line is encoded as [tags.(slot)
+   = invalid_tag] (no real tag is negative), so the hit scan is a single
+   int-compare loop with no per-line record, option or closure. *)
 type t = {
   geometry : geometry;
   sets : int;
-  table : line array array;
+  block_shift : int;  (* log2 block_bytes, precomputed: used on every access *)
+  set_shift : int;  (* log2 sets *)
+  tags : int array;
+  stamps : int array;
   mutable tick : int;
   stats : stats;
 }
+
+let invalid_tag = -1
 
 let create geometry =
   let { size_bytes; ways; block_bytes; _ } = geometry in
@@ -34,60 +41,63 @@ let create geometry =
   {
     geometry;
     sets;
-    table =
-      Array.init sets (fun _ ->
-          Array.init ways (fun _ -> { valid = false; tag = 0; stamp = 0 }));
+    block_shift = Bits.log2 block_bytes;
+    set_shift = Bits.log2 sets;
+    tags = Array.make blocks invalid_tag;
+    stamps = Array.make blocks 0;
     tick = 0;
     stats = { accesses = 0; misses = 0 };
   }
 
-let split t addr =
-  let block = addr lsr Bits.log2 t.geometry.block_bytes in
-  (block land (t.sets - 1), block lsr Bits.log2 t.sets)
+(* Top-level tail recursion: a local [let rec] closure would capture its
+   environment and allocate per call, which the hot path cannot afford. *)
+let rec find_line tags tag stop s =
+  if s > stop then -1
+  else if tags.(s) = tag then s
+  else find_line tags tag stop (s + 1)
 
-let find t addr =
-  let index, tag = split t addr in
-  let set = t.table.(index) in
-  let rec go i =
-    if i = t.geometry.ways then None
-    else if set.(i).valid && set.(i).tag = tag then Some set.(i)
-    else go (i + 1)
-  in
-  (set, tag, go 0)
+(* Slot of the line holding [addr], or -1 on a miss. *)
+let find_slot t addr =
+  let block = addr lsr t.block_shift in
+  let base = (block land (t.sets - 1)) * t.geometry.ways in
+  let tag = block lsr t.set_shift in
+  find_line t.tags tag (base + t.geometry.ways - 1) base
 
-let contains t ~addr =
-  let _, _, hit = find t addr in
-  Option.is_some hit
+let contains t ~addr = find_slot t addr >= 0
+
+(* LRU victim scan from [s]: the first invalid line wins outright (stopping
+   the scan, as in the original implementation); otherwise the strictly
+   oldest stamp seen so far is carried in [victim]. *)
+let rec pick_lru_line t stop victim s =
+  if s > stop then victim
+  else if t.tags.(s) = invalid_tag then s
+  else
+    pick_lru_line t stop
+      (if t.stamps.(s) < t.stamps.(victim) then s else victim)
+      (s + 1)
 
 let access t ~addr =
   t.stats.accesses <- t.stats.accesses + 1;
   t.tick <- t.tick + 1;
-  let set, tag, hit = find t addr in
-  match hit with
-  | Some line ->
-    line.stamp <- t.tick;
+  let slot = find_slot t addr in
+  if slot >= 0 then begin
+    t.stamps.(slot) <- t.tick;
     `Hit
-  | None ->
+  end
+  else begin
     t.stats.misses <- t.stats.misses + 1;
     (* LRU victim (invalid lines first). *)
+    let block = addr lsr t.block_shift in
+    let base = (block land (t.sets - 1)) * t.geometry.ways in
+    let tag = block lsr t.set_shift in
     let victim =
-      Array.fold_left
-        (fun best line ->
-          match best with
-          | Some b when not b.valid -> best
-          | _ ->
-            if not line.valid then Some line
-            else (
-              match best with
-              | None -> Some line
-              | Some b -> if line.stamp < b.stamp then Some line else best))
-        None set
+      if t.tags.(base) = invalid_tag then base
+      else pick_lru_line t (base + t.geometry.ways - 1) base (base + 1)
     in
-    let line = Option.get victim in
-    line.valid <- true;
-    line.tag <- tag;
-    line.stamp <- t.tick;
+    t.tags.(victim) <- tag;
+    t.stamps.(victim) <- t.tick;
     `Miss
+  end
 
 let stats t = t.stats
 let geometry t = t.geometry

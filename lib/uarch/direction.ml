@@ -77,15 +77,15 @@ let gshare_index ~counters ~history_bits ~history pc =
   let n = Array.length counters in
   (pc lsr 2) lxor (history land Bits.mask history_bits) land (n - 1)
 
-let local_prediction ~histories ~patterns pc =
+(* Index-returning helpers (prediction is [counter_taken table.(idx)]);
+   returning the bare index instead of an (index, prediction) pair keeps the
+   per-event predict/update calls free of tuple allocation. *)
+let local_index ~histories ~patterns pc =
   let h = histories.(pc_index pc (Array.length histories)) in
-  let idx = h land (Array.length patterns - 1) in
-  (idx, counter_taken patterns.(idx))
+  h land (Array.length patterns - 1)
 
-let global_prediction ~global ~ghistory pc =
-  let n = Array.length global in
-  let idx = ((pc lsr 2) lxor ghistory) land (n - 1) in
-  (idx, counter_taken global.(idx))
+let global_index ~global ~ghistory pc =
+  ((pc lsr 2) lxor ghistory) land (Array.length global - 1)
 
 let predict t ~pc =
   match t.state with
@@ -94,11 +94,13 @@ let predict t ~pc =
   | S_gshare { counters; history_bits; history } ->
     counter_taken counters.(gshare_index ~counters ~history_bits ~history pc)
   | S_local { histories; patterns } ->
-    snd (local_prediction ~histories ~patterns pc)
+    counter_taken patterns.(local_index ~histories ~patterns pc)
   | S_tournament { global; ghistory; local_histories; local_patterns; chooser } ->
-    let _, gpred = global_prediction ~global ~ghistory pc in
-    let _, lpred =
-      local_prediction ~histories:local_histories ~patterns:local_patterns pc
+    let gpred = counter_taken global.(global_index ~global ~ghistory pc) in
+    let lpred =
+      counter_taken
+        local_patterns.(local_index ~histories:local_histories
+                          ~patterns:local_patterns pc)
     in
     let choose_global =
       counter_taken chooser.(pc_index pc (Array.length chooser))
@@ -126,7 +128,8 @@ let update t ~pc ~taken =
     histories.(hi) <-
       ((histories.(hi) lsl 1) lor if taken then 1 else 0) land 0x3FF
   | S_tournament s ->
-    let gi, gpred = global_prediction ~global:s.global ~ghistory:s.ghistory pc in
+    let gi = global_index ~global:s.global ~ghistory:s.ghistory pc in
+    let gpred = counter_taken s.global.(gi) in
     let hi = pc_index pc (Array.length s.local_histories) in
     let pi = s.local_histories.(hi) land (Array.length s.local_patterns - 1) in
     let lpred = counter_taken s.local_patterns.(pi) in

@@ -69,13 +69,18 @@ let create scheme btb =
   in
   { scheme; btb; ttc; ittage }
 
+(* Hints and targets travel as plain ints on the hot path: a negative hint
+   means "no hint" (real hints are opcodes, always non-negative) and
+   {!no_target} marks a missing prediction. *)
+let no_hint = -1
+let no_target = Btb.no_target
+
 (* VBBI key: a hash of PC and hint, mapped back into the BTB's word-aligned
    key domain. Without a hint (non-dispatch indirect jumps) it degrades to
    plain PC indexing, exactly as VBBI does for unannotated branches. *)
 let vbbi_key ~pc ~hint =
-  match hint with
-  | None -> pc
-  | Some h -> Bits.splitmix (pc lxor ((h + 1) * 0x9E3779B9)) lsl 2
+  if hint < 0 then pc
+  else Bits.splitmix (pc lxor ((hint + 1) * 0x9E3779B9)) lsl 2
 
 let ttc_index s ~pc =
   let n = Array.length s.tags in
@@ -98,34 +103,56 @@ let ittage_tag (c : ittage_table) ~pc ~ghist =
   ((pc lsr 2) lxor (ittage_fold_history ghist ~bits:c.history_length lsl 1))
   land 0x3FF
 
-(* Longest-history matching component, with its index. *)
-let ittage_match s ~pc =
-  let rec go i =
-    if i < 0 then None
-    else
-      let c = s.components.(i) in
-      let idx = ittage_index c ~pc ~ghist:s.ghist in
-      if c.t_valids.(idx) && c.t_tags.(idx) = ittage_tag c ~pc ~ghist:s.ghist
-      then Some (i, idx)
-      else go (i - 1)
-  in
-  go (Array.length s.components - 1)
+(* Longest-history matching component, packed as [(ci lsl 32) lor idx]
+   (table counts are small, indices fit 32 bits); -1 when nothing matches.
+   Packing instead of [Some (ci, idx)] keeps the per-jump ITTAGE path
+   allocation-free, and the scan is a top-level tail recursion because a
+   local [let rec] closure would allocate per call. *)
+let rec ittage_match_from s ~pc i =
+  if i < 0 then -1
+  else
+    let c = s.components.(i) in
+    let idx = ittage_index c ~pc ~ghist:s.ghist in
+    if c.t_valids.(idx) && c.t_tags.(idx) = ittage_tag c ~pc ~ghist:s.ghist
+    then (i lsl 32) lor idx
+    else ittage_match_from s ~pc (i - 1)
 
-let predict t ~pc ~hint =
+let ittage_match s ~pc = ittage_match_from s ~pc (Array.length s.components - 1)
+
+(* Classic TAGE allocation walk: claim the first slot from component [ci]
+   upward that is invalid or no longer useful, decaying usefulness along the
+   way. Top-level so the recursion carries no closure. *)
+let rec ittage_allocate s ~pc ~target ci =
+  if ci < Array.length s.components then begin
+    let c = s.components.(ci) in
+    let idx = ittage_index c ~pc ~ghist:s.ghist in
+    if (not c.t_valids.(idx)) || c.t_useful.(idx) = 0 then begin
+      c.t_valids.(idx) <- true;
+      c.t_tags.(idx) <- ittage_tag c ~pc ~ghist:s.ghist;
+      c.t_targets.(idx) <- target;
+      c.t_useful.(idx) <- 0
+    end
+    else begin
+      c.t_useful.(idx) <- c.t_useful.(idx) - 1;
+      ittage_allocate s ~pc ~target (ci + 1)
+    end
+  end
+
+let predict_target t ~pc ~hint =
   match t.scheme with
-  | Pc_btb -> Btb.lookup t.btb ~jte:false ~key:pc
-  | Vbbi -> Btb.lookup t.btb ~jte:false ~key:(vbbi_key ~pc ~hint)
+  | Pc_btb -> Btb.lookup_target t.btb ~jte:false ~key:pc
+  | Vbbi -> Btb.lookup_target t.btb ~jte:false ~key:(vbbi_key ~pc ~hint)
   | Ttc _ ->
     let s = Option.get t.ttc in
     let i = ttc_index s ~pc in
-    if s.valids.(i) && s.tags.(i) = ttc_tag ~pc then Some s.targets.(i) else None
-  | Ittage _ -> (
+    if s.valids.(i) && s.tags.(i) = ttc_tag ~pc then s.targets.(i) else no_target
+  | Ittage _ ->
     let s = Option.get t.ittage in
-    match ittage_match s ~pc with
-    | Some (ci, idx) -> Some s.components.(ci).t_targets.(idx)
-    | None -> Btb.lookup t.btb ~jte:false ~key:pc)
+    let m = ittage_match s ~pc in
+    if m >= 0 then s.components.(m lsr 32).t_targets.(m land 0xFFFF_FFFF)
+    else Btb.lookup_target t.btb ~jte:false ~key:pc
 
-let update t ~pc ~hint ~target =
+let update_target t ~pc ~hint ~target =
   match t.scheme with
   | Pc_btb -> Btb.insert t.btb ~jte:false ~key:pc ~target
   | Vbbi -> Btb.insert t.btb ~jte:false ~key:(vbbi_key ~pc ~hint) ~target
@@ -142,13 +169,13 @@ let update t ~pc ~hint ~target =
        allocate in the next-longer table (classic TAGE allocation) *)
     let matched = ittage_match s ~pc in
     let predicted =
-      match matched with
-      | Some (ci, idx) -> Some s.components.(ci).t_targets.(idx)
-      | None -> Btb.probe t.btb ~jte:false ~key:pc
+      if matched >= 0 then
+        s.components.(matched lsr 32).t_targets.(matched land 0xFFFF_FFFF)
+      else Btb.probe_target t.btb ~jte:false ~key:pc
     in
-    (match matched with
-     | Some (ci, idx) ->
-       let c = s.components.(ci) in
+    (if matched >= 0 then begin
+       let c = s.components.(matched lsr 32) in
+       let idx = matched land 0xFFFF_FFFF in
        if c.t_targets.(idx) = target then
          c.t_useful.(idx) <- min 3 (c.t_useful.(idx) + 1)
        else begin
@@ -156,29 +183,21 @@ let update t ~pc ~hint ~target =
          c.t_useful.(idx) <- max 0 (c.t_useful.(idx) - 1);
          if c.t_useful.(idx) = 0 then c.t_targets.(idx) <- target
        end
-     | None -> ());
-    (if predicted <> Some target then begin
-       (* allocate in a longer history table than the match *)
-       let from = match matched with Some (ci, _) -> ci + 1 | None -> 0 in
-       let rec allocate ci =
-         if ci < Array.length s.components then begin
-           let c = s.components.(ci) in
-           let idx = ittage_index c ~pc ~ghist:s.ghist in
-           if (not c.t_valids.(idx)) || c.t_useful.(idx) = 0 then begin
-             c.t_valids.(idx) <- true;
-             c.t_tags.(idx) <- ittage_tag c ~pc ~ghist:s.ghist;
-             c.t_targets.(idx) <- target;
-             c.t_useful.(idx) <- 0
-           end
-           else begin
-             c.t_useful.(idx) <- c.t_useful.(idx) - 1;
-             allocate (ci + 1)
-           end
-         end
-       in
-       allocate from
      end);
+    (if predicted <> target then
+       (* allocate in a longer history table than the match *)
+       ittage_allocate s ~pc ~target
+         (if matched >= 0 then (matched lsr 32) + 1 else 0));
     Btb.insert t.btb ~jte:false ~key:pc ~target;
     s.ghist <- ((s.ghist lsl 3) lxor (target lsr 2)) land Bits.mask 60
+
+let hint_code = function None -> no_hint | Some h -> h
+
+let predict t ~pc ~hint =
+  let target = predict_target t ~pc ~hint:(hint_code hint) in
+  if target == no_target then None else Some target
+
+let update t ~pc ~hint ~target =
+  update_target t ~pc ~hint:(hint_code hint) ~target
 
 let scheme t = t.scheme

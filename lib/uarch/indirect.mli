@@ -23,10 +23,25 @@ type t
 
 val create : scheme -> Btb.t -> t
 
+val no_hint : int
+(** Hint sentinel for the [_target] forms: any negative hint means "no
+    hint" (real hints are non-negative opcodes). *)
+
+val no_target : int
+(** Miss sentinel for {!predict_target} (equals {!Btb.no_target}). *)
+
+val predict_target : t -> pc:int -> hint:int -> int
+(** Allocation-free prediction: the predicted target, or {!no_target}.
+    Counts as a BTB lookup where applicable. *)
+
+val update_target : t -> pc:int -> hint:int -> target:int -> unit
+(** Allocation-free training with the resolved target (also advances TTC
+    path history). *)
+
 val predict : t -> pc:int -> hint:int option -> int option
-(** Predicted target, if any. Counts as a BTB lookup where applicable. *)
+(** Boxing shim over {!predict_target}. *)
 
 val update : t -> pc:int -> hint:int option -> target:int -> unit
-(** Train with the resolved target (also advances TTC path history). *)
+(** Shim over {!update_target}. *)
 
 val scheme : t -> scheme

@@ -18,6 +18,9 @@ type t = {
          sites guard with a physical-equality check against [Probe.null], so
          the un-instrumented hot path costs one comparison and allocates
          nothing. *)
+  fetch_shift : int;
+      (* log2 of the I-cache block size, precomputed: {!fetch} runs once per
+         retired instruction and a division there is measurable. *)
   mutable last_fetch_block : int;
   mutable pair_open : bool; (* a second issue slot remains this cycle *)
   mutable group_has_mem : bool;
@@ -46,6 +49,7 @@ let create ?btb ?(indirect = Indirect.Pc_btb) (config : Config.t) =
     stats = Stats.create ();
     scratch = Event.scratch_create ();
     probe = Scd_obs.Probe.null;
+    fetch_shift = Scd_util.Bits.log2 config.icache.block_bytes;
     last_fetch_block = -1;
     pair_open = false;
     group_has_mem = false;
@@ -74,7 +78,7 @@ let miss_below t ~addr =
         t.stats.cycles + t.config.l2_latency + t.config.mem_latency)
 
 let fetch t pc =
-  let block = pc / t.config.icache.block_bytes in
+  let block = pc lsr t.fetch_shift in
   if block <> t.last_fetch_block then begin
     t.last_fetch_block <- block;
     (match Tlb.access t.itlb ~addr:pc with
@@ -146,13 +150,14 @@ let consume_scratch t (ev : Event.scratch) =
     s.cond_branches <- s.cond_branches + 1;
     let predicted_taken = Direction.predict t.direction ~pc:ev.s_pc in
     let predicted_target =
-      if predicted_taken then Btb.lookup t.btb ~jte:false ~key:ev.s_pc else None
+      if predicted_taken then Btb.lookup_target t.btb ~jte:false ~key:ev.s_pc
+      else Btb.no_target
     in
     if predicted_taken <> taken then begin
       s.cond_mispredicts <- s.cond_mispredicts + 1;
       mispredict t ev
     end
-    else if taken && predicted_target = None then begin
+    else if taken && predicted_target == Btb.no_target then begin
       (* Direction was right but fetch could not redirect: the target is
          computed at decode (direct branch), costing a shorter bubble. *)
       s.direct_target_misses <- s.direct_target_misses + 1;
@@ -163,66 +168,68 @@ let consume_scratch t (ev : Event.scratch) =
   end
   else if tag = Event.tag_jump then begin
     s.direct_jumps <- s.direct_jumps + 1;
-    match Btb.lookup t.btb ~jte:false ~key:ev.s_pc with
-    | Some _ -> ()
-    | None ->
+    if Btb.lookup_target t.btb ~jte:false ~key:ev.s_pc == Btb.no_target
+    then begin
       s.direct_target_misses <- s.direct_target_misses + 1;
       stall t t.config.direct_bubble;
       Btb.insert t.btb ~jte:false ~key:ev.s_pc ~target:ev.s_target
+    end
   end
   else if tag = Event.tag_call then begin
     Ras.push t.ras (ev.s_pc + 4);
     if ev.s_indirect then begin
       s.indirect_jumps <- s.indirect_jumps + 1;
-      let predicted = Indirect.predict t.indirect ~pc:ev.s_pc ~hint:None in
-      if (match predicted with Some p -> p <> ev.s_target | None -> true)
-      then begin
+      let predicted =
+        Indirect.predict_target t.indirect ~pc:ev.s_pc ~hint:Indirect.no_hint
+      in
+      if predicted <> ev.s_target then begin
         s.indirect_mispredicts <- s.indirect_mispredicts + 1;
         mispredict t ev
       end;
-      Indirect.update t.indirect ~pc:ev.s_pc ~hint:None ~target:ev.s_target
+      Indirect.update_target t.indirect ~pc:ev.s_pc ~hint:Indirect.no_hint
+        ~target:ev.s_target
     end
     else begin
       s.direct_jumps <- s.direct_jumps + 1;
-      match Btb.lookup t.btb ~jte:false ~key:ev.s_pc with
-      | Some _ -> ()
-      | None ->
+      if Btb.lookup_target t.btb ~jte:false ~key:ev.s_pc == Btb.no_target
+      then begin
         s.direct_target_misses <- s.direct_target_misses + 1;
         stall t t.config.direct_bubble;
         Btb.insert t.btb ~jte:false ~key:ev.s_pc ~target:ev.s_target
+      end
     end
   end
   else if tag = Event.tag_return then begin
     s.returns <- s.returns + 1;
-    match Ras.pop t.ras with
-    | Some predicted when predicted = ev.s_target -> ()
-    | Some _ | None ->
+    if Ras.pop_target t.ras <> ev.s_target then begin
       s.return_mispredicts <- s.return_mispredicts + 1;
       mispredict t ev
+    end
   end
   else if tag = Event.tag_ind_jump then begin
     s.indirect_jumps <- s.indirect_jumps + 1;
-    let hint = if ev.s_hint < 0 then None else Some ev.s_hint in
-    let predicted = Indirect.predict t.indirect ~pc:ev.s_pc ~hint in
-    if (match predicted with Some p -> p <> ev.s_target | None -> true)
-    then begin
+    let hint = if ev.s_hint < 0 then Indirect.no_hint else ev.s_hint in
+    let predicted = Indirect.predict_target t.indirect ~pc:ev.s_pc ~hint in
+    if predicted <> ev.s_target then begin
       s.indirect_mispredicts <- s.indirect_mispredicts + 1;
       mispredict t ev
     end;
-    Indirect.update t.indirect ~pc:ev.s_pc ~hint ~target:ev.s_target
+    Indirect.update_target t.indirect ~pc:ev.s_pc ~hint ~target:ev.s_target
   end
   else if tag = Event.tag_jru then begin
     (* Times exactly like a plain indirect jump; the JTE insertion has been
        done by the SCD engine against the shared BTB. *)
     s.jru_count <- s.jru_count + 1;
     s.indirect_jumps <- s.indirect_jumps + 1;
-    let predicted = Indirect.predict t.indirect ~pc:ev.s_pc ~hint:None in
-    if (match predicted with Some p -> p <> ev.s_target | None -> true)
-    then begin
+    let predicted =
+      Indirect.predict_target t.indirect ~pc:ev.s_pc ~hint:Indirect.no_hint
+    in
+    if predicted <> ev.s_target then begin
       s.indirect_mispredicts <- s.indirect_mispredicts + 1;
       mispredict t ev
     end;
-    Indirect.update t.indirect ~pc:ev.s_pc ~hint:None ~target:ev.s_target
+    Indirect.update_target t.indirect ~pc:ev.s_pc ~hint:Indirect.no_hint
+      ~target:ev.s_target
   end
   else begin
     (* tag_bop *)
@@ -253,3 +260,65 @@ let consume_scratch t (ev : Event.scratch) =
 let consume t ev =
   Event.load_scratch t.scratch ev;
   consume_scratch t t.scratch
+
+(* [issue] specialised to a plain (non-mem, non-control) instruction. *)
+let issue_plain t =
+  if t.pair_open then t.pair_open <- false
+  else begin
+    t.stats.cycles <- t.stats.cycles + 1;
+    t.pair_open <- t.config.issue_width > 1;
+    t.group_has_mem <- false
+  end
+
+(* Consume a run of [count] plain instructions starting at [pc], spaced
+   [stride] bytes apart, in aggregate. Bit-identical to consuming them one
+   by one: instruction/dispatch counts add up, the I-side is touched once
+   per cache-block transition exactly as the per-instruction [fetch]
+   short-circuit would, and on a single-issue machine each plain
+   instruction costs one cycle. With a probe attached or a dual-issue
+   front end the exact per-instruction loop runs instead (retire hooks and
+   pairing state are per-instruction observable). *)
+let consume_plain_run t ~pc ~dispatch ~count ~stride =
+  let s = t.stats in
+  if t.probe == Scd_obs.Probe.null && t.config.issue_width = 1 then begin
+    s.instructions <- s.instructions + count;
+    if dispatch then
+      s.dispatch_instructions <- s.dispatch_instructions + count;
+    fetch t pc;
+    (* Touch each later block at its boundary: any pc inside a block is
+       equivalent for the I-TLB (blocks never straddle pages) and the
+       I-cache (same line), so stats, ticks and stamps match the
+       per-instruction walk. [stride <= block_bytes], so no block between
+       the first and last is skipped. *)
+    let last_block = (pc + (stride * (count - 1))) lsr t.fetch_shift in
+    for b = (pc lsr t.fetch_shift) + 1 to last_block do
+      fetch t (b lsl t.fetch_shift)
+    done;
+    (* Single issue, [pair_open] invariantly false: one cycle each, and the
+       last instruction leaves a fresh mem-free issue group. *)
+    s.cycles <- s.cycles + count;
+    t.group_has_mem <- false
+  end
+  else
+    for k = 0 to count - 1 do
+      s.instructions <- s.instructions + 1;
+      if dispatch then
+        s.dispatch_instructions <- s.dispatch_instructions + 1;
+      fetch t (pc + (k * stride));
+      issue_plain t;
+      if t.probe != Scd_obs.Probe.null then t.probe.Scd_obs.Probe.on_retire ()
+    done
+
+let consume_tape t tape =
+  let cells = Event.tape_cells tape in
+  for i = 0 to cells - 1 do
+    if Event.tape_cell_tag tape i = Event.tag_plain_run then
+      consume_plain_run t ~pc:(Event.tape_cell_pc tape i)
+        ~dispatch:(Event.tape_cell_dispatch tape i)
+        ~count:(Event.tape_cell_arg1 tape i)
+        ~stride:(Event.tape_cell_arg2 tape i)
+    else begin
+      Event.tape_load_scratch tape i t.scratch;
+      consume_scratch t t.scratch
+    end
+  done

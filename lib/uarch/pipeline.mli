@@ -59,3 +59,8 @@ val consume_scratch : t -> Scd_isa.Event.scratch -> unit
     overwrites one scratch in place per instruction and the pipeline reads
     it synchronously — no per-event record is ever allocated. The pipeline
     does not retain the scratch across calls. *)
+
+val consume_tape : t -> Scd_isa.Event.tape -> unit
+(** Account every cell of a flat event tape in order, by decoding each cell
+    into the internal scratch and running {!consume_scratch}. Allocation-free;
+    the caller clears and refills the tape between batches. *)

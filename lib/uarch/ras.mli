@@ -6,8 +6,15 @@ type t
 val create : depth:int -> t
 val push : t -> int -> unit
 
+val no_target : int
+(** Sentinel returned by {!pop_target} when the stack is empty ([min_int]). *)
+
+val pop_target : t -> int
+(** Allocation-free pop: predicted return address, or {!no_target} when
+    empty (predict fall-through). *)
+
 val pop : t -> int option
-(** Predicted return address; [None] when empty (predict fall-through). *)
+(** Boxing shim over {!pop_target}; [None] when empty. *)
 
 val depth : t -> int
 val occupancy : t -> int

@@ -1,54 +1,78 @@
-type slot = { mutable valid : bool; mutable vpn : int; mutable stamp : int }
-
 type stats = { mutable accesses : int; mutable misses : int }
 
-type t = { slots : slot array; mutable tick : int; stats : stats }
+(* Struct-of-arrays storage: slot [i] lives at index [i] of two parallel int
+   arrays. An invalid slot holds [invalid_vpn] (no real VPN is negative), so
+   both the hit scan and the victim scan are plain int loops that allocate
+   nothing. *)
+type t = {
+  vpns : int array;
+  stamps : int array;
+  mutable tick : int;
+  mutable mru : int;
+      (* Slot of the last hit or fill. Consecutive accesses usually touch
+         the same page, so checking it first skips the linear scan; a VPN
+         lives in at most one slot, so the answer — and every stat, tick
+         and stamp update — is identical to the full scan's. *)
+  stats : stats;
+}
 
 let page_shift = 12
+let invalid_vpn = -1
 
 let create ~entries =
   if entries <= 0 then invalid_arg "Tlb.create: entries must be positive";
   {
-    slots = Array.init entries (fun _ -> { valid = false; vpn = 0; stamp = 0 });
+    vpns = Array.make entries invalid_vpn;
+    stamps = Array.make entries 0;
     tick = 0;
+    mru = 0;
     stats = { accesses = 0; misses = 0 };
   }
+
+(* Top-level tail recursion: a local [let rec] closure would capture its
+   environment and allocate per call, which the hot path cannot afford. *)
+let rec find_vpn vpns vpn entries i =
+  if i = entries then -1
+  else if vpns.(i) = vpn then i
+  else find_vpn vpns vpn entries (i + 1)
+
+(* LRU victim scan from [i]: the first invalid slot wins outright (stopping
+   the scan, as in the original implementation); otherwise the strictly
+   oldest stamp seen so far is carried in [victim]. *)
+let rec pick_lru_slot t entries victim i =
+  if i = entries then victim
+  else if t.vpns.(i) = invalid_vpn then i
+  else
+    pick_lru_slot t entries
+      (if t.stamps.(i) < t.stamps.(victim) then i else victim)
+      (i + 1)
 
 let access t ~addr =
   let vpn = addr lsr page_shift in
   t.stats.accesses <- t.stats.accesses + 1;
   t.tick <- t.tick + 1;
-  let hit =
-    Array.fold_left
-      (fun acc slot ->
-        match acc with
-        | Some _ -> acc
-        | None -> if slot.valid && slot.vpn = vpn then Some slot else None)
-      None t.slots
-  in
-  match hit with
-  | Some slot ->
-    slot.stamp <- t.tick;
+  if t.vpns.(t.mru) = vpn then begin
+    t.stamps.(t.mru) <- t.tick;
     `Hit
-  | None ->
-    t.stats.misses <- t.stats.misses + 1;
-    let victim =
-      Array.fold_left
-        (fun best slot ->
-          match best with
-          | Some b when not b.valid -> best
-          | _ ->
-            if not slot.valid then Some slot
-            else (
-              match best with
-              | None -> Some slot
-              | Some b -> if slot.stamp < b.stamp then Some slot else best))
-        None t.slots
-    in
-    let slot = Option.get victim in
-    slot.valid <- true;
-    slot.vpn <- vpn;
-    slot.stamp <- t.tick;
-    `Miss
+  end
+  else begin
+    let entries = Array.length t.vpns in
+    let slot = find_vpn t.vpns vpn entries 0 in
+    if slot >= 0 then begin
+      t.stamps.(slot) <- t.tick;
+      t.mru <- slot;
+      `Hit
+    end
+    else begin
+      t.stats.misses <- t.stats.misses + 1;
+      let victim =
+        if t.vpns.(0) = invalid_vpn then 0 else pick_lru_slot t entries 0 1
+      in
+      t.vpns.(victim) <- vpn;
+      t.stamps.(victim) <- t.tick;
+      t.mru <- victim;
+      `Miss
+    end
+  end
 
 let stats t = t.stats

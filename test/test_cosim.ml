@@ -360,6 +360,115 @@ let test_codec_rejects_bad_payloads () =
   | Ok r' -> check_bool "original still decodes" true (Result.equal r r')
   | Error m -> Alcotest.fail m
 
+(* ------------------------------------------------------------------ *)
+(* Flat event tape vs legacy boxed delivery                            *)
+(* ------------------------------------------------------------------ *)
+
+(* The driver batches each bytecode's expansion into a flat int tape; the
+   [`Boxed] path decodes every cell into an [Event.t] and feeds the old
+   [Pipeline.consume]. The two deliveries must be bit-identical — same
+   cycles, same BTB stats, same engine counters — across schemes, VMs,
+   multi-table and context-switch configurations. *)
+let test_event_paths_identical () =
+  List.iter
+    (fun (vm, scheme, cs, multi) ->
+      let go event_path =
+        Driver.run ~event_path
+          { Driver.default_config with frontend = Frontend.get vm; scheme;
+            context_switch_interval = cs; multi_table = multi }
+          ~source:small_script
+      in
+      check_bool
+        (Printf.sprintf "%s/%s identical across event paths" vm
+           (Scheme.name scheme))
+        true
+        (Result.equal (go `Flat) (go `Boxed)))
+    [ ("lua", Scheme.Baseline, None, false);
+      ("lua", Scheme.Scd, None, false);
+      ("lua", Scheme.Scd, Some 50_000, false);
+      ("js", Scheme.Scd, None, true);
+      ("js", Scheme.Jump_threading, None, false);
+      ("lua", Scheme.Vbbi, None, false) ]
+
+let prop_event_paths_agree =
+  QCheck.Test.make
+    ~name:"random programs: flat and boxed event paths bit-identical" ~count:8
+    Gen_program.program (fun source ->
+      List.for_all
+        (fun scheme ->
+          let go event_path =
+            Driver.run ~event_path
+              { Driver.default_config with scheme }
+              ~source
+          in
+          Result.equal (go `Flat) (go `Boxed))
+        Scheme.all)
+
+(* The point of the tape: steady-state event delivery plus engine fast-path
+   probes allocate nothing at all. Probes are off (the default
+   [Probe.null]); the warm-up loop grows the tape to its final capacity and
+   fills every predictor structure, after which 10k full steps must leave
+   the minor-allocation counter exactly where it was. *)
+let test_flat_event_delivery_allocation_free () =
+  let open Scd_isa.Event in
+  let machine = Scd_uarch.Config.simulator in
+  let btb =
+    Scd_uarch.Btb.create ~entries:machine.btb_entries ~ways:machine.btb_ways
+      ~replacement:machine.btb_replacement ()
+  in
+  let engine = Scd_core.Engine.create btb in
+  let pipeline =
+    Scd_uarch.Pipeline.create ~btb
+      ~indirect:(Scheme.indirect_scheme Scheme.Scd) machine
+  in
+  let tape = tape_create () in
+  let step i =
+    let pc = 0x1000 + ((i land 63) * 4) in
+    let opcode = i land 31 in
+    tape_clear tape;
+    tape_push tape ~pc
+      ~flags:(tag_mem_read lor flag_dispatch lor flag_sets_rop)
+      ~arg1:(0x8000 + ((i land 255) * 4))
+      ~arg2:(-1);
+    tape_push tape ~pc:(pc + 4) ~flags:tag_plain ~arg1:0 ~arg2:(-1);
+    (* a plain-run cell spanning a block boundary exercises the aggregate
+       consumption path (including its block-walk fetches) *)
+    tape_push_run tape ~pc:(pc + 8) ~dispatch:false ~count:24 ~stride:12;
+    tape_push tape ~pc:(pc + 8)
+      ~flags:(tag_cond_branch lor if i land 1 = 0 then flag_taken else 0)
+      ~arg1:(pc + 64) ~arg2:(-1);
+    Scd_uarch.Pipeline.consume_tape pipeline tape;
+    (* the engine's architectural fast path, at the flush boundary like the
+       driver: probe, install a JTE on a miss *)
+    if Scd_core.Engine.bop_target engine ~opcode = Scd_core.Engine.no_target
+    then
+      Scd_core.Engine.jru_code engine ~opcode ~target:(0x4000 + (opcode * 8));
+    tape_clear tape;
+    tape_push tape ~pc:(pc + 12)
+      ~flags:(tag_bop lor flag_dispatch)
+      ~arg1:(pc + 16) ~arg2:opcode;
+    tape_push tape ~pc:(pc + 16)
+      ~flags:(tag_jru lor flag_dispatch)
+      ~arg1:(0x4000 + (opcode * 8))
+      ~arg2:opcode;
+    tape_push tape ~pc:(pc + 20) ~flags:tag_call ~arg1:0x6000 ~arg2:(-1);
+    tape_push tape ~pc:(pc + 24) ~flags:tag_return ~arg1:(pc + 28) ~arg2:(-1);
+    tape_push tape ~pc:(pc + 28) ~flags:tag_ind_jump
+      ~arg1:(0x4000 + (opcode * 8))
+      ~arg2:opcode;
+    Scd_uarch.Pipeline.consume_tape pipeline tape
+  in
+  for i = 0 to 4_095 do
+    step i
+  done;
+  let m0 = Gc.minor_words () in
+  for i = 0 to 9_999 do
+    step i
+  done;
+  let delta = Gc.minor_words () -. m0 in
+  Alcotest.(check (float 0.0))
+    "10k flat pipeline+engine steps allocate zero minor words" 0.0 delta
+
 let test_result_is_pure_snapshot () =
   (* two runs never alias each other's stats blocks *)
   let a = run Scheme.Scd in
@@ -417,6 +526,14 @@ let () =
           Alcotest.test_case "stats invariants" `Quick test_stats_consistency;
           Alcotest.test_case "instructions per bytecode" `Quick
             test_instruction_count_scales_with_bytecodes;
+        ] );
+      ( "event-paths",
+        [
+          Alcotest.test_case "flat vs boxed bit-identical" `Quick
+            test_event_paths_identical;
+          QCheck_alcotest.to_alcotest prop_event_paths_agree;
+          Alcotest.test_case "flat delivery allocation-free" `Quick
+            test_flat_event_delivery_allocation_free;
         ] );
       ( "codec",
         [

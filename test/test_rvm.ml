@@ -219,7 +219,7 @@ let test_trace_branch_outcomes () =
     Vm.create
       ~trace:(fun tr ->
         if tr.Scd_runtime.Trace.opcode = forloop_op then
-          match tr.ctrl with
+          match Scd_runtime.Trace.ctrl tr with
           | Scd_runtime.Trace.Branch { taken = t; _ } ->
             if t then incr taken else incr not_taken
           | _ -> Alcotest.fail "FORLOOP must report a branch outcome")
@@ -247,7 +247,7 @@ let test_trace_register_slots_absolute () =
           (function
             | Scd_runtime.Trace.Reg { slot; _ } -> max_slot := max !max_slot slot
             | _ -> ())
-          tr.accesses)
+          (Scd_runtime.Trace.accesses tr))
       program
   in
   Vm.run vm;

@@ -133,7 +133,7 @@ let test_operand_stack_balance () =
           (function
             | Scd_runtime.Trace.Reg { slot; _ } -> max_slot := max !max_slot slot
             | _ -> ())
-          tr.accesses)
+          (Scd_runtime.Trace.accesses tr))
       program
   in
   Vm.run vm;
