@@ -68,7 +68,10 @@ let tail_len spec (scheme : Scd_core.Scheme.t) =
 let handler_len (spec : Spec.t) scheme op =
   let h = spec.handler op in
   (h.body_instrs * hot_stride / 4)
-  + (match h.rt_call with Some _ -> 1 | None -> 0)
+  (* The runtime-helper call is compiled handler code like the rest of the
+     body, so it occupies a full hot-stride slot — its return address (and
+     the tail region behind it) sits [hot_stride] bytes past the call. *)
+  + (match h.rt_call with Some _ -> hot_stride / 4 | None -> 0)
   + tail_len spec scheme
 
 let prefix_offsets sizes =

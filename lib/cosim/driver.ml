@@ -82,6 +82,9 @@ type expander = {
   scratch : Event.scratch;
       (* Decode staging for the context-switch flush loop, which must
          interleave retire bookkeeping between cells. *)
+  trap : (Event.tape -> unit) option;
+      (* Test observer: called on every non-empty tape batch just before it
+         is drained. [None] (the default) costs one field load per flush. *)
 }
 
 let table_of_site = function
@@ -107,6 +110,7 @@ let flush exp =
   let tape = exp.tape in
   let cells = Event.tape_cells tape in
   if cells > 0 then begin
+    (match exp.trap with None -> () | Some f -> f tape);
     (match exp.cs_interval with
      | None ->
        if exp.boxed then
@@ -166,9 +170,11 @@ let emit_ind_jump exp ~dispatch pc ~target ~hint =
   in
   Event.tape_push exp.tape ~pc ~flags ~arg1:target ~arg2:hint
 
-(* All simulated runtime-helper calls are direct. *)
-let emit_call exp pc ~target =
-  Event.tape_push exp.tape ~pc ~flags:Event.tag_call ~arg1:target ~arg2:(-1)
+(* All simulated runtime-helper calls are direct. [link] is the
+   architectural return address; calls sit in handler code, so it is
+   [pc + step] for the emission stride, not a hardcoded [pc + 4]. *)
+let emit_call exp pc ~target ~link =
+  Event.tape_push exp.tape ~pc ~flags:Event.tag_call ~arg1:target ~arg2:link
 
 let emit_return exp pc ~target =
   Event.tape_push exp.tape ~pc ~flags:Event.tag_return ~arg1:target ~arg2:(-1)
@@ -248,7 +254,7 @@ let emit_dispatch exp ~base ~step ~overhead ~site ~opcode ~fetch_addr =
   let vm_state = Layout.vm_state_addr exp.layout in
   emit_mem exp ~dispatch:true ~sets_rop:false ~write:false exp.epc
     ~addr:vm_state;
-  exp.epc <- exp.epc + 4;
+  exp.epc <- exp.epc + step;
   let scd = exp.scheme = Scd_core.Scheme.Scd in
   emit_mem exp ~dispatch:true ~sets_rop:scd ~write:false exp.epc
     ~addr:fetch_addr;
@@ -285,7 +291,7 @@ let emit_dispatch exp ~base ~step ~overhead ~site ~opcode ~fetch_addr =
     if target <> Scd_core.Engine.no_target then
       emit_bop exp bop_pc ~opcode ~hit:true ~target
     else begin
-      emit_bop exp bop_pc ~opcode ~hit:false ~target:(bop_pc + 4);
+      emit_bop exp bop_pc ~opcode ~hit:false ~target:(bop_pc + step);
       exp.epc <- bop_pc + step;
       emit_decode_to_target exp ~step ~opcode;
       (* jru: indirect jump + JTE insertion *)
@@ -298,11 +304,15 @@ let emit_dispatch exp ~base ~step ~overhead ~site ~opcode ~fetch_addr =
     let hint = match exp.scheme with Vbbi -> opcode | _ -> -1 in
     emit_ind_jump exp ~dispatch:true exp.epc ~target:handler ~hint
 
-(* Runtime helper / builtin library call appended to a handler body. *)
-let emit_blob exp (b : Spec.rt_blob) =
+(* Runtime helper / builtin library call appended to a handler body. The
+   call is a handler instruction emitted at [step] (= the handler's hot
+   stride), so the return lands [step] bytes past it — where the layout
+   places the tail region; the call cell carries that link so the RAS push
+   matches the return target. *)
+let emit_blob exp ~step (b : Spec.rt_blob) =
   let target = Layout.blob_entry exp.layout b.blob_id in
-  emit_call exp exp.epc ~target;
-  let return_to = exp.epc + 4 in
+  let return_to = exp.epc + step in
+  emit_call exp exp.epc ~target ~link:return_to;
   exp.epc <- target;
   (* The body is a fixed pattern: [load_every - 1] plain instructions then
      one load, repeated, with a trailing plain run. *)
@@ -351,10 +361,10 @@ let emit_handler exp (tr : Trace.t) =
   end;
   (* Runtime helper / builtin library call. *)
   if tr.ctrl_kind = Trace.ctrl_call && tr.ctrl_arg < 0 then
-    emit_blob exp (exp.spec.builtin_blob (-1 - tr.ctrl_arg))
+    emit_blob exp ~step:Layout.hot_stride (exp.spec.builtin_blob (-1 - tr.ctrl_arg))
   else
     match spec_handler.rt_call with
-    | Some id -> emit_blob exp exp.spec.blobs.(id)
+    | Some id -> emit_blob exp ~step:Layout.hot_stride exp.spec.blobs.(id)
     | None -> ()
 
 let emit_tail exp opcode =
@@ -434,7 +444,7 @@ let trace_callback exp = function
    profile active the span calls cost one ref load each per run; with
    `scdsim prof` the phases' wall time and GC counter deltas are attributed
    by name, nested under whatever span the caller opened. *)
-let run ?telemetry ?(event_path = `Flat) config ~source =
+let run ?telemetry ?(event_path = `Flat) ?tape_trap config ~source =
   let btb, engine, pipeline, (module F : Frontend.S), options, spec =
     Scd_obs.Prof.span "setup" (fun () ->
         (* simulated heap addresses derive from table ids: restart the
@@ -498,6 +508,7 @@ let run ?telemetry ?(event_path = `Flat) config ~source =
       epc = 0;
       tape = Event.tape_create ~capacity:256 ();
       scratch = Event.scratch_create ();
+      trap = tape_trap;
     }
   in
   let ctx = Builtins.create_ctx ~seed:config.seed () in

@@ -69,10 +69,17 @@ val runs : unit -> int
 val run :
   ?telemetry:Telemetry.t ->
   ?event_path:[ `Flat | `Boxed ] ->
+  ?tape_trap:(Scd_isa.Event.tape -> unit) ->
   run_config ->
   source:string ->
   result
 (** Compile and co-simulate [source]. Raises on script errors.
+
+    [tape_trap], when given, observes every non-empty event-tape batch just
+    before the timing model drains it (tests use it to assert properties of
+    the raw cells — e.g. replica PC spacing, or word-for-word equality
+    between emission strategies). The tape contents are only valid for the
+    duration of the callback.
 
     [event_path] selects how expanded events reach the timing model.
     [`Flat] (the default) drains the preallocated flat event tape —

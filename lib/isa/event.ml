@@ -5,7 +5,7 @@ type kind =
   | Cond_branch of { taken : bool; target : int }
   | Jump of { target : int }
   | Ind_jump of { target : int; hint : int option }
-  | Call of { target : int; indirect : bool }
+  | Call of { target : int; indirect : bool; link : int }
   | Return of { target : int }
   | Bop of { opcode : int; hit : bool; target : int }
   | Jru of { opcode : int option; target : int }
@@ -105,10 +105,11 @@ let load_scratch s t =
     s.s_tag <- tag_ind_jump;
     s.s_target <- target;
     s.s_hint <- (match hint with None -> -1 | Some h -> h)
-  | Call { target; indirect } ->
+  | Call { target; indirect; link } ->
     s.s_tag <- tag_call;
     s.s_target <- target;
-    s.s_indirect <- indirect
+    s.s_indirect <- indirect;
+    s.s_hint <- link
   | Return { target } ->
     s.s_tag <- tag_return;
     s.s_target <- target
@@ -151,13 +152,20 @@ let tape_create ?(capacity = 64) () =
 let tape_clear tape = tape.len <- 0
 let tape_cells tape = tape.len / cell_words
 
-let[@inline never] tape_grow tape =
-  let buf = Array.make (2 * Array.length tape.buf) 0 in
+(* Grow to hold at least [need] words: doubling, but never less than
+   needed (template stamps can append many cells at once). *)
+let[@inline never] tape_grow tape need =
+  let cap = ref (2 * Array.length tape.buf) in
+  while !cap < need do
+    cap := 2 * !cap
+  done;
+  let buf = Array.make !cap 0 in
   Array.blit tape.buf 0 buf 0 tape.len;
   tape.buf <- buf
 
 let tape_push tape ~pc ~flags ~arg1 ~arg2 =
-  if tape.len + cell_words > Array.length tape.buf then tape_grow tape;
+  if tape.len + cell_words > Array.length tape.buf then
+    tape_grow tape (tape.len + cell_words);
   let buf = tape.buf and i = tape.len in
   buf.(i) <- pc;
   buf.(i + 1) <- flags;
@@ -169,6 +177,48 @@ let tape_push_run tape ~pc ~dispatch ~count ~stride =
   tape_push tape ~pc
     ~flags:(tag_plain_run lor if dispatch then flag_dispatch else 0)
     ~arg1:count ~arg2:stride
+
+(* ------------------------------------------------------------------ *)
+(* Template stamping                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* A template is an immutable [int array] of whole cells in the tape
+   encoding above. Stamping appends it with one [Array.blit]; the returned
+   word base lets the producer patch the few run-dependent words in place
+   ([tape_set_word]) instead of re-computing every cell. *)
+
+let tape_extent tape = tape.len
+
+let tape_blit tape (src : int array) =
+  let words = Array.length src in
+  let base = tape.len in
+  if base + words > Array.length tape.buf then tape_grow tape (base + words);
+  Array.blit src 0 tape.buf base words;
+  tape.len <- base + words;
+  base
+
+(* Stamp a base-relative template: word 0 of every cell (the PC) is
+   offset by [pc_delta]; payload words are absolute and copied as-is. *)
+let tape_blit_reloc tape (src : int array) ~pc_delta =
+  let words = Array.length src in
+  let base = tape.len in
+  if base + words > Array.length tape.buf then tape_grow tape (base + words);
+  let buf = tape.buf in
+  Array.blit src 0 buf base words;
+  let i = ref base in
+  while !i < base + words do
+    buf.(!i) <- buf.(!i) + pc_delta;
+    i := !i + cell_words
+  done;
+  tape.len <- base + words;
+  base
+
+let tape_set_word tape i v = tape.buf.(i) <- v
+
+(* Copy out words [lo, tape.len) — template capture after a scratch
+   emission. *)
+let tape_snapshot tape ~from =
+  Array.sub tape.buf from (tape.len - from)
 
 (* Raw cell accessors, for consumers that dispatch on the tag before paying
    for a full scratch decode (the plain-run fast path). *)
@@ -219,7 +269,7 @@ let tape_to_event tape i =
     else if tag = tag_ind_jump then
       Ind_jump { target = arg1; hint = (if arg2 < 0 then None else Some arg2) }
     else if tag = tag_call then
-      Call { target = arg1; indirect = flags land flag_indirect <> 0 }
+      Call { target = arg1; indirect = flags land flag_indirect <> 0; link = arg2 }
     else if tag = tag_return then Return { target = arg1 }
     else if tag = tag_bop then
       Bop { opcode = arg2; hit = flags land flag_hit <> 0; target = arg1 }
@@ -244,7 +294,7 @@ let pp fmt t =
       Printf.sprintf "br(%s->0x%x)" (if taken then "T" else "N") target
     | Jump { target } -> Printf.sprintf "j(0x%x)" target
     | Ind_jump { target; _ } -> Printf.sprintf "ij(0x%x)" target
-    | Call { target; indirect } ->
+    | Call { target; indirect; link = _ } ->
       Printf.sprintf "call%s(0x%x)" (if indirect then "*" else "") target
     | Return { target } -> Printf.sprintf "ret(0x%x)" target
     | Bop { opcode; hit; target } ->

@@ -17,7 +17,13 @@ type kind =
       (** Indirect jump via register. [hint] is the compiler-identified value
           correlated with the target (the opcode, for the dispatch jump);
           the VBBI predictor indexes the BTB with a hash of PC and hint. *)
-  | Call of { target : int; indirect : bool }
+  | Call of { target : int; indirect : bool; link : int }
+      (** [link] is the architectural return address pushed on the RAS;
+          [-1] means the default [pc + 4] (a 4-byte call instruction). Call
+          sites emitted at a wider stride (jump-threading handler replicas
+          spaced {!Scd_codegen.Layout.hot_stride} apart) carry their real
+          [pc + stride] link so the matching {!Return} target agrees with
+          the RAS prediction. *)
   | Return of { target : int }
   | Bop of { opcode : int; hit : bool; target : int }
       (** SCD branch-on-opcode. [hit] and [target] are decided by the SCD
@@ -69,7 +75,9 @@ type scratch = {
   mutable s_addr : int;  (** [tag_mem_read] / [tag_mem_write]. *)
   mutable s_taken : bool;  (** [tag_cond_branch]. *)
   mutable s_target : int;  (** Every control tag. *)
-  mutable s_hint : int;  (** [tag_ind_jump]; [-1] = no hint. *)
+  mutable s_hint : int;
+      (** [tag_ind_jump]: value hint, [-1] = no hint.
+          [tag_call]: RAS link address, [-1] = default [pc + 4]. *)
   mutable s_opcode : int;  (** [tag_bop] / [tag_jru]; [-1] = none. *)
   mutable s_hit : bool;  (** [tag_bop]. *)
   mutable s_indirect : bool;  (** [tag_call]. *)
@@ -110,7 +118,8 @@ val load_scratch : scratch -> t -> unit
     consumed by index ({!Scd_uarch.Pipeline.consume_tape}). [flags] packs
     the [tag_*] constant in bits 0-3 and dispatch / sets_rop / taken / hit /
     indirect in bits 4-8; [arg1] is the memory address (mem tags) or branch
-    target (control tags); [arg2] is the hint or opcode, [-1] = none. The
+    target (control tags); [arg2] is the hint, opcode or call link,
+    [-1] = none. The
     producer batches the events of one bytecode and the consumer drains them
     in order, so steady-state event delivery touches no boxed values at
     all. The buffer doubles on overflow, which stops happening once the
@@ -139,6 +148,36 @@ val tape_push : tape -> pc:int -> flags:int -> arg1:int -> arg2:int -> unit
 val tape_push_run : tape -> pc:int -> dispatch:bool -> count:int -> stride:int -> unit
 (** Append one {!tag_plain_run} cell covering [count] plain instructions
     spaced [stride] bytes apart. *)
+
+(** {3 Template stamping}
+
+    A precompiled template is an immutable [int array] of whole cells in
+    the tape encoding. Stamping appends it in one [Array.blit]; the
+    returned word base lets the producer patch the few run-dependent words
+    in place instead of re-computing every cell (see
+    {!Scd_codegen.Template}). *)
+
+val tape_extent : tape -> int
+(** Current length in words — the word base the next append will land at,
+    and a valid [from] for {!tape_snapshot}. *)
+
+val tape_blit : tape -> int array -> int
+(** Append a whole-cell template verbatim; returns the word base it landed
+    at. Grows the buffer (to at least the needed size) if required. *)
+
+val tape_blit_reloc : tape -> int array -> pc_delta:int -> int
+(** Like {!tape_blit}, but the template is base-relative: word 0 of every
+    cell (the PC) is offset by [pc_delta]; payload words are copied
+    as-is. *)
+
+val tape_set_word : tape -> int -> int -> unit
+(** [tape_set_word t i v] overwrites absolute word [i] — used to patch
+    run-dependent words (fetch address, data-access addresses, branch
+    outcome) after a stamp. *)
+
+val tape_snapshot : tape -> from:int -> int array
+(** Copy out words [[from, extent)]: template capture after emitting the
+    fixed cells of a sequence once with {!tape_push}. *)
 
 val tape_cell_tag : tape -> int -> int
 val tape_cell_pc : tape -> int -> int

@@ -118,7 +118,7 @@ let emit t event = match t.sink with Some f -> f event | None -> ()
 (* Classify a jalr for the event stream: RISC-V-style conventions with r31 as
    the link register. *)
 let classify_indirect ~rd ~base ~target =
-  if rd = 31 then Event.Call { target; indirect = true }
+  if rd = 31 then Event.Call { target; indirect = true; link = -1 }
   else if rd = 0 && base = 31 then Event.Return { target }
   else Event.Ind_jump { target; hint = None }
 
@@ -175,7 +175,7 @@ let step t : stop_reason option =
          set_reg t rd next;
          emit t
            (Event.make pc
-              (if rd = 31 then Event.Call { target; indirect = false }
+              (if rd = 31 then Event.Call { target; indirect = false; link = -1 }
                else Event.Jump { target }));
          t.pc <- target
        | Jalr { rd; base; offset } ->

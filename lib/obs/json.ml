@@ -64,16 +64,21 @@ let parse s =
         | _ -> fail (Printf.sprintf "bad literal (expected %s)" word))
       word
   in
-  (* Decode a BMP code point as UTF-8; the emitters above only escape
-     control characters, so surrogate pairs are not reassembled. *)
+  (* Encode a Unicode scalar value as UTF-8 (up to 4 bytes). *)
   let add_utf8 buf cp =
     if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
     else if cp < 0x800 then begin
       Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
       Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
     end
-    else begin
+    else if cp < 0x10000 then begin
       Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xF0 lor (cp lsr 18)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
       Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
       Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
     end
@@ -101,21 +106,40 @@ let parse s =
         | Some 't' -> advance (); Buffer.add_char buf '\t'
         | Some 'u' ->
           advance ();
-          let cp = ref 0 in
-          for _ = 1 to 4 do
-            match peek () with
-            | Some ('0' .. '9' as c) ->
-              cp := (!cp * 16) + (Char.code c - Char.code '0');
-              advance ()
-            | Some ('a' .. 'f' as c) ->
-              cp := (!cp * 16) + (Char.code c - Char.code 'a' + 10);
-              advance ()
-            | Some ('A' .. 'F' as c) ->
-              cp := (!cp * 16) + (Char.code c - Char.code 'A' + 10);
-              advance ()
-            | _ -> fail "bad \\u escape"
-          done;
-          add_utf8 buf !cp
+          let hex4 () =
+            let cp = ref 0 in
+            for _ = 1 to 4 do
+              match peek () with
+              | Some ('0' .. '9' as c) ->
+                cp := (!cp * 16) + (Char.code c - Char.code '0');
+                advance ()
+              | Some ('a' .. 'f' as c) ->
+                cp := (!cp * 16) + (Char.code c - Char.code 'a' + 10);
+                advance ()
+              | Some ('A' .. 'F' as c) ->
+                cp := (!cp * 16) + (Char.code c - Char.code 'A' + 10);
+                advance ()
+              | _ -> fail "bad \\u escape"
+            done;
+            !cp
+          in
+          let u = hex4 () in
+          if u >= 0xD800 && u <= 0xDBFF then begin
+            (* High surrogate: must be followed by [\uDC00-\uDFFF]; the
+               pair encodes one supplementary-plane code point. *)
+            (match peek () with
+            | Some '\\' -> advance ()
+            | _ -> fail "lone high surrogate");
+            (match peek () with
+            | Some 'u' -> advance ()
+            | _ -> fail "lone high surrogate");
+            let lo = hex4 () in
+            if lo < 0xDC00 || lo > 0xDFFF then fail "lone high surrogate";
+            add_utf8 buf
+              (0x10000 + ((u - 0xD800) lsl 10) + (lo - 0xDC00))
+          end
+          else if u >= 0xDC00 && u <= 0xDFFF then fail "lone low surrogate"
+          else add_utf8 buf u
         | _ -> fail "bad escape")
       | Some c when Char.code c < 0x20 -> fail "control character in string"
       | Some c ->

@@ -32,7 +32,9 @@ type value =
 val parse : string -> (value, string) result
 (** Parse the whole input as exactly one JSON value (surrounded by optional
     whitespace). On failure the error names the byte offset. String escapes
-    are decoded ([\uXXXX] as UTF-8; surrogate pairs are not reassembled). *)
+    are decoded: [\uXXXX] becomes UTF-8, with UTF-16 surrogate pairs
+    ([\uD800-\uDBFF] followed by [\uDC00-\uDFFF]) reassembled into one
+    supplementary-plane code point; a lone surrogate is a parse error. *)
 
 val validate : string -> (unit, string) result
 (** [parse] with the value thrown away: a pure well-formedness check. *)

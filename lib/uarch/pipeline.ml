@@ -176,7 +176,9 @@ let consume_scratch t (ev : Event.scratch) =
     end
   end
   else if tag = Event.tag_call then begin
-    Ras.push t.ras (ev.s_pc + 4);
+    (* The architectural link: [s_hint] carries it for calls emitted at a
+       non-default stride (jump-threading replicas); [-1] = [pc + 4]. *)
+    Ras.push t.ras (if ev.s_hint >= 0 then ev.s_hint else ev.s_pc + 4);
     if ev.s_indirect then begin
       s.indirect_jumps <- s.indirect_jumps + 1;
       let predicted =

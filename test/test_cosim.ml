@@ -469,6 +469,98 @@ let test_flat_event_delivery_allocation_free () =
   Alcotest.(check (float 0.0))
     "10k flat pipeline+engine steps allocate zero minor words" 0.0 delta
 
+(* ------------------------------------------------------------------ *)
+(* Emission-stride regressions (dispatch-PC spacing)                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Collect every cell of every tape batch of a run as (pc, tag, arg1, arg2)
+   tuples, via the [tape_trap] observer. *)
+let collect_cells config =
+  let open Scd_isa.Event in
+  let cells = ref [] in
+  let trap tape =
+    for i = 0 to tape_cells tape - 1 do
+      cells :=
+        (tape_cell_pc tape i, tape_cell_tag tape i, tape_cell_arg1 tape i,
+         tape_cell_arg2 tape i)
+        :: !cells
+    done
+  in
+  let (_ : Driver.result) = Driver.run ~tape_trap:trap config ~source:small_script in
+  List.rev !cells
+
+(* A jump-threading replica is inlined C at a handler tail: its instructions
+   are spaced [Layout.hot_stride] (12) bytes apart, unlike the compact
+   4-byte common-site block. The first two dispatch loads (vm.pc, then the
+   bytecode itself) are adjacent emitted instructions, so their PC delta is
+   exactly the emission stride — a regression pin for the cursor bug that
+   advanced by a hardcoded 4 after the first load. *)
+let test_jt_replica_pc_spacing () =
+  let open Scd_isa in
+  let config =
+    { Driver.default_config with scheme = Scheme.Jump_threading }
+  in
+  let cells = collect_cells config in
+  let vm_state =
+    let (module F : Frontend.S) = config.frontend in
+    let spec = F.spec { Frontend.superinstructions = false;
+                        bytecode_replication = false } in
+    Scd_codegen.Layout.vm_state_addr
+      (Scd_codegen.Layout.build ~spec ~scheme:Scheme.Jump_threading
+         ~fn_code_sizes:[||] ~fn_const_counts:[||])
+  in
+  (* fetch pairs: a dispatch vm.pc load immediately followed by another
+     dispatch load (the bytecode fetch) *)
+  let deltas = ref [] in
+  let rec scan = function
+    | (pc0, t0, a0, _) :: ((pc1, t1, a1, _) :: _ as rest) ->
+      if t0 = Event.tag_mem_read && a0 = vm_state && t1 = Event.tag_mem_read
+         && a1 <> vm_state
+      then deltas := (pc1 - pc0) :: !deltas;
+      scan rest
+    | _ -> ()
+  in
+  scan cells;
+  let deltas = List.rev !deltas in
+  check_bool "saw many dispatches" true (List.length deltas > 100);
+  (match deltas with
+   | first :: replicas ->
+     check_int "first dispatch uses the compact common site (stride 4)" 4 first;
+     List.iter
+       (check_int "every replica dispatch is spaced at hot_stride"
+          Scd_codegen.Layout.hot_stride)
+       replicas
+   | [] -> Alcotest.fail "no dispatch fetch pairs observed")
+
+(* Runtime-helper calls are handler instructions: the return lands one
+   hot-stride slot past the call, and the call cell carries that link so
+   the RAS push matches the return target exactly. *)
+let test_rt_call_link_matches_return () =
+  let open Scd_isa in
+  let cells =
+    collect_cells
+      { Driver.default_config with scheme = Scheme.Jump_threading }
+  in
+  let calls = ref 0 in
+  let rec scan = function
+    | (pc, t, _, link) :: rest ->
+      if t = Event.tag_call then begin
+        incr calls;
+        check_int "call link is pc + hot_stride"
+          (pc + Scd_codegen.Layout.hot_stride) link;
+        (match
+           List.find_opt (fun (_, t', _, _) -> t' = Event.tag_return) rest
+         with
+         | Some (_, _, target, _) ->
+           check_int "matching return targets the link" link target
+         | None -> Alcotest.fail "call with no subsequent return")
+      end;
+      scan rest
+    | [] -> ()
+  in
+  scan cells;
+  check_bool "saw runtime-helper calls" true (!calls > 0)
+
 let test_result_is_pure_snapshot () =
   (* two runs never alias each other's stats blocks *)
   let a = run Scheme.Scd in
@@ -534,6 +626,13 @@ let () =
           QCheck_alcotest.to_alcotest prop_event_paths_agree;
           Alcotest.test_case "flat delivery allocation-free" `Quick
             test_flat_event_delivery_allocation_free;
+        ] );
+      ( "emission-strides",
+        [
+          Alcotest.test_case "jt replica pc spacing" `Quick
+            test_jt_replica_pc_spacing;
+          Alcotest.test_case "rt-call link matches return" `Quick
+            test_rt_call_link_matches_return;
         ] );
       ( "codec",
         [

@@ -174,6 +174,36 @@ let test_json_printers () =
   check_bool "escaped string validates" true
     (Json.validate (Json.string "tab\there\x01") = Ok ())
 
+let test_json_surrogates () =
+  let decodes doc expect =
+    match Json.parse doc with
+    | Ok (Json.String s) -> Alcotest.(check string) doc expect s
+    | Ok _ -> Alcotest.fail (doc ^ ": not a string")
+    | Error e -> Alcotest.fail (Printf.sprintf "rejected %s: %s" doc e)
+  in
+  (* U+1F600 (emoji): high+low surrogate pair -> one 4-byte UTF-8 sequence *)
+  decodes {|"\ud83d\ude00"|} "\xf0\x9f\x98\x80";
+  (* U+10000, the first supplementary code point *)
+  decodes {|"\ud800\udc00"|} "\xf0\x90\x80\x80";
+  (* U+10FFFF, the last one (uppercase hex digits) *)
+  decodes {|"\uDBFF\uDFFF"|} "\xf4\x8f\xbf\xbf";
+  (* pairs compose with surrounding text and other escapes *)
+  decodes {|"a\ud83d\ude00\u0041b"|} "a\xf0\x9f\x98\x80Ab";
+  (* BMP escapes are unaffected *)
+  decodes {|"\u20ac"|} "\xe2\x82\xac";
+  List.iter
+    (fun doc ->
+      match Json.parse doc with
+      | Ok _ -> Alcotest.fail ("accepted lone surrogate " ^ doc)
+      | Error _ -> ())
+    [
+      {|"\ud83d"|} (* lone high at end of string *);
+      {|"\ud83d x"|} (* high followed by a plain character *);
+      {|"\ud83d\n"|} (* high followed by a non-\u escape *);
+      {|"\ud83d\ud83d"|} (* high followed by another high *);
+      {|"\ude00"|} (* lone low *);
+    ]
+
 let test_json_parse_accessors () =
   let doc =
     {|{"host": {"ocaml": "5.1.1", "word_size": 64},
@@ -827,6 +857,7 @@ let () =
           Alcotest.test_case "valid documents" `Quick test_json_valid;
           Alcotest.test_case "invalid documents" `Quick test_json_invalid;
           Alcotest.test_case "printers" `Quick test_json_printers;
+          Alcotest.test_case "surrogate pairs" `Quick test_json_surrogates;
           Alcotest.test_case "parse accessors" `Quick test_json_parse_accessors;
           Alcotest.test_case "parse roundtrips emitters" `Quick
             test_json_parse_roundtrips_own_emitters;

@@ -428,7 +428,8 @@ let test_pipeline_branch_learning () =
 
 let test_pipeline_return_address_stack () =
   let p = Pipeline.create Config.simulator in
-  Pipeline.consume p (Event.make 0x1000 (Call { target = 0x5000; indirect = false }));
+  Pipeline.consume p
+    (Event.make 0x1000 (Call { target = 0x5000; indirect = false; link = -1 }));
   Pipeline.consume p (Event.make 0x5000 (Return { target = 0x1004 }));
   check_int "no return misprediction" 0 (Pipeline.stats p).return_mispredicts;
   Pipeline.consume p (Event.make 0x5000 (Return { target = 0x9999 }));
@@ -489,7 +490,10 @@ let gen_event =
         (1,
          map2 (fun target hint -> Event.Ind_jump { target; hint }) target
            (opt opcode));
-        (1, map2 (fun target indirect -> Event.Call { target; indirect }) target bool);
+        (1,
+         map2
+           (fun target indirect -> Event.Call { target; indirect; link = -1 })
+           target bool);
         (1, map (fun target -> Event.Return { target }) target);
         (1,
          map3 (fun opcode hit target -> Event.Bop { opcode; hit; target }) opcode
