@@ -85,6 +85,13 @@ type expander = {
   trap : (Event.tape -> unit) option;
       (* Test observer: called on every non-empty tape batch just before it
          is drained. [None] (the default) costs one field load per flush. *)
+  templates : Template.set option;
+      (* Precompiled per-(site, opcode) cell templates: when present,
+         [on_bytecode] stamps whole dispatcher / helper-call sequences with
+         {!Event.tape_blit} and patches the run-dependent words, instead of
+         re-deriving every cell through the emit helpers. Only on the flat
+         RLE path ([`Flat], no context-switch interval); [`Flat_push] keeps
+         the cell-by-cell emission for differential testing. *)
 }
 
 let table_of_site = function
@@ -96,6 +103,12 @@ let table_of_site = function
    dispatcher; decides Rop readiness for the fall-through policy. *)
 let rop_distance (spec : Spec.t) =
   spec.dispatch.fetch_instrs - 1 + spec.dispatch.operand_decode_instrs
+
+let rop_ready exp =
+  match (Pipeline.config exp.pipeline).bop_policy with
+  | `Stall -> true (* the pipeline charges bubbles instead *)
+  | `Fall_through ->
+    rop_distance exp.spec >= (Pipeline.config exp.pipeline).rop_gap
 
 (* Drain the tape through the pipeline, in emission order, then reset it.
 
@@ -241,13 +254,13 @@ let emit_decode_to_target exp ~step ~opcode =
     ~addr:(Layout.jump_table_entry exp.layout opcode);
   exp.epc <- exp.epc + step
 
-(* Dispatch reaching the handler of [opcode] for the bytecode at
-   [fetch_addr]. [base] is where this dispatcher's code lives; [overhead]
-   states whether the loop book-keeping prefix is present (common site
-   only). *)
-let emit_dispatch exp ~base ~step ~overhead ~site ~opcode ~fetch_addr =
+(* The dispatcher prefix shared by every scheme: loop book-keeping (common
+   site only), bytecode fetch, operand decode. Returns the absolute tape
+   word holding the fetch address — the only run-dependent word of the
+   sequence, which is what the template builder records as the stamp's
+   patch offset. *)
+let emit_dispatch_prefix exp ~step ~overhead ~fetch_addr =
   let d = exp.spec.dispatch in
-  exp.epc <- base;
   if overhead then
     emit_vm_bookkeeping exp ~step d.loop_overhead_instrs ~store_last:false;
   (* fetch: load vm.pc, load the bytecode, bump, store vm.pc *)
@@ -256,6 +269,7 @@ let emit_dispatch exp ~base ~step ~overhead ~site ~opcode ~fetch_addr =
     ~addr:vm_state;
   exp.epc <- exp.epc + step;
   let scd = exp.scheme = Scd_core.Scheme.Scd in
+  let fetch_word = Event.tape_extent exp.tape + 2 in
   emit_mem exp ~dispatch:true ~sets_rop:scd ~write:false exp.epc
     ~addr:fetch_addr;
   exp.epc <- exp.epc + step;
@@ -264,52 +278,66 @@ let emit_dispatch exp ~base ~step ~overhead ~site ~opcode ~fetch_addr =
     ~addr:vm_state;
   exp.epc <- exp.epc + step;
   emit_plain_dispatch exp ~step d.operand_decode_instrs;
-  let handler = Layout.handler_entry exp.layout opcode in
-  match exp.scheme with
-  | Scd ->
-    let bop_pc = exp.epc in
-    (* Section IV: with multiple tables each dispatch site has its own
-       Rbop-pc register; with one table the sites share it and thrash. *)
-    let table = if exp.multi_table then table_of_site site else 0 in
-    let same_site = exp.last_bop_pcs.(table) = bop_pc in
-    exp.last_bop_pcs.(table) <- bop_pc;
-    let rop_ready =
-      match (Pipeline.config exp.pipeline).bop_policy with
-      | `Stall -> true (* the pipeline charges bubbles instead *)
-      | `Fall_through -> rop_distance exp.spec >= (Pipeline.config exp.pipeline).rop_gap
-    in
-    (* The engine reads the shared BTB: drain pending events first so the
-       architecturally-visible operation order matches per-event
-       consumption. *)
-    flush exp;
-    let target =
-      (* Table I: a hit needs Rbop-pc == PC as well as a valid JTE. *)
-      if same_site && rop_ready then
-        Scd_core.Engine.bop_target ~table exp.engine ~opcode
-      else Scd_core.Engine.no_target
-    in
-    if target <> Scd_core.Engine.no_target then
-      emit_bop exp bop_pc ~opcode ~hit:true ~target
-    else begin
-      emit_bop exp bop_pc ~opcode ~hit:false ~target:(bop_pc + step);
-      exp.epc <- bop_pc + step;
-      emit_decode_to_target exp ~step ~opcode;
-      (* jru: indirect jump + JTE insertion *)
-      flush exp;
-      Scd_core.Engine.jru_code ~table exp.engine ~opcode ~target:handler;
-      emit_jru exp exp.epc ~opcode ~target:handler
-    end
-  | Baseline | Jump_threading | Vbbi ->
-    emit_decode_to_target exp ~step ~opcode;
-    let hint = match exp.scheme with Vbbi -> opcode | _ -> -1 in
-    emit_ind_jump exp ~dispatch:true exp.epc ~target:handler ~hint
+  fetch_word
 
-(* Runtime helper / builtin library call appended to a handler body. The
-   call is a handler instruction emitted at [step] (= the handler's hot
-   stride), so the return lands [step] bytes past it — where the layout
-   places the tail region; the call cell carries that link so the RAS push
-   matches the return target. *)
-let emit_blob exp ~step (b : Spec.rt_blob) =
+(* Section IV: with multiple tables each dispatch site has its own Rbop-pc
+   register; with one table the sites share it and thrash. *)
+let scd_table exp ~site = if exp.multi_table then table_of_site site else 0
+
+(* The SCD short-circuit query at the bop. The engine reads the shared
+   BTB, so pending events are drained first: the architecturally-visible
+   operation order matches per-event consumption. *)
+let scd_bop_query exp ~table ~bop_pc ~opcode =
+  let same_site = exp.last_bop_pcs.(table) = bop_pc in
+  exp.last_bop_pcs.(table) <- bop_pc;
+  let ready = rop_ready exp in
+  flush exp;
+  (* Table I: a hit needs Rbop-pc == PC as well as a valid JTE. *)
+  if same_site && ready then
+    Scd_core.Engine.bop_target ~table exp.engine ~opcode
+  else Scd_core.Engine.no_target
+
+(* The end of the SCD miss arm, with the cursor at the jru slot: the
+   JTE-inserting indirect jump to the handler. *)
+let scd_finish_miss exp ~table ~opcode ~handler =
+  flush exp;
+  Scd_core.Engine.jru_code ~table exp.engine ~opcode ~target:handler;
+  emit_jru exp exp.epc ~opcode ~target:handler
+
+(* Dispatch reaching the handler of [opcode] for the bytecode at
+   [fetch_addr], cell by cell. [base] is where this dispatcher's code
+   lives; [overhead] states whether the loop book-keeping prefix is present
+   (common site only). Returns the tape word of the fetch address so the
+   template builder can reuse this exact emission. *)
+let emit_dispatch exp ~base ~step ~overhead ~site ~opcode ~fetch_addr =
+  exp.epc <- base;
+  let fetch_word = emit_dispatch_prefix exp ~step ~overhead ~fetch_addr in
+  let handler = Layout.handler_entry exp.layout opcode in
+  (match exp.scheme with
+   | Scd ->
+     let bop_pc = exp.epc in
+     let table = scd_table exp ~site in
+     let target = scd_bop_query exp ~table ~bop_pc ~opcode in
+     if target <> Scd_core.Engine.no_target then
+       emit_bop exp bop_pc ~opcode ~hit:true ~target
+     else begin
+       emit_bop exp bop_pc ~opcode ~hit:false ~target:(bop_pc + step);
+       exp.epc <- bop_pc + step;
+       emit_decode_to_target exp ~step ~opcode;
+       scd_finish_miss exp ~table ~opcode ~handler
+     end
+   | Baseline | Jump_threading | Vbbi ->
+     emit_decode_to_target exp ~step ~opcode;
+     let hint = match exp.scheme with Vbbi -> opcode | _ -> -1 in
+     emit_ind_jump exp ~dispatch:true exp.epc ~target:handler ~hint);
+  fetch_word
+
+(* Runtime helper / builtin library call appended to a handler body, cell
+   by cell. The call is a handler instruction emitted at [step] (= the
+   handler's hot stride), so the return lands [step] bytes past it — where
+   the layout places the tail region; the call cell carries that link so
+   the RAS push matches the return target. *)
+let emit_blob_cells exp ~step (b : Spec.rt_blob) =
   let target = Layout.blob_entry exp.layout b.blob_id in
   let return_to = exp.epc + step in
   emit_call exp exp.epc ~target ~link:return_to;
@@ -329,6 +357,22 @@ let emit_blob exp ~step (b : Spec.rt_blob) =
   emit_plain_run exp ~dispatch:false ~step:Layout.hot_stride
     (b.body_instrs - (mems * b.load_every));
   emit_return exp exp.epc ~target:return_to
+
+(* Helper-call emission: one stamp plus three patched call-site words when
+   a template exists (every blob body is run-invariant — its data traffic
+   walks fixed stack slots), the cell-by-cell path otherwise. *)
+let emit_blob exp ~step (b : Spec.rt_blob) =
+  match exp.templates with
+  | None -> emit_blob_cells exp ~step b
+  | Some ts ->
+    (match Hashtbl.find ts.Template.blobs b.blob_id with
+     | t ->
+       Template.stamp_blob exp.tape t ~call_pc:exp.epc
+         ~link:(exp.epc + step)
+     | exception Not_found ->
+       (* A blob id outside the builder's enumeration (defensive: the
+          builder covers [spec.blobs] and every builtin). *)
+       emit_blob_cells exp ~step b)
 
 (* Handler body for one bytecode event. *)
 let emit_handler exp (tr : Trace.t) =
@@ -375,34 +419,93 @@ let emit_tail exp opcode =
     let target = Layout.site_base exp.layout site in
     emit_jump exp (Layout.handler_tail exp.layout opcode) ~target
 
+(* The dispatch site that fetches the next bytecode: the handler tail of
+   the previous opcode selects it (common site before the first). *)
+let dispatch_site exp =
+  if exp.prev_opcode < 0 then Layout.Common_site
+  else Layout.site_of_opcode exp.layout exp.prev_opcode
+
+(* Cell-by-cell dispatch emission (no templates, or the [`Flat_push] /
+   boxed / context-switch paths). *)
+let push_dispatch exp ~opcode ~fetch_addr =
+  match exp.scheme with
+  | Scd_core.Scheme.Jump_threading ->
+    if exp.prev_opcode < 0 then
+      ignore
+        (emit_dispatch exp
+           ~base:(Layout.site_base exp.layout Layout.Common_site)
+           ~step:4 ~overhead:true ~site:Layout.Common_site ~opcode
+           ~fetch_addr
+          : int)
+    else
+      (* a replica is inlined C inside the handler: handler stride *)
+      ignore
+        (emit_dispatch exp
+           ~base:(Layout.handler_tail exp.layout exp.prev_opcode)
+           ~step:Layout.hot_stride ~overhead:false ~site:Layout.Common_site
+           ~opcode ~fetch_addr
+          : int)
+  | _ ->
+    let site = dispatch_site exp in
+    ignore
+      (emit_dispatch exp
+         ~base:(Layout.site_base exp.layout site)
+         ~step:4 ~overhead:(site = Layout.Common_site) ~site ~opcode
+         ~fetch_addr
+        : int)
+
+(* Template-stamped dispatch: one blit plus a fetch-address patch replaces
+   the cell-by-cell derivation. Under SCD only the prefix (and, on a miss,
+   the decode sequence) is precompiled — the bop and jru cells carry
+   engine decisions made at trace time and stay runtime-pushed, exactly as
+   on the cell-by-cell path. *)
+let stamp_dispatch exp (ts : Template.set) ~opcode ~fetch_addr =
+  match exp.scheme with
+  | Scd_core.Scheme.Jump_threading ->
+    if exp.prev_opcode < 0 then
+      Template.stamp_dispatch exp.tape
+        ts.Template.dispatch.(0).(opcode)
+        ~fetch_addr
+    else
+      Template.stamp_replica exp.tape
+        ts.Template.replica.(opcode)
+        ~base_pc:(Layout.handler_tail exp.layout exp.prev_opcode)
+        ~fetch_addr
+  | Baseline | Vbbi ->
+    let si = table_of_site (dispatch_site exp) in
+    Template.stamp_dispatch exp.tape
+      ts.Template.dispatch.(si).(opcode)
+      ~fetch_addr
+  | Scd ->
+    let site = dispatch_site exp in
+    let si = table_of_site site in
+    let pre = ts.Template.scd_prefix.(si) in
+    Template.stamp_dispatch exp.tape pre ~fetch_addr;
+    let bop_pc = pre.Template.end_pc in
+    let table = scd_table exp ~site in
+    let target = scd_bop_query exp ~table ~bop_pc ~opcode in
+    let handler = Layout.handler_entry exp.layout opcode in
+    if target <> Scd_core.Engine.no_target then
+      emit_bop exp bop_pc ~opcode ~hit:true ~target
+    else begin
+      (* site blocks are compact 4-byte code; the miss template resumes
+         at the bop fall-through and ends at the jru slot *)
+      emit_bop exp bop_pc ~opcode ~hit:false ~target:(bop_pc + 4);
+      let miss = ts.Template.scd_miss.(si).(opcode) in
+      Template.stamp exp.tape miss;
+      exp.epc <- miss.Template.end_pc;
+      scd_finish_miss exp ~table ~opcode ~handler
+    end
+
 let on_bytecode exp (tr : Trace.t) =
   exp.bytecodes <- exp.bytecodes + 1;
   let fetch_addr =
     Layout.bytecode_addr exp.layout ~fn:tr.fn ~pc:(tr.pc * exp.stride)
   in
   (* 1. the dispatcher that fetched this bytecode *)
-  (match exp.scheme with
-   | Scd_core.Scheme.Jump_threading ->
-     if exp.prev_opcode < 0 then
-       emit_dispatch exp
-         ~base:(Layout.site_base exp.layout Layout.Common_site)
-         ~step:4 ~overhead:true ~site:Layout.Common_site ~opcode:tr.opcode
-         ~fetch_addr
-     else
-       (* a replica is inlined C inside the handler: handler stride *)
-       emit_dispatch exp
-         ~base:(Layout.handler_tail exp.layout exp.prev_opcode)
-         ~step:Layout.hot_stride ~overhead:false ~site:Layout.Common_site
-         ~opcode:tr.opcode ~fetch_addr
-   | _ ->
-     let site =
-       if exp.prev_opcode < 0 then Layout.Common_site
-       else Layout.site_of_opcode exp.layout exp.prev_opcode
-     in
-     emit_dispatch exp
-       ~base:(Layout.site_base exp.layout site)
-       ~step:4 ~overhead:(site = Layout.Common_site) ~site ~opcode:tr.opcode
-       ~fetch_addr);
+  (match exp.templates with
+   | Some ts -> stamp_dispatch exp ts ~opcode:tr.opcode ~fetch_addr
+   | None -> push_dispatch exp ~opcode:tr.opcode ~fetch_addr);
   (* 2. the handler itself *)
   emit_handler exp tr;
   (* 3. the tail jump back to a dispatch site (replicas handled in step 1) *)
@@ -437,6 +540,103 @@ let on_bytecode_observed exp tel (tr : Trace.t) =
 let trace_callback exp = function
   | None -> on_bytecode exp
   | Some tel -> on_bytecode_observed exp tel
+
+(* ------------------------------------------------------------------ *)
+(* Template building                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Build one scheme's template set by running the cell-by-cell emitters
+   into a scratch expander and snapshotting the tape after each sequence —
+   the templates are, by construction, the exact cells the push path would
+   emit (the differential tests compare the two word-for-word). Code
+   addresses depend only on (spec, scheme), so {!Template.find_or_build}
+   memoizes the result process-wide; the builder runs once per key. *)
+let build_templates ~layout ~(spec : Spec.t) ~scheme ~pipeline ~engine =
+  let b =
+    {
+      layout;
+      spec;
+      scheme;
+      pipeline;
+      engine;
+      stride = 1 (* never used: the builder sees no bytecode fetches *);
+      cs_interval = None;
+      multi_table = false;
+      boxed = false;
+      rle = true (* templates serve the RLE flat path only *);
+      prev_opcode = -1;
+      last_bop_pcs = Array.make 3 (-1);
+      bytecodes = 0;
+      retired_since_cs = 0;
+      epc = 0;
+      tape = Event.tape_create ~capacity:256 ();
+      scratch = Event.scratch_create ();
+      trap = None;
+      templates = None (* the builder itself emits cell by cell *);
+    }
+  in
+  let snap () =
+    let cells = Event.tape_snapshot b.tape ~from:0 in
+    Event.tape_clear b.tape;
+    cells
+  in
+  let n = spec.num_opcodes in
+  let sites = [| Layout.Common_site; Layout.Call_site; Layout.Branch_site |] in
+  let none = [||] in
+  let dispatch = Array.make 3 none in
+  let scd_prefix = Array.make 3 Template.empty in
+  let scd_miss = Array.make 3 none in
+  let scd = scheme = Scd_core.Scheme.Scd in
+  Array.iteri
+    (fun si site ->
+      let base = Layout.site_base layout site in
+      let overhead = site = Layout.Common_site in
+      if scd then begin
+        b.epc <- base;
+        let fp = emit_dispatch_prefix b ~step:4 ~overhead ~fetch_addr:0 in
+        let bop_pc = b.epc in
+        scd_prefix.(si) <-
+          Template.make ~fetch_patch:fp ~end_pc:bop_pc (snap ());
+        scd_miss.(si) <-
+          Array.init n (fun opcode ->
+              b.epc <- bop_pc + 4;
+              emit_decode_to_target b ~step:4 ~opcode;
+              Template.make ~end_pc:b.epc (snap ()))
+      end
+      else
+        dispatch.(si) <-
+          Array.init n (fun opcode ->
+              let fp =
+                emit_dispatch b ~base ~step:4 ~overhead ~site ~opcode
+                  ~fetch_addr:0
+              in
+              Template.make ~fetch_patch:fp (snap ())))
+    sites;
+  let replica =
+    if scheme = Scd_core.Scheme.Jump_threading then
+      (* Base-relative: stamped at the previous handler's tail, so cell PCs
+         are offsets from 0 and relocated at stamp time. *)
+      Array.init n (fun opcode ->
+          let fp =
+            emit_dispatch b ~base:0 ~step:Layout.hot_stride ~overhead:false
+              ~site:Layout.Common_site ~opcode ~fetch_addr:0
+          in
+          Template.make ~fetch_patch:fp (snap ()))
+    else [||]
+  in
+  let blobs = Hashtbl.create 64 in
+  let add_blob (blob : Spec.rt_blob) =
+    if not (Hashtbl.mem blobs blob.blob_id) then begin
+      b.epc <- 0 (* the call-site words are patched at stamp time *);
+      emit_blob_cells b ~step:Layout.hot_stride blob;
+      Hashtbl.replace blobs blob.blob_id (Template.make (snap ()))
+    end
+  in
+  Array.iter add_blob spec.blobs;
+  for builtin = 0 to Builtins.count - 1 do
+    add_blob (spec.builtin_blob builtin)
+  done;
+  { Template.dispatch; replica; scd_prefix; scd_miss; blobs }
 
 (* ------------------------------------------------------------------ *)
 
@@ -489,6 +689,22 @@ let run ?telemetry ?(event_path = `Flat) ?tape_trap config ~source =
           ~fn_code_sizes:(F.fn_code_sizes program)
           ~fn_const_counts:(F.fn_const_counts program))
   in
+  let rle =
+    (event_path = `Flat || event_path = `Flat_push)
+    && config.context_switch_interval = None
+  in
+  let templates =
+    (* Stamping requires the RLE cell shapes and per-bytecode flushes
+       ([`Flat] only); [`Flat_push] deliberately keeps the cell-by-cell
+       emitters alive for word-for-word differential testing. *)
+    if event_path = `Flat && rle then
+      Some
+        (Scd_obs.Prof.span "templates" (fun () ->
+             Template.find_or_build ~spec ~scheme:config.scheme (fun () ->
+                 build_templates ~layout ~spec ~scheme:config.scheme ~pipeline
+                   ~engine)))
+    else None
+  in
   let exp =
     {
       layout;
@@ -500,7 +716,7 @@ let run ?telemetry ?(event_path = `Flat) ?tape_trap config ~source =
       cs_interval = config.context_switch_interval;
       multi_table = config.multi_table;
       boxed = event_path = `Boxed;
-      rle = event_path = `Flat && config.context_switch_interval = None;
+      rle;
       prev_opcode = -1;
       last_bop_pcs = Array.make 3 (-1);
       bytecodes = 0;
@@ -509,6 +725,7 @@ let run ?telemetry ?(event_path = `Flat) ?tape_trap config ~source =
       tape = Event.tape_create ~capacity:256 ();
       scratch = Event.scratch_create ();
       trap = tape_trap;
+      templates;
     }
   in
   let ctx = Builtins.create_ctx ~seed:config.seed () in

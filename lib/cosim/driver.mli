@@ -68,7 +68,7 @@ val runs : unit -> int
 
 val run :
   ?telemetry:Telemetry.t ->
-  ?event_path:[ `Flat | `Boxed ] ->
+  ?event_path:[ `Flat | `Flat_push | `Boxed ] ->
   ?tape_trap:(Scd_isa.Event.tape -> unit) ->
   run_config ->
   source:string ->
@@ -83,10 +83,15 @@ val run :
 
     [event_path] selects how expanded events reach the timing model.
     [`Flat] (the default) drains the preallocated flat event tape —
-    allocation-free per bytecode. [`Boxed] decodes every tape cell into a
-    boxed {!Scd_isa.Event.t} and feeds {!Scd_uarch.Pipeline.consume}: the
-    legacy delivery path, kept so the differential tests can assert the two
-    paths produce bit-identical results.
+    allocation-free per bytecode — and fills it by stamping precompiled
+    per-(site, opcode) cell templates ({!Scd_codegen.Template}), patching
+    only the run-dependent words. [`Flat_push] uses the same tape but
+    derives every cell through the cell-by-cell emitters; the differential
+    tests compare the two tapes word for word. [`Boxed] decodes every tape
+    cell into a boxed {!Scd_isa.Event.t} and feeds
+    {!Scd_uarch.Pipeline.consume}: the legacy delivery path, kept so the
+    differential tests can assert all paths produce bit-identical
+    results.
 
     [telemetry], when given, is attached for the duration of the run: the
     pipeline probe samples interval time series, and every bytecode's
@@ -97,7 +102,8 @@ val run :
 
     Host profiling: each phase runs under a {!Scd_obs.Prof} span —
     ["setup"] (BTB/engine/pipeline construction), ["compile"], ["layout"],
-    ["execute"] (the VM run driving the timing model) and ["snapshot"] —
+    ["templates"] (template lookup or first build), ["execute"] (the VM
+    run driving the timing model) and ["snapshot"] —
     nested below whatever span the caller opened (e.g. [scdsim prof]'s
     ["run"]). With no profile active each span costs one ref load. *)
 

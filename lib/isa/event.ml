@@ -188,12 +188,21 @@ let tape_push_run tape ~pc ~dispatch ~count ~stride =
    ([tape_set_word]) instead of re-computing every cell. *)
 
 let tape_extent tape = tape.len
+let tape_words tape = tape.buf
 
+(* Copy loops instead of [Array.blit]: on an int array whose destination
+   lives in the major heap, the generic blit calls the write barrier
+   ([caml_modify]) once per word, while a typed int store compiles to a
+   plain move — stamping is one of the hottest paths in a co-simulated
+   run. *)
 let tape_blit tape (src : int array) =
   let words = Array.length src in
   let base = tape.len in
   if base + words > Array.length tape.buf then tape_grow tape (base + words);
-  Array.blit src 0 tape.buf base words;
+  let buf = tape.buf in
+  for k = 0 to words - 1 do
+    buf.(base + k) <- src.(k)
+  done;
   tape.len <- base + words;
   base
 
@@ -204,11 +213,13 @@ let tape_blit_reloc tape (src : int array) ~pc_delta =
   let base = tape.len in
   if base + words > Array.length tape.buf then tape_grow tape (base + words);
   let buf = tape.buf in
-  Array.blit src 0 buf base words;
-  let i = ref base in
-  while !i < base + words do
-    buf.(!i) <- buf.(!i) + pc_delta;
-    i := !i + cell_words
+  let k = ref 0 in
+  while !k < words do
+    buf.(base + !k) <- src.(!k) + pc_delta;
+    buf.(base + !k + 1) <- src.(!k + 1);
+    buf.(base + !k + 2) <- src.(!k + 2);
+    buf.(base + !k + 3) <- src.(!k + 3);
+    k := !k + cell_words
   done;
   tape.len <- base + words;
   base

@@ -161,6 +161,12 @@ val tape_extent : tape -> int
 (** Current length in words — the word base the next append will land at,
     and a valid [from] for {!tape_snapshot}. *)
 
+val tape_words : tape -> int array
+(** The tape's backing buffer; words [[0, extent)] hold the live cells.
+    The reference is invalidated by any growing append, so callers must
+    not retain it across pushes. Lets the timing model walk a batch of
+    cells with direct loads instead of a per-field accessor call. *)
+
 val tape_blit : tape -> int array -> int
 (** Append a whole-cell template verbatim; returns the word base it landed
     at. Grows the buffer (to at least the needed size) if required. *)

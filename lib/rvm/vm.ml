@@ -143,7 +143,9 @@ let step t frame =
   let base = frame.base in
   let set r v = stack.(base + r) <- v in
   let get r = stack.(base + r) in
-  let tracing = t.trace <> None in
+  (* Tag check, not [t.trace <> None]: polymorphic compare on an option of
+     a closure is a C call ([caml_compare]) on every executed bytecode. *)
+  let tracing = match t.trace with Some _ -> true | None -> false in
   match instr with
   | MOVE (a, b) ->
     set a (get b);
@@ -372,7 +374,9 @@ let step t frame =
      | [] -> assert false
      | finished :: rest ->
        t.frames <- rest;
-       if rest <> [] then t.stack.(finished.ret_slot) <- result)
+       (match rest with
+        | [] -> ()
+        | _ :: _ -> t.stack.(finished.ret_slot) <- result))
   | CLOSURE (a, pid) ->
     set a (Value.Func pid);
     if tracing then begin

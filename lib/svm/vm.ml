@@ -126,6 +126,10 @@ let begin_trace t frame ~pc ~opcode =
 
 let fire t = match t.trace with Some sink -> sink t.tr | None -> ()
 
+(* Tag check, not [t.trace <> None]: polymorphic compare on an option of a
+   closure is a C call ([caml_compare]) on every executed bytecode. *)
+let tracing t = match t.trace with Some _ -> true | None -> false
+
 let trace_table_slot tr table key ~write =
   Trace.add_table_slot tr ~id:(Value.table_id table)
     ~slot:(Value.hash_key key land 63) ~write
@@ -136,7 +140,7 @@ let binary t frame ~pc ~opcode f =
   let b = vpop t frame in
   let a = vpop t frame in
   vpush t frame (f a b);
-  if t.trace <> None then begin
+  if tracing t then begin
     let tr = begin_trace t frame ~pc ~opcode in
     Trace.add_reg tr ~slot:(frame.sp - 2) ~write:false;
     Trace.add_reg tr ~slot:frame.sp ~write:false;
@@ -162,7 +166,7 @@ let v_ge a b = Value.Bool (Value.compare_le b a)
 (* Unary stack ops: pop, push (f v); trace reads and writes the top slot. *)
 let unary t frame ~pc ~opcode f =
   vpush t frame (f (vpop t frame));
-  if t.trace <> None then begin
+  if tracing t then begin
     let tr = begin_trace t frame ~pc ~opcode in
     Trace.add_reg tr ~slot:(frame.sp - 1) ~write:false;
     Trace.add_reg tr ~slot:(frame.sp - 1) ~write:true;
@@ -175,7 +179,7 @@ let v_len v = Value.length v
 
 (* Pure pushes: trace writes the new top slot. *)
 let trace_push t frame ~pc ~opcode =
-  if t.trace <> None then begin
+  if tracing t then begin
     let tr = begin_trace t frame ~pc ~opcode in
     Trace.add_reg tr ~slot:(frame.sp - 1) ~write:true;
     fire t
@@ -189,7 +193,7 @@ let step t frame =
   let op = op_of_opcode opcode in
   frame.pc <- frame.pc + 1;
   let stack = t.stack in
-  let tracing = t.trace <> None in
+  let tracing = tracing t in
   match op with
   | NOP ->
     if tracing then begin

@@ -20,6 +20,14 @@ type t = {
   set_shift : int;  (* log2 sets *)
   tags : int array;
   stamps : int array;
+  mru : int array;
+      (* Per set: the slot of the set's last hit or fill, checked before
+         the way scan (the TLB uses the same trick with a single slot).
+         Straight-line fetch walks one block for many consecutive
+         instructions, so the first compare almost always hits; a tag
+         lives in at most one way of its set, so the short-circuit's
+         answer — and every stat, tick and stamp update — is identical to
+         the full scan's. *)
   mutable tick : int;
   stats : stats;
 }
@@ -45,6 +53,7 @@ let create geometry =
     set_shift = Bits.log2 sets;
     tags = Array.make blocks invalid_tag;
     stamps = Array.make blocks 0;
+    mru = Array.init sets (fun s -> s * ways);
     tick = 0;
     stats = { accesses = 0; misses = 0 };
   }
@@ -79,24 +88,37 @@ let rec pick_lru_line t stop victim s =
 let access t ~addr =
   t.stats.accesses <- t.stats.accesses + 1;
   t.tick <- t.tick + 1;
-  let slot = find_slot t addr in
-  if slot >= 0 then begin
-    t.stamps.(slot) <- t.tick;
+  let block = addr lsr t.block_shift in
+  let set = block land (t.sets - 1) in
+  let base = set * t.geometry.ways in
+  let tag = block lsr t.set_shift in
+  let m = t.mru.(set) in
+  if t.tags.(m) = tag then begin
+    (* MRU short-circuit: [m] is always a slot of this set, and a tag
+       lives in at most one way, so this is the same line the scan would
+       find. *)
+    t.stamps.(m) <- t.tick;
     `Hit
   end
   else begin
-    t.stats.misses <- t.stats.misses + 1;
-    (* LRU victim (invalid lines first). *)
-    let block = addr lsr t.block_shift in
-    let base = (block land (t.sets - 1)) * t.geometry.ways in
-    let tag = block lsr t.set_shift in
-    let victim =
-      if t.tags.(base) = invalid_tag then base
-      else pick_lru_line t (base + t.geometry.ways - 1) base (base + 1)
-    in
-    t.tags.(victim) <- tag;
-    t.stamps.(victim) <- t.tick;
-    `Miss
+    let slot = find_line t.tags tag (base + t.geometry.ways - 1) base in
+    if slot >= 0 then begin
+      t.stamps.(slot) <- t.tick;
+      t.mru.(set) <- slot;
+      `Hit
+    end
+    else begin
+      t.stats.misses <- t.stats.misses + 1;
+      (* LRU victim (invalid lines first). *)
+      let victim =
+        if t.tags.(base) = invalid_tag then base
+        else pick_lru_line t (base + t.geometry.ways - 1) base (base + 1)
+      in
+      t.tags.(victim) <- tag;
+      t.stamps.(victim) <- t.tick;
+      t.mru.(set) <- victim;
+      `Miss
+    end
   end
 
 let stats t = t.stats

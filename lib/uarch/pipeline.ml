@@ -109,8 +109,7 @@ let data_access t addr =
 
 (* Issue-slot accounting: single issue charges a cycle per instruction;
    dual issue pairs the current instruction into the open slot when legal. *)
-let issue t ev =
-  let mem = Event.scratch_is_mem ev in
+let issue t ~mem ~control =
   let pairable = t.pair_open && not (mem && t.group_has_mem) in
   if pairable then begin
     t.pair_open <- false;
@@ -122,40 +121,48 @@ let issue t ev =
     t.group_has_mem <- mem
   end;
   (* A control instruction always closes its issue group. *)
-  if Event.scratch_is_control ev then t.pair_open <- false
+  if control then t.pair_open <- false
 
-let mispredict t (ev : Event.scratch) =
+let mispredict t ~dispatch =
   stall t t.config.branch_penalty;
   t.pair_open <- false;
-  if ev.s_dispatch then
+  if dispatch then
     t.stats.mispredicts_dispatch <- t.stats.mispredicts_dispatch + 1;
   if t.probe != Scd_obs.Probe.null then
-    t.probe.Scd_obs.Probe.on_mispredict ~dispatch:ev.s_dispatch
+    t.probe.Scd_obs.Probe.on_mispredict ~dispatch
 
-(* The hot entry point: reads only from the caller-owned scratch record and
-   allocates nothing. [consume] below is a thin boxing shim over this. *)
-let consume_scratch t (ev : Event.scratch) =
+(* The hot entry point: one tape cell's worth of locals — [flags] is the
+   cell's packed flags word, [arg1] the memory address or branch target,
+   [arg2] the hint / opcode / call link. Payload booleans are decoded from
+   [flags] only in the branch that reads them, and nothing is written back
+   to a record, so consuming a cell touches no memory beyond the model's
+   own state. {!consume_scratch} and {!consume} are shims over this. *)
+let consume_cell t ~pc ~flags ~arg1 ~arg2 =
   let s = t.stats in
   s.instructions <- s.instructions + 1;
-  if ev.s_dispatch then s.dispatch_instructions <- s.dispatch_instructions + 1;
-  if ev.s_sets_rop then t.last_rop_index <- s.instructions;
-  fetch t ev.s_pc;
-  issue t ev;
-  let tag = ev.s_tag in
+  let dispatch = flags land Event.flag_dispatch <> 0 in
+  if dispatch then s.dispatch_instructions <- s.dispatch_instructions + 1;
+  if flags land Event.flag_sets_rop <> 0 then
+    t.last_rop_index <- s.instructions;
+  fetch t pc;
+  let tag = flags land 0xF in
+  issue t
+    ~mem:(tag = Event.tag_mem_read || tag = Event.tag_mem_write)
+    ~control:(tag >= Event.tag_cond_branch && tag <= Event.tag_jru);
   if tag = Event.tag_plain || tag = Event.tag_jte_flush then ()
   else if tag = Event.tag_mem_read || tag = Event.tag_mem_write then
-    data_access t ev.s_addr
+    data_access t arg1
   else if tag = Event.tag_cond_branch then begin
-    let taken = ev.s_taken in
+    let taken = flags land Event.flag_taken <> 0 in
     s.cond_branches <- s.cond_branches + 1;
-    let predicted_taken = Direction.predict t.direction ~pc:ev.s_pc in
+    let predicted_taken = Direction.predict t.direction ~pc in
     let predicted_target =
-      if predicted_taken then Btb.lookup_target t.btb ~jte:false ~key:ev.s_pc
+      if predicted_taken then Btb.lookup_target t.btb ~jte:false ~key:pc
       else Btb.no_target
     in
     if predicted_taken <> taken then begin
       s.cond_mispredicts <- s.cond_mispredicts + 1;
-      mispredict t ev
+      mispredict t ~dispatch
     end
     else if taken && predicted_target == Btb.no_target then begin
       (* Direction was right but fetch could not redirect: the target is
@@ -163,60 +170,60 @@ let consume_scratch t (ev : Event.scratch) =
       s.direct_target_misses <- s.direct_target_misses + 1;
       stall t t.config.direct_bubble
     end;
-    Direction.update t.direction ~pc:ev.s_pc ~taken;
-    if taken then Btb.insert t.btb ~jte:false ~key:ev.s_pc ~target:ev.s_target
+    Direction.update t.direction ~pc ~taken;
+    if taken then Btb.insert t.btb ~jte:false ~key:pc ~target:arg1
   end
   else if tag = Event.tag_jump then begin
     s.direct_jumps <- s.direct_jumps + 1;
-    if Btb.lookup_target t.btb ~jte:false ~key:ev.s_pc == Btb.no_target
+    if Btb.lookup_target t.btb ~jte:false ~key:pc == Btb.no_target
     then begin
       s.direct_target_misses <- s.direct_target_misses + 1;
       stall t t.config.direct_bubble;
-      Btb.insert t.btb ~jte:false ~key:ev.s_pc ~target:ev.s_target
+      Btb.insert t.btb ~jte:false ~key:pc ~target:arg1
     end
   end
   else if tag = Event.tag_call then begin
-    (* The architectural link: [s_hint] carries it for calls emitted at a
+    (* The architectural link: [arg2] carries it for calls emitted at a
        non-default stride (jump-threading replicas); [-1] = [pc + 4]. *)
-    Ras.push t.ras (if ev.s_hint >= 0 then ev.s_hint else ev.s_pc + 4);
-    if ev.s_indirect then begin
+    Ras.push t.ras (if arg2 >= 0 then arg2 else pc + 4);
+    if flags land Event.flag_indirect <> 0 then begin
       s.indirect_jumps <- s.indirect_jumps + 1;
       let predicted =
-        Indirect.predict_target t.indirect ~pc:ev.s_pc ~hint:Indirect.no_hint
+        Indirect.predict_target t.indirect ~pc ~hint:Indirect.no_hint
       in
-      if predicted <> ev.s_target then begin
+      if predicted <> arg1 then begin
         s.indirect_mispredicts <- s.indirect_mispredicts + 1;
-        mispredict t ev
+        mispredict t ~dispatch
       end;
-      Indirect.update_target t.indirect ~pc:ev.s_pc ~hint:Indirect.no_hint
-        ~target:ev.s_target
+      Indirect.update_target t.indirect ~pc ~hint:Indirect.no_hint
+        ~target:arg1
     end
     else begin
       s.direct_jumps <- s.direct_jumps + 1;
-      if Btb.lookup_target t.btb ~jte:false ~key:ev.s_pc == Btb.no_target
+      if Btb.lookup_target t.btb ~jte:false ~key:pc == Btb.no_target
       then begin
         s.direct_target_misses <- s.direct_target_misses + 1;
         stall t t.config.direct_bubble;
-        Btb.insert t.btb ~jte:false ~key:ev.s_pc ~target:ev.s_target
+        Btb.insert t.btb ~jte:false ~key:pc ~target:arg1
       end
     end
   end
   else if tag = Event.tag_return then begin
     s.returns <- s.returns + 1;
-    if Ras.pop_target t.ras <> ev.s_target then begin
+    if Ras.pop_target t.ras <> arg1 then begin
       s.return_mispredicts <- s.return_mispredicts + 1;
-      mispredict t ev
+      mispredict t ~dispatch
     end
   end
   else if tag = Event.tag_ind_jump then begin
     s.indirect_jumps <- s.indirect_jumps + 1;
-    let hint = if ev.s_hint < 0 then Indirect.no_hint else ev.s_hint in
-    let predicted = Indirect.predict_target t.indirect ~pc:ev.s_pc ~hint in
-    if predicted <> ev.s_target then begin
+    let hint = if arg2 < 0 then Indirect.no_hint else arg2 in
+    let predicted = Indirect.predict_target t.indirect ~pc ~hint in
+    if predicted <> arg1 then begin
       s.indirect_mispredicts <- s.indirect_mispredicts + 1;
-      mispredict t ev
+      mispredict t ~dispatch
     end;
-    Indirect.update_target t.indirect ~pc:ev.s_pc ~hint ~target:ev.s_target
+    Indirect.update_target t.indirect ~pc ~hint ~target:arg1
   end
   else if tag = Event.tag_jru then begin
     (* Times exactly like a plain indirect jump; the JTE insertion has been
@@ -224,14 +231,14 @@ let consume_scratch t (ev : Event.scratch) =
     s.jru_count <- s.jru_count + 1;
     s.indirect_jumps <- s.indirect_jumps + 1;
     let predicted =
-      Indirect.predict_target t.indirect ~pc:ev.s_pc ~hint:Indirect.no_hint
+      Indirect.predict_target t.indirect ~pc ~hint:Indirect.no_hint
     in
-    if predicted <> ev.s_target then begin
+    if predicted <> arg1 then begin
       s.indirect_mispredicts <- s.indirect_mispredicts + 1;
-      mispredict t ev
+      mispredict t ~dispatch
     end;
-    Indirect.update_target t.indirect ~pc:ev.s_pc ~hint:Indirect.no_hint
-      ~target:ev.s_target
+    Indirect.update_target t.indirect ~pc ~hint:Indirect.no_hint
+      ~target:arg1
   end
   else begin
     (* tag_bop *)
@@ -249,7 +256,7 @@ let consume_scratch t (ev : Event.scratch) =
          stall t bubbles
        end
      | `Fall_through -> ());
-    if ev.s_hit then begin
+    if flags land Event.flag_hit <> 0 then begin
       s.bop_hits <- s.bop_hits + 1;
       stall t t.config.bop_hit_bubble;
       t.pair_open <- false
@@ -258,6 +265,25 @@ let consume_scratch t (ev : Event.scratch) =
   (* Retirement hook last, so interval samplers observe this instruction's
      cycle and miss accounting in full. *)
   if t.probe != Scd_obs.Probe.null then t.probe.Scd_obs.Probe.on_retire ()
+
+(* Re-pack a scratch record into cell locals. Stale payload fields are
+   harmless: a flag bit or payload word that the tag does not define is
+   never read by {!consume_cell}, mirroring the scratch contract. *)
+let consume_scratch t (ev : Event.scratch) =
+  let tag = ev.s_tag in
+  let flags =
+    tag
+    lor (if ev.s_dispatch then Event.flag_dispatch else 0)
+    lor (if ev.s_sets_rop then Event.flag_sets_rop else 0)
+    lor (if ev.s_taken then Event.flag_taken else 0)
+    lor (if ev.s_hit then Event.flag_hit else 0)
+    lor (if ev.s_indirect then Event.flag_indirect else 0)
+  in
+  consume_cell t ~pc:ev.s_pc ~flags
+    ~arg1:(if Event.scratch_is_mem ev then ev.s_addr else ev.s_target)
+    ~arg2:
+      (if tag = Event.tag_ind_jump || tag = Event.tag_call then ev.s_hint
+       else ev.s_opcode)
 
 let consume t ev =
   Event.load_scratch t.scratch ev;
@@ -312,15 +338,21 @@ let consume_plain_run t ~pc ~dispatch ~count ~stride =
     done
 
 let consume_tape t tape =
-  let cells = Event.tape_cells tape in
-  for i = 0 to cells - 1 do
-    if Event.tape_cell_tag tape i = Event.tag_plain_run then
-      consume_plain_run t ~pc:(Event.tape_cell_pc tape i)
-        ~dispatch:(Event.tape_cell_dispatch tape i)
-        ~count:(Event.tape_cell_arg1 tape i)
-        ~stride:(Event.tape_cell_arg2 tape i)
-    else begin
-      Event.tape_load_scratch tape i t.scratch;
-      consume_scratch t t.scratch
-    end
+  (* Walk the backing buffer directly: the tape only grows on the producer
+     side, so the reference stays valid for the whole drain, and each cell
+     costs four loads feeding {!consume_cell} — no scratch round-trip. *)
+  let words = Event.tape_extent tape in
+  let buf = Event.tape_words tape in
+  let i = ref 0 in
+  while !i < words do
+    let base = !i in
+    let flags = buf.(base + 1) in
+    if flags land 0xF = Event.tag_plain_run then
+      consume_plain_run t ~pc:buf.(base)
+        ~dispatch:(flags land Event.flag_dispatch <> 0)
+        ~count:buf.(base + 2) ~stride:buf.(base + 3)
+    else
+      consume_cell t ~pc:buf.(base) ~flags ~arg1:buf.(base + 2)
+        ~arg2:buf.(base + 3);
+    i := base + Event.cell_words
   done

@@ -61,6 +61,7 @@ val consume_scratch : t -> Scd_isa.Event.scratch -> unit
     does not retain the scratch across calls. *)
 
 val consume_tape : t -> Scd_isa.Event.tape -> unit
-(** Account every cell of a flat event tape in order, by decoding each cell
-    into the internal scratch and running {!consume_scratch}. Allocation-free;
-    the caller clears and refills the tape between batches. *)
+(** Account every cell of a flat event tape in order, reading each cell's
+    four words straight from the tape buffer (no intermediate record).
+    Allocation-free; the caller clears and refills the tape between
+    batches. *)

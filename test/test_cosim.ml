@@ -404,6 +404,69 @@ let prop_event_paths_agree =
           Result.equal (go `Flat) (go `Boxed))
         Scheme.all)
 
+(* Tentpole differential: template stamping must reproduce the push-based
+   expansion *word for word*, not merely land on the same simulation result.
+   [`Flat_push] derives every cell through the cell-by-cell emitters on the
+   same tape encoding, so concatenating every batch of both runs must give
+   identical int arrays — run-dependent patch words (fetch addresses, data
+   addresses, branch outcomes, bop hits) included. *)
+let collect_tape_words event_path config =
+  let batches = ref [] in
+  let trap tape = batches := Scd_isa.Event.tape_snapshot tape ~from:0 :: !batches in
+  let (_ : Driver.result) =
+    Driver.run ~event_path ~tape_trap:trap config ~source:small_script
+  in
+  Array.concat (List.rev !batches)
+
+let test_stamped_tape_words_identical () =
+  List.iter
+    (fun (vm, scheme, multi, seed) ->
+      let config =
+        { Driver.default_config with frontend = Frontend.get vm; scheme;
+          multi_table = multi; seed = Int64.of_int seed }
+      in
+      check_bool
+        (Printf.sprintf "%s/%s%s stamped tape = pushed tape, word for word" vm
+           (Scheme.name scheme)
+           (if multi then "/multi" else ""))
+        true
+        (collect_tape_words `Flat config = collect_tape_words `Flat_push config))
+    [ ("lua", Scheme.Baseline, false, 1);
+      ("lua", Scheme.Jump_threading, false, 2);
+      ("lua", Scheme.Vbbi, false, 3);
+      ("lua", Scheme.Scd, false, 4);
+      ("lua", Scheme.Scd, true, 5);
+      ("js", Scheme.Baseline, false, 6);
+      ("js", Scheme.Jump_threading, false, 7);
+      ("js", Scheme.Scd, false, 8);
+      ("js", Scheme.Scd, true, 9) ]
+
+let prop_stamped_tape_words_agree =
+  QCheck.Test.make
+    ~name:"random programs: stamped and pushed tapes word-for-word identical"
+    ~count:6 Gen_program.program (fun source ->
+      List.for_all
+        (fun vm ->
+          List.for_all
+            (fun scheme ->
+              let config =
+                { Driver.default_config with frontend = Frontend.get vm; scheme }
+              in
+              let go event_path =
+                let batches = ref [] in
+                let trap tape =
+                  batches :=
+                    Scd_isa.Event.tape_snapshot tape ~from:0 :: !batches
+                in
+                let (_ : Driver.result) =
+                  Driver.run ~event_path ~tape_trap:trap config ~source
+                in
+                Array.concat (List.rev !batches)
+              in
+              go `Flat = go `Flat_push)
+            Scheme.all)
+        [ "lua"; "js" ])
+
 (* The point of the tape: steady-state event delivery plus engine fast-path
    probes allocate nothing at all. Probes are off (the default
    [Probe.null]); the warm-up loop grows the tape to its final capacity and
@@ -624,6 +687,9 @@ let () =
           Alcotest.test_case "flat vs boxed bit-identical" `Quick
             test_event_paths_identical;
           QCheck_alcotest.to_alcotest prop_event_paths_agree;
+          Alcotest.test_case "stamped tape words identical" `Quick
+            test_stamped_tape_words_identical;
+          QCheck_alcotest.to_alcotest prop_stamped_tape_words_agree;
           Alcotest.test_case "flat delivery allocation-free" `Quick
             test_flat_event_delivery_allocation_free;
         ] );

@@ -290,6 +290,81 @@ let test_cache_bad_geometry () =
     (fun () ->
       ignore (Cache.create { small_geometry with size_bytes = 240; block_bytes = 60; ways = 1 }))
 
+(* The per-set MRU-way short-circuit must change nothing observable: replay
+   a conflict-heavy random access stream against a reference model of the
+   pre-change cache (plain way scan + LRU victim, no MRU slot) and require
+   the same hit/miss answer on every access and the same victim on every
+   miss — the evicted block must be gone from the real cache, and at the
+   end every reference-resident block must still be present. *)
+let test_cache_mru_matches_reference_lru () =
+  let geometry =
+    { Cache.size_bytes = 512; ways = 4; block_bytes = 32; hit_latency = 1 }
+  in
+  let sets = 4 (* 512 / 32 blocks / 4 ways *) and ways = 4 in
+  let set_shift = 2 and block_shift = 5 in
+  let c = Cache.create geometry in
+  let r_tags = Array.make_matrix sets ways (-1) in
+  let r_stamps = Array.make_matrix sets ways 0 in
+  let tick = ref 0 in
+  let rng = Random.State.make [| 0xCA0E |] in
+  let misses = ref 0 in
+  for i = 1 to 10_000 do
+    (* a small address pool keeps every set under constant conflict, and
+       repeats both exercise the MRU slot and defeat it *)
+    let addr = Random.State.int rng 4096 in
+    let block = addr lsr block_shift in
+    let set = block land (sets - 1) in
+    let tag = block lsr set_shift in
+    incr tick;
+    let way = ref (-1) in
+    for w = 0 to ways - 1 do
+      if !way < 0 && r_tags.(set).(w) = tag then way := w
+    done;
+    let expected, evicted =
+      if !way >= 0 then begin
+        r_stamps.(set).(!way) <- !tick;
+        (`Hit, -1)
+      end
+      else begin
+        incr misses;
+        let victim = ref (-1) in
+        for w = ways - 1 downto 0 do
+          if r_tags.(set).(w) = -1 then victim := w
+        done;
+        if !victim < 0 then begin
+          victim := 0;
+          for w = 1 to ways - 1 do
+            if r_stamps.(set).(w) < r_stamps.(set).(!victim) then victim := w
+          done
+        end;
+        let old = r_tags.(set).(!victim) in
+        r_tags.(set).(!victim) <- tag;
+        r_stamps.(set).(!victim) <- !tick;
+        (`Miss, old)
+      end
+    in
+    if Cache.access c ~addr <> expected then
+      Alcotest.failf "access %d (addr 0x%x): hit/miss diverged from the
+        reference LRU" i addr;
+    if evicted >= 0 then begin
+      let victim_addr = ((evicted lsl set_shift) lor set) lsl block_shift in
+      if Cache.contains c ~addr:victim_addr then
+        Alcotest.failf "access %d (addr 0x%x): evicted a different victim
+          than the reference LRU" i addr
+    end
+  done;
+  for set = 0 to sets - 1 do
+    for w = 0 to ways - 1 do
+      if r_tags.(set).(w) >= 0 then
+        check_bool "reference-resident block is resident" true
+          (Cache.contains c
+             ~addr:(((r_tags.(set).(w) lsl set_shift) lor set) lsl block_shift))
+    done
+  done;
+  let s = Cache.stats c in
+  check_int "same accesses" 10_000 s.accesses;
+  check_int "same misses" !misses s.misses
+
 let prop_cache_never_exceeds_capacity =
   QCheck.Test.make ~name:"resident blocks bounded by capacity" ~count:100
     QCheck.(small_list (int_bound 0xFFFF))
@@ -584,6 +659,8 @@ let () =
           Alcotest.test_case "lru" `Quick test_cache_lru_eviction;
           Alcotest.test_case "stats" `Quick test_cache_stats;
           Alcotest.test_case "bad geometry" `Quick test_cache_bad_geometry;
+          Alcotest.test_case "mru way matches reference lru" `Quick
+            test_cache_mru_matches_reference_lru;
           QCheck_alcotest.to_alcotest prop_cache_never_exceeds_capacity;
           Alcotest.test_case "tlb" `Quick test_tlb;
         ] );
